@@ -1,0 +1,209 @@
+//! Bluetooth device addresses.
+//!
+//! A `BD_ADDR` is the 48-bit IEEE address every Bluetooth device carries.
+//! BIPS hinges on it: logging in binds a `userid` to a `BD_ADDR`, and the
+//! location database is keyed by it. The address splits into three fields
+//! (spec Part B §1.2):
+//!
+//! * **LAP** — lower address part, 24 bits, used in access-code and hop
+//!   derivation;
+//! * **UAP** — upper address part, 8 bits, also hop-relevant;
+//! * **NAP** — non-significant address part, 16 bits.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit Bluetooth device address (`BD_ADDR`).
+///
+/// # Example
+///
+/// ```
+/// use bt_baseband::BdAddr;
+/// let a: BdAddr = "00:10:DC:4F:12:AB".parse().unwrap();
+/// assert_eq!(a.lap(), 0x4F12AB);
+/// assert_eq!(a.uap(), 0xDC);
+/// assert_eq!(a.nap(), 0x0010);
+/// assert_eq!(a.to_string(), "00:10:DC:4F:12:AB");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BdAddr(u64);
+
+impl BdAddr {
+    /// Creates an address from its 48-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit in 48 bits.
+    pub const fn new(raw: u64) -> Self {
+        assert!(raw < (1 << 48), "BD_ADDR exceeds 48 bits");
+        BdAddr(raw)
+    }
+
+    /// The raw 48-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Lower address part (24 bits) — the hop- and access-code-relevant
+    /// field.
+    pub const fn lap(self) -> u32 {
+        (self.0 & 0xFF_FFFF) as u32
+    }
+
+    /// Upper address part (8 bits).
+    pub const fn uap(self) -> u8 {
+        ((self.0 >> 24) & 0xFF) as u8
+    }
+
+    /// Non-significant address part (16 bits).
+    pub const fn nap(self) -> u16 {
+        ((self.0 >> 32) & 0xFFFF) as u16
+    }
+
+    /// The 28 bits that feed the hop-selection kernel: `UAP[3:0] ‖ LAP`.
+    pub const fn hop_input(self) -> u32 {
+        ((self.uap() as u32 & 0x0F) << 24) | self.lap()
+    }
+}
+
+impl fmt::Debug for BdAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BdAddr({self})")
+    }
+}
+
+impl fmt::Display for BdAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02X}:{:02X}:{:02X}:{:02X}:{:02X}:{:02X}",
+            (b >> 40) & 0xFF,
+            (b >> 32) & 0xFF,
+            (b >> 24) & 0xFF,
+            (b >> 16) & 0xFF,
+            (b >> 8) & 0xFF,
+            b & 0xFF
+        )
+    }
+}
+
+impl fmt::LowerHex for BdAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for BdAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<BdAddr> for u64 {
+    fn from(a: BdAddr) -> u64 {
+        a.0
+    }
+}
+
+impl TryFrom<u64> for BdAddr {
+    type Error = ParseBdAddrError;
+    fn try_from(raw: u64) -> Result<Self, Self::Error> {
+        if raw < (1 << 48) {
+            Ok(BdAddr(raw))
+        } else {
+            Err(ParseBdAddrError::TooLarge)
+        }
+    }
+}
+
+/// Error parsing a [`BdAddr`] from text or integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseBdAddrError {
+    /// Input was not six colon-separated hex octets.
+    Malformed,
+    /// Integer input exceeded 48 bits.
+    TooLarge,
+}
+
+impl fmt::Display for ParseBdAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBdAddrError::Malformed => {
+                write!(f, "expected six colon-separated hex octets")
+            }
+            ParseBdAddrError::TooLarge => write!(f, "value exceeds 48 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBdAddrError {}
+
+impl FromStr for BdAddr {
+    type Err = ParseBdAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut value: u64 = 0;
+        let mut octets = 0;
+        for part in s.split(':') {
+            if part.len() != 2 {
+                return Err(ParseBdAddrError::Malformed);
+            }
+            let byte = u8::from_str_radix(part, 16).map_err(|_| ParseBdAddrError::Malformed)?;
+            value = (value << 8) | byte as u64;
+            octets += 1;
+        }
+        if octets != 6 {
+            return Err(ParseBdAddrError::Malformed);
+        }
+        Ok(BdAddr(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        let a = BdAddr::new(0x0010_DC4F_12AB);
+        assert_eq!(a.lap(), 0x4F12AB);
+        assert_eq!(a.uap(), 0xDC);
+        assert_eq!(a.nap(), 0x0010);
+        assert_eq!(a.hop_input(), 0x0C4F_12AB);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let a = BdAddr::new(0xABCD_EF01_2345);
+        let s = a.to_string();
+        assert_eq!(s, "AB:CD:EF:01:23:45");
+        assert_eq!(s.parse::<BdAddr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "00:11:22:33:44", "00:11:22:33:44:55:66", "0:1:2:3:4:5", "GG:00:00:00:00:00"] {
+            assert_eq!(bad.parse::<BdAddr>(), Err(ParseBdAddrError::Malformed), "{bad}");
+        }
+    }
+
+    #[test]
+    fn try_from_bounds() {
+        assert!(BdAddr::try_from((1u64 << 48) - 1).is_ok());
+        assert_eq!(BdAddr::try_from(1u64 << 48), Err(ParseBdAddrError::TooLarge));
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn new_rejects_wide_values() {
+        let _ = BdAddr::new(1 << 48);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        let a = BdAddr::new(0xAB);
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+    }
+}

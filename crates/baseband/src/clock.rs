@@ -1,0 +1,182 @@
+//! The Bluetooth native clock.
+//!
+//! Every Bluetooth device free-runs a 28-bit counter `CLKN` that ticks
+//! every 312.5 µs (3.2 kHz — the paper's §3 recites these numbers). Two
+//! ticks make one 625 µs slot; `CLKN` wraps roughly once a day. The
+//! inquiry/page scan frequencies are driven by bits `CLKN[16:12]`, which
+//! advance once every 1.28 s — that is where the famous 1.28 s scan
+//! interval comes from.
+//!
+//! In the simulator each device's clock is an offset from the engine's
+//! virtual time: devices are *not* synchronized, which is exactly what
+//! makes discovery slow (master and slave start on uncorrelated trains and
+//! scan phases).
+
+use desim::{SimDuration, SimTime};
+
+/// Duration of one native clock tick (312.5 µs).
+pub const TICK: SimDuration = SimDuration::from_units_0125us(2500);
+
+/// Duration of one slot (625 µs = 2 ticks).
+pub const SLOT: SimDuration = SimDuration::from_units_0125us(5000);
+
+/// Duration of a transmit/receive slot pair (1.25 ms).
+pub const SLOT_PAIR: SimDuration = SimDuration::from_units_0125us(10_000);
+
+/// The 1.28 s period after which `CLKN[16:12]` advances (4096 slots·2).
+pub const CLKN_12_PERIOD: SimDuration = SimDuration::from_millis(1280);
+
+/// Number of CLKN values (28-bit counter).
+const CLKN_WRAP: u64 = 1 << 28;
+
+/// A device's free-running native clock, modeled as a phase offset from
+/// simulation time.
+///
+/// # Example
+///
+/// ```
+/// use bt_baseband::clock::{NativeClock, TICK};
+/// use desim::{SimTime, SimDuration};
+///
+/// let clk = NativeClock::with_phase_ticks(5);
+/// assert_eq!(clk.clkn(SimTime::ZERO), 5);
+/// assert_eq!(clk.clkn(SimTime::ZERO + TICK * 3), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NativeClock {
+    /// Phase: the CLKN value at simulation time zero.
+    phase_ticks: u64,
+}
+
+impl NativeClock {
+    /// A clock that reads zero at simulation time zero.
+    pub const fn new() -> Self {
+        NativeClock { phase_ticks: 0 }
+    }
+
+    /// A clock whose `CLKN` reads `phase` (mod 2²⁸) at simulation time zero.
+    pub const fn with_phase_ticks(phase: u64) -> Self {
+        NativeClock {
+            phase_ticks: phase % CLKN_WRAP,
+        }
+    }
+
+    /// A clock with a uniformly random phase drawn from `rng`.
+    pub fn random(rng: &mut desim::SimRng) -> Self {
+        NativeClock::with_phase_ticks(rng.below(CLKN_WRAP))
+    }
+
+    /// The 28-bit `CLKN` value at simulation time `now`.
+    pub fn clkn(&self, now: SimTime) -> u64 {
+        let ticks = now.elapsed().div_duration(TICK);
+        (self.phase_ticks + ticks) % CLKN_WRAP
+    }
+
+    /// Bits `CLKN[16:12]` — the scan-frequency phase (advances every
+    /// 1.28 s).
+    pub fn clkn_16_12(&self, now: SimTime) -> u8 {
+        ((self.clkn(now) >> 12) & 0x1F) as u8
+    }
+
+    /// `CLKN[1]`: true in the second half of a slot pair (receive slot for
+    /// a master).
+    pub fn is_odd_slot(&self, now: SimTime) -> bool {
+        (self.clkn(now) >> 1) & 1 == 1
+    }
+
+    /// The next simulation time at or after `now` at which this clock's
+    /// `CLKN[1:0]` is zero, i.e. the start of an even (master-transmit)
+    /// slot.
+    pub fn next_even_slot(&self, now: SimTime) -> SimTime {
+        let clkn = self.clkn(now);
+        let into = clkn % 4; // ticks into the current slot pair
+        let in_tick = now.elapsed() % TICK;
+        if into == 0 && in_tick.is_zero() {
+            return now;
+        }
+        let remaining_ticks = 4 - into;
+        now - in_tick + TICK * remaining_ticks
+    }
+
+    /// The next simulation time at or after `now` at which `CLKN[16:12]`
+    /// changes (a scan-frequency hop boundary).
+    pub fn next_scan_hop(&self, now: SimTime) -> SimTime {
+        let clkn = self.clkn(now);
+        let into = clkn % 4096; // ticks into the current 1.28 s period
+        let in_tick = now.elapsed() % TICK;
+        let remaining = 4096 - into;
+        let base = now - in_tick + TICK * remaining;
+        debug_assert!(base > now || (remaining == 4096 && in_tick.is_zero()));
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clkn_advances_one_per_tick() {
+        let c = NativeClock::new();
+        assert_eq!(c.clkn(SimTime::ZERO), 0);
+        assert_eq!(c.clkn(SimTime::ZERO + TICK), 1);
+        assert_eq!(c.clkn(SimTime::ZERO + SLOT), 2);
+        assert_eq!(c.clkn(SimTime::from_secs(1)), 3200, "3.2 kHz clock");
+    }
+
+    #[test]
+    fn phase_wraps_at_28_bits() {
+        let c = NativeClock::with_phase_ticks(CLKN_WRAP - 1);
+        assert_eq!(c.clkn(SimTime::ZERO), CLKN_WRAP - 1);
+        assert_eq!(c.clkn(SimTime::ZERO + TICK), 0);
+    }
+
+    #[test]
+    fn scan_phase_advances_every_1_28s() {
+        let c = NativeClock::new();
+        assert_eq!(c.clkn_16_12(SimTime::ZERO), 0);
+        assert_eq!(c.clkn_16_12(SimTime::from_millis(1279)), 0);
+        assert_eq!(c.clkn_16_12(SimTime::from_millis(1280)), 1);
+        assert_eq!(c.clkn_16_12(SimTime::from_millis(2560)), 2);
+        // 32 hops wrap after 32 * 1.28 s = 40.96 s.
+        assert_eq!(c.clkn_16_12(SimTime::from_secs_f64(40.96)), 0);
+    }
+
+    #[test]
+    fn next_even_slot_alignment() {
+        let c = NativeClock::new();
+        assert_eq!(c.next_even_slot(SimTime::ZERO), SimTime::ZERO);
+        let inside = SimTime::from_micros(100);
+        let next = c.next_even_slot(inside);
+        assert_eq!(next, SimTime::from_micros(1250));
+        // A clock offset by one tick shifts the even-slot grid.
+        let c2 = NativeClock::with_phase_ticks(1);
+        let next2 = c2.next_even_slot(SimTime::ZERO);
+        assert_eq!(next2.as_micros(), 937); // 3 ticks = 937.5 µs
+    }
+
+    #[test]
+    fn odd_slot_detection() {
+        let c = NativeClock::new();
+        assert!(!c.is_odd_slot(SimTime::ZERO));
+        assert!(c.is_odd_slot(SimTime::ZERO + SLOT));
+        assert!(!c.is_odd_slot(SimTime::ZERO + SLOT_PAIR));
+    }
+
+    #[test]
+    fn next_scan_hop_is_future_boundary() {
+        let c = NativeClock::new();
+        let hop = c.next_scan_hop(SimTime::from_millis(100));
+        assert_eq!(hop, SimTime::from_millis(1280));
+        let hop2 = c.next_scan_hop(hop);
+        assert_eq!(hop2, SimTime::from_millis(2560));
+    }
+
+    #[test]
+    fn random_clocks_differ() {
+        let mut rng = desim::SimRng::seed_from(7);
+        let a = NativeClock::random(&mut rng);
+        let b = NativeClock::random(&mut rng);
+        assert_ne!(a, b);
+    }
+}

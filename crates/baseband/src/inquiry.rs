@@ -1,0 +1,197 @@
+//! The master side of device discovery: the inquiry train walker.
+//!
+//! In the inquiry state a master transmits two ID packets per even slot,
+//! stepping through the 16 frequencies of its current train (10 ms per
+//! pass), and listens for FHS responses in the odd slots. After
+//! `N_inquiry` passes (2.56 s at the spec value) it switches trains — the
+//! source of the ≈2.56 s penalty when master and slave start on different
+//! trains (Table 1 of the paper).
+//!
+//! [`InquiryState`] is a pure state machine: the medium drives it one slot
+//! pair at a time and transmits the two frequencies it yields.
+
+use crate::hop::{InquiryFreq, Train, TRAIN_LEN};
+use crate::params::TrainPolicy;
+
+/// The frequencies a master transmits in one even slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotPairPlan {
+    /// Frequency of the first half-slot ID packet.
+    pub first: InquiryFreq,
+    /// Frequency of the second half-slot ID packet (312.5 µs later).
+    pub second: InquiryFreq,
+}
+
+/// What happened when the walker advanced past a slot pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Advance {
+    /// The walker completed a 16-frequency pass over the train.
+    pub train_completed: bool,
+    /// The walker switched to the other train (implies `train_completed`).
+    pub train_switched: bool,
+}
+
+/// Master inquiry progress: current train, position, and repetition count.
+///
+/// # Example
+///
+/// ```
+/// use bt_baseband::inquiry::InquiryState;
+/// use bt_baseband::hop::Train;
+/// use bt_baseband::params::TrainPolicy;
+///
+/// let mut inq = InquiryState::new(Train::A, TrainPolicy::Alternate { n_inquiry: 2 });
+/// // 8 slot pairs cover one train; after 2 passes the train switches.
+/// for _ in 0..16 {
+///     let _ = inq.plan();
+///     inq.advance();
+/// }
+/// assert_eq!(inq.train(), Train::B);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InquiryState {
+    train: Train,
+    /// Offset of the next frequency within the train (0, 2, 4, … 14).
+    k: u8,
+    /// Completed passes over the current train.
+    reps: u32,
+    policy: TrainPolicy,
+}
+
+impl InquiryState {
+    /// Starts an inquiry on `train` under `policy`.
+    pub fn new(train: Train, policy: TrainPolicy) -> InquiryState {
+        InquiryState {
+            train,
+            k: 0,
+            reps: 0,
+            policy,
+        }
+    }
+
+    /// The current train.
+    pub fn train(&self) -> Train {
+        self.train
+    }
+
+    /// Completed passes over the current train since the last switch.
+    pub fn reps(&self) -> u32 {
+        self.reps
+    }
+
+    /// The two frequencies of the upcoming even slot.
+    pub fn plan(&self) -> SlotPairPlan {
+        SlotPairPlan {
+            first: self.train.freq(self.k),
+            second: self.train.freq(self.k + 1),
+        }
+    }
+
+    /// Advances past one slot pair, handling train wrap and switching.
+    pub fn advance(&mut self) -> Advance {
+        let mut out = Advance::default();
+        self.k += 2;
+        if self.k >= TRAIN_LEN {
+            self.k = 0;
+            self.reps += 1;
+            out.train_completed = true;
+            if let TrainPolicy::Alternate { n_inquiry } = self.policy {
+                if self.reps >= n_inquiry {
+                    self.train = self.train.other();
+                    self.reps = 0;
+                    out.train_switched = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Restarts the walker on `train` (e.g. at the start of a new inquiry
+    /// phase).
+    pub fn restart(&mut self, train: Train) {
+        self.train = train;
+        self.k = 0;
+        self.reps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_pass_covers_all_16_frequencies() {
+        let mut inq = InquiryState::new(Train::A, TrainPolicy::spec());
+        let mut seen = HashSet::new();
+        for _ in 0..8 {
+            let p = inq.plan();
+            seen.insert(p.first.index());
+            seen.insert(p.second.index());
+            let adv = inq.advance();
+            assert!(!adv.train_switched);
+        }
+        assert_eq!(seen.len(), 16);
+        assert!(seen.iter().all(|&f| Train::A.contains(crate::hop::InquiryFreq::new(f))));
+    }
+
+    #[test]
+    fn pass_completion_is_flagged_every_8_pairs() {
+        let mut inq = InquiryState::new(Train::B, TrainPolicy::spec());
+        let mut completions = 0;
+        for i in 1..=24 {
+            if inq.advance().train_completed {
+                completions += 1;
+                assert_eq!(i % 8, 0);
+            }
+        }
+        assert_eq!(completions, 3);
+        assert_eq!(inq.reps(), 3);
+    }
+
+    #[test]
+    fn switch_after_n_inquiry_passes() {
+        let n = 4;
+        let mut inq = InquiryState::new(Train::A, TrainPolicy::Alternate { n_inquiry: n });
+        let mut switched_at = None;
+        for pair in 1..=(8 * n + 8) {
+            if inq.advance().train_switched {
+                switched_at = Some(pair);
+                break;
+            }
+        }
+        assert_eq!(switched_at, Some(8 * n));
+        assert_eq!(inq.train(), Train::B);
+        assert_eq!(inq.reps(), 0);
+    }
+
+    #[test]
+    fn single_policy_never_switches() {
+        let mut inq = InquiryState::new(Train::A, TrainPolicy::Single);
+        for _ in 0..8 * 300 {
+            assert!(!inq.advance().train_switched);
+        }
+        assert_eq!(inq.train(), Train::A);
+        assert_eq!(inq.reps(), 300);
+    }
+
+    #[test]
+    fn spec_timing_2_56s_per_train() {
+        // 256 passes × 8 slot pairs × 1.25 ms = 2.56 s.
+        let pairs_to_switch = 8 * crate::params::N_INQUIRY as u64;
+        let t = desim::SimDuration::from_units_0125us(10_000) * pairs_to_switch;
+        assert_eq!(t, crate::params::TRAIN_REPEAT);
+    }
+
+    #[test]
+    fn restart_resets_progress() {
+        let mut inq = InquiryState::new(Train::A, TrainPolicy::spec());
+        for _ in 0..20 {
+            inq.advance();
+        }
+        inq.restart(Train::B);
+        assert_eq!(inq.train(), Train::B);
+        assert_eq!(inq.reps(), 0);
+        assert_eq!(inq.plan().first, Train::B.freq(0));
+    }
+}

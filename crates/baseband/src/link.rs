@@ -1,0 +1,109 @@
+//! Established master–slave links and the minimal data service.
+//!
+//! Once paging completes, master and slave share the master's channel-hop
+//! sequence and exchange packets in polled slot pairs. BIPS only needs a
+//! thin data service on top: the login exchange (a few tens of bytes each
+//! way) and presence polls. Data transfer time is modeled as the number of
+//! `DM1` packets times the slot-pair duration; link loss is detected by a
+//! supervision timeout after the slave leaves radio range.
+
+use crate::packet::Packet;
+use crate::{MasterId, SlaveId};
+use desim::{SimDuration, SimTime};
+
+/// Duration of one polled exchange (master TX slot + slave RX slot).
+pub const POLL_PERIOD: SimDuration = SimDuration::from_micros(1250);
+
+/// An established baseband connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// The piconet master.
+    pub master: MasterId,
+    /// The connected slave.
+    pub slave: SlaveId,
+    /// When the connection completed.
+    pub established_at: SimTime,
+    /// Set while the slave is out of radio range; cleared on return.
+    out_of_range_since: Option<SimTime>,
+}
+
+impl Link {
+    /// A link established at `now`.
+    pub fn new(master: MasterId, slave: SlaveId, now: SimTime) -> Link {
+        Link {
+            master,
+            slave,
+            established_at: now,
+            out_of_range_since: None,
+        }
+    }
+
+    /// Marks the slave out of range (starts the supervision clock).
+    pub fn mark_out_of_range(&mut self, now: SimTime) {
+        if self.out_of_range_since.is_none() {
+            self.out_of_range_since = Some(now);
+        }
+    }
+
+    /// Marks the slave back in range (stops the supervision clock).
+    pub fn mark_in_range(&mut self) {
+        self.out_of_range_since = None;
+    }
+
+    /// When the slave went out of range, if it still is.
+    pub fn out_of_range_since(&self) -> Option<SimTime> {
+        self.out_of_range_since
+    }
+
+    /// True if the link must be declared lost at `now` under the given
+    /// supervision timeout.
+    pub fn supervision_expired(&self, now: SimTime, timeout: SimDuration) -> bool {
+        match self.out_of_range_since {
+            Some(since) => now.saturating_since(since) >= timeout,
+            None => false,
+        }
+    }
+
+    /// Time to deliver a `len`-byte message over this link: one slot pair
+    /// per DM1 packet.
+    pub fn transfer_time(len: usize) -> SimDuration {
+        POLL_PERIOD * Packet::dm1_count(len) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(MasterId::new(0), SlaveId::new(3), SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn transfer_time_scales_with_payload() {
+        assert_eq!(Link::transfer_time(0), POLL_PERIOD);
+        assert_eq!(Link::transfer_time(17), POLL_PERIOD);
+        assert_eq!(Link::transfer_time(18), POLL_PERIOD * 2);
+        assert_eq!(Link::transfer_time(100), POLL_PERIOD * 6);
+    }
+
+    #[test]
+    fn supervision_requires_continuous_absence() {
+        let mut l = link();
+        let timeout = SimDuration::from_secs(2);
+        assert!(!l.supervision_expired(SimTime::from_secs(10), timeout));
+        l.mark_out_of_range(SimTime::from_secs(10));
+        assert!(!l.supervision_expired(SimTime::from_secs(11), timeout));
+        assert!(l.supervision_expired(SimTime::from_secs(12), timeout));
+        l.mark_in_range();
+        assert!(!l.supervision_expired(SimTime::from_secs(20), timeout));
+    }
+
+    #[test]
+    fn first_out_of_range_mark_wins() {
+        let mut l = link();
+        l.mark_out_of_range(SimTime::from_secs(5));
+        l.mark_out_of_range(SimTime::from_secs(9));
+        assert_eq!(l.out_of_range_since(), Some(SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Baseband packet types and their on-air durations.
+//!
+//! Only the packets that matter for BIPS are modeled: the `ID` packet used
+//! by inquiry and paging (a bare 68-bit access code), the `FHS` packet a
+//! slave answers inquiry with (carrying its `BD_ADDR` and clock), and the
+//! single-slot `POLL`/`NULL`/`DM1` packets used once a connection exists.
+//! Payload *contents* are carried faithfully; payload *encoding* (FEC,
+//! whitening, CRC) is abstracted away, as in BlueHoc.
+
+use crate::addr::BdAddr;
+use desim::SimDuration;
+
+/// The General Inquiry Access Code LAP: all discoverable devices answer it.
+pub const GIAC_LAP: u32 = 0x9E8B33;
+
+/// An inquiry/page access code, derived from a LAP.
+///
+/// The [general inquiry access code](AccessCode::GIAC) addresses *any*
+/// discoverable device; a device access code (`dac`) addresses one
+/// specific device during paging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessCode {
+    lap: u32,
+}
+
+impl AccessCode {
+    /// The general inquiry access code.
+    pub const GIAC: AccessCode = AccessCode { lap: GIAC_LAP };
+
+    /// The device access code of `addr`, used to page that device.
+    pub fn dac(addr: BdAddr) -> AccessCode {
+        AccessCode { lap: addr.lap() }
+    }
+
+    /// The LAP this code was derived from.
+    pub const fn lap(self) -> u32 {
+        self.lap
+    }
+
+    /// Whether this is the general inquiry code.
+    pub const fn is_giac(self) -> bool {
+        self.lap == GIAC_LAP
+    }
+}
+
+/// The contents of an `FHS` packet: everything a master needs to page the
+/// sender (spec Part B §4.4.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FhsPayload {
+    /// The responding device's address.
+    pub addr: BdAddr,
+    /// The responding device's native clock (`CLKN`) sampled at
+    /// transmission — lets the master predict the page-scan frequency.
+    pub clkn: u64,
+}
+
+/// A baseband packet on the air.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Bare access code; inquiry/page request and page response.
+    Id(AccessCode),
+    /// Frequency-hop-synchronization packet; inquiry response and the
+    /// master's page reply.
+    Fhs(FhsPayload),
+    /// Master poll requiring a response; no payload.
+    Poll,
+    /// Empty response packet.
+    Null,
+    /// Single-slot data packet, up to 17 bytes of payload after FEC.
+    Dm1(Vec<u8>),
+}
+
+/// Maximum `DM1` payload in bytes (after 2/3 FEC, spec Part B §4.4.2.1).
+pub const DM1_MAX_PAYLOAD: usize = 17;
+
+impl Packet {
+    /// On-air duration of the packet.
+    ///
+    /// `ID` is 68 µs; all single-slot packets occupy at most 366 µs of
+    /// their 625 µs slot.
+    pub fn air_time(&self) -> SimDuration {
+        match self {
+            Packet::Id(_) => SimDuration::from_micros(68),
+            Packet::Fhs(_) => SimDuration::from_micros(366),
+            Packet::Poll | Packet::Null => SimDuration::from_micros(126),
+            Packet::Dm1(_) => SimDuration::from_micros(366),
+        }
+    }
+
+    /// Creates a `DM1` packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`DM1_MAX_PAYLOAD`].
+    pub fn dm1(payload: Vec<u8>) -> Packet {
+        assert!(
+            payload.len() <= DM1_MAX_PAYLOAD,
+            "DM1 payload {} exceeds {DM1_MAX_PAYLOAD} bytes",
+            payload.len()
+        );
+        Packet::Dm1(payload)
+    }
+
+    /// Number of `DM1` packets needed to carry `len` bytes (at least one,
+    /// to model an empty message still costing a packet).
+    pub fn dm1_count(len: usize) -> usize {
+        len.div_ceil(DM1_MAX_PAYLOAD).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn giac_is_special() {
+        assert!(AccessCode::GIAC.is_giac());
+        let dac = AccessCode::dac(BdAddr::new(0x12_3456));
+        assert!(!dac.is_giac());
+        assert_eq!(dac.lap(), 0x12_3456);
+    }
+
+    #[test]
+    fn dac_depends_only_on_lap() {
+        let a = BdAddr::new(0xAA00_0012_3456);
+        let b = BdAddr::new(0xBB00_0012_3456);
+        assert_eq!(AccessCode::dac(a), AccessCode::dac(b));
+    }
+
+    #[test]
+    fn air_times_fit_in_slots() {
+        let slot = SimDuration::from_micros(625);
+        for p in [
+            Packet::Id(AccessCode::GIAC),
+            Packet::Fhs(FhsPayload {
+                addr: BdAddr::new(1),
+                clkn: 0,
+            }),
+            Packet::Poll,
+            Packet::Null,
+            Packet::dm1(vec![0; 17]),
+        ] {
+            assert!(p.air_time() < slot, "{p:?}");
+        }
+        // Two ID packets fit in one slot (the even-slot double send).
+        assert!(Packet::Id(AccessCode::GIAC).air_time() * 2 < slot);
+    }
+
+    #[test]
+    fn dm1_packet_count() {
+        assert_eq!(Packet::dm1_count(0), 1);
+        assert_eq!(Packet::dm1_count(17), 1);
+        assert_eq!(Packet::dm1_count(18), 2);
+        assert_eq!(Packet::dm1_count(170), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_dm1_panics() {
+        let _ = Packet::dm1(vec![0; 18]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Paging: turning a discovered device into a connected slave.
+//!
+//! After inquiry, the master holds the slave's `BD_ADDR` and a snapshot of
+//! its clock (from the FHS packet), so it can predict the slave's page-scan
+//! frequency and window. Paging in this situation completes at the slave's
+//! next page-scan window plus a short handshake (page ID → slave ID
+//! response → master FHS → slave ack → first POLL/NULL), rather than
+//! requiring a blind 2×2.56 s train sweep.
+//!
+//! The model is therefore *analytic*: [`completion_time`] computes when the
+//! page lands from the slave's [`WindowSchedule`]; the medium re-checks
+//! reachability (range, radio state, master phase) at that instant and
+//! retries until [`PageAttempt::deadline`].
+
+use crate::scan::{ScanKind, WindowSchedule};
+use crate::{MasterId, SlaveId};
+use desim::{SimDuration, SimTime};
+
+/// Handshake time once master and slave meet on the page frequency:
+/// page ID + slave response + FHS + ack + POLL/NULL ≈ 8 slots.
+pub const PAGE_HANDSHAKE: SimDuration = SimDuration::from_micros(8 * 625);
+
+/// An in-flight page attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageAttempt {
+    /// The paging master.
+    pub master: MasterId,
+    /// The paged slave.
+    pub slave: SlaveId,
+    /// When the attempt started.
+    pub started: SimTime,
+    /// When the master gives up (`started + pageTO`).
+    pub deadline: SimTime,
+}
+
+impl PageAttempt {
+    /// Starts an attempt with the given timeout.
+    pub fn new(master: MasterId, slave: SlaveId, now: SimTime, timeout: SimDuration) -> Self {
+        PageAttempt {
+            master,
+            slave,
+            started: now,
+            deadline: now + timeout,
+        }
+    }
+
+    /// True if the attempt has exceeded its timeout at `now`.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.deadline
+    }
+}
+
+/// When a page started (or retried) at `now` reaches the slave: the end of
+/// the handshake beginning at the slave's next page-scan opportunity.
+///
+/// Returns [`SimTime::MAX`] if the slave never page-scans (its pattern has
+/// no page windows), in which case the attempt can only time out.
+pub fn completion_time(now: SimTime, slave_windows: &WindowSchedule) -> SimTime {
+    // Already inside an open page window? The handshake starts right away.
+    if let Some((ScanKind::Page, _close)) = slave_windows.open_window_at(now) {
+        return now + PAGE_HANDSHAKE;
+    }
+    let next = slave_windows.next_window_of_kind(now, ScanKind::Page);
+    if next == SimTime::MAX {
+        SimTime::MAX
+    } else {
+        next + PAGE_HANDSHAKE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ScanPattern;
+
+    #[test]
+    fn completes_at_next_page_window() {
+        // Alternating windows from t=0, parity 0: window 0 (t=0) inquiry,
+        // window 1 (t=1.28 s) page.
+        let ws = WindowSchedule::new(ScanPattern::alternating(), SimTime::ZERO, 0);
+        let done = completion_time(SimTime::from_millis(100), &ws);
+        assert_eq!(done, SimTime::from_millis(1280) + PAGE_HANDSHAKE);
+    }
+
+    #[test]
+    fn completes_immediately_inside_open_page_window() {
+        let ws = WindowSchedule::new(ScanPattern::alternating(), SimTime::ZERO, 1);
+        // Parity 1: window 0 at t=0 is a page window (11.25 ms long).
+        let t = SimTime::from_millis(5);
+        assert_eq!(completion_time(t, &ws), t + PAGE_HANDSHAKE);
+    }
+
+    #[test]
+    fn unreachable_without_page_windows() {
+        let ws = WindowSchedule::new(ScanPattern::continuous_inquiry(), SimTime::ZERO, 0);
+        assert_eq!(completion_time(SimTime::ZERO, &ws), SimTime::MAX);
+    }
+
+    #[test]
+    fn attempt_expiry() {
+        let a = PageAttempt::new(
+            MasterId::new(0),
+            SlaveId::new(1),
+            SimTime::from_secs(1),
+            SimDuration::from_millis(5120),
+        );
+        assert!(!a.expired(SimTime::from_secs(6)));
+        assert!(a.expired(SimTime::from_millis(6120)));
+    }
+
+    #[test]
+    fn handshake_is_a_few_slots() {
+        assert_eq!(PAGE_HANDSHAKE.as_micros(), 5000);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the baseband building blocks.
+
+use bt_baseband::clock::{NativeClock, TICK};
+use bt_baseband::hop::{basic_hop, scan_frequency, InquiryFreq, Train};
+use bt_baseband::inquiry::InquiryState;
+use bt_baseband::params::{ScanPattern, TrainPolicy};
+use bt_baseband::scan::{ScanAction, ScanKind, ScanMachine, WindowSchedule};
+use bt_baseband::BdAddr;
+use desim::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// The inquiry walker covers exactly its train's 16 frequencies per
+    /// pass, for any repetition policy.
+    #[test]
+    fn inquiry_pass_covers_train(n_inquiry in 1u32..16, passes in 1u32..8) {
+        let mut inq = InquiryState::new(Train::A, TrainPolicy::Alternate { n_inquiry });
+        for _ in 0..passes {
+            let train = inq.train();
+            let mut seen = HashSet::new();
+            for _ in 0..8 {
+                let p = inq.plan();
+                prop_assert!(train.contains(p.first));
+                prop_assert!(train.contains(p.second));
+                seen.insert(p.first.index());
+                seen.insert(p.second.index());
+                inq.advance();
+            }
+            prop_assert_eq!(seen.len(), 16);
+        }
+    }
+
+    /// Scan frequencies stay in range and walk one step per 1.28 s phase.
+    #[test]
+    fn scan_frequency_walks(raw in 0u64..(1 << 48), phase in 0u8..32) {
+        let addr = BdAddr::new(raw);
+        let f0 = scan_frequency(addr, phase);
+        let f1 = scan_frequency(addr, (phase + 1) % 32);
+        prop_assert!(f0.index() < 32);
+        prop_assert_eq!(f0.next(), f1);
+    }
+
+    /// The 79-channel kernel always outputs a legal channel, and the
+    /// output depends on the clock.
+    #[test]
+    fn basic_hop_in_band(raw in 0u64..(1 << 48), clk in 0u64..(1 << 28)) {
+        let addr = BdAddr::new(raw);
+        let ch = basic_hop(addr, clk);
+        prop_assert!(ch.index() < 79);
+    }
+
+    /// The native clock's even-slot finder returns an aligned instant no
+    /// earlier than `now`.
+    #[test]
+    fn next_even_slot_is_aligned(phase in 0u64..(1 << 28), now_us in 0u64..10_000_000) {
+        let clk = NativeClock::with_phase_ticks(phase);
+        let now = SimTime::from_micros(now_us);
+        let t = clk.next_even_slot(now);
+        prop_assert!(t >= now);
+        prop_assert!(t - now < TICK * 4, "more than one slot pair away");
+        prop_assert_eq!(clk.clkn(t) % 4, 0, "not an even-slot boundary");
+    }
+
+    /// A scan machine never draws a backoff outside its configured bound,
+    /// and a respond action is always exactly one slot after the hearing.
+    #[test]
+    fn scan_machine_backoff_bounded(bound in 0u64..2048, seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut m = ScanMachine::new(ScanPattern::continuous_inquiry(), bound);
+        let t0 = SimTime::from_millis(1);
+        m.open_window(t0, ScanKind::Inquiry, SimTime::MAX);
+        match m.hear_id(t0, &mut rng) {
+            ScanAction::StartBackoff(until) => {
+                let slots = (until - t0).div_duration(SimDuration::from_micros(625));
+                prop_assert!(slots >= 1 && slots <= bound.max(1));
+            }
+            other => prop_assert!(false, "unexpected action {:?}", other),
+        }
+        // After the backoff ends, the primed machine responds to the next
+        // hearing exactly one slot later.
+        let mut m2 = ScanMachine::new(ScanPattern::continuous_inquiry(), bound);
+        m2.open_window(t0, ScanKind::Inquiry, SimTime::MAX);
+        let ScanAction::StartBackoff(until) = m2.hear_id(t0, &mut rng) else {
+            unreachable!("first hearing always backs off")
+        };
+        m2.end_backoff(until, SimTime::MAX);
+        let t2 = until + SimDuration::from_micros(100);
+        match m2.hear_id(t2, &mut rng) {
+            ScanAction::Respond { at, backoff_until } => {
+                prop_assert_eq!(at, t2 + SimDuration::from_micros(625));
+                prop_assert!(backoff_until > at);
+            }
+            other => prop_assert!(false, "expected respond, got {:?}", other),
+        }
+    }
+
+    /// Window schedules enumerate consistent windows: `open_window_at`
+    /// agrees with `window_start`/`window_kind`.
+    #[test]
+    fn window_schedule_consistency(origin_ms in 0u64..1280, parity in 0u64..2, n in 0u64..50) {
+        let ws = WindowSchedule::new(
+            ScanPattern::alternating(),
+            SimTime::from_millis(origin_ms),
+            parity,
+        );
+        let start = ws.window_start(n);
+        let mid = start + SimDuration::from_micros(100);
+        let (kind, close) = ws.open_window_at(mid).expect("window open at its own start");
+        prop_assert_eq!(kind, ws.window_kind(n));
+        prop_assert_eq!(close, start + ScanPattern::alternating().window());
+        // Just after close, nothing is open.
+        prop_assert!(ws.open_window_at(close + SimDuration::from_micros(1)).is_none());
+        // The next window of the same kind is two intervals away.
+        let next_same = ws.next_window_of_kind(start + SimDuration::from_micros(1), kind);
+        prop_assert_eq!(next_same, ws.window_start(n + 2));
+    }
+
+    /// Inquiry frequencies partition into trains.
+    #[test]
+    fn freq_train_partition(idx in 0u8..32) {
+        let f = InquiryFreq::new(idx);
+        let t = f.train();
+        prop_assert!(t.contains(f));
+        prop_assert!(!t.other().contains(f));
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion bench over the ablation variants: how expensive each
+//! design-choice configuration is to simulate (the outcome comparison
+//! lives in the `ablations` binary).
+
+use bips_bench::ablations;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("collision_handling_10reps", |b| {
+        b.iter(|| ablations::collision_handling(10, 1))
+    });
+    g.bench_function("backoff_sweep_5reps", |b| {
+        b.iter(|| ablations::backoff_bound(5, 2))
+    });
+    g.bench_function("scan_models_10reps", |b| {
+        b.iter(|| ablations::scan_freq_model(10, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

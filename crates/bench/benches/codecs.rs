@@ -1,0 +1,59 @@
+//! Criterion bench for the wire codecs: what each message costs to
+//! encode/decode on the workstation and server hot paths.
+
+use bips_core::handheld::HandheldMsg;
+use bips_core::protocol::{LocateOutcome, Request, Response};
+use bt_baseband::BdAddr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codecs");
+
+    let presence = Request::Presence {
+        cell: 7,
+        addr: BdAddr::new(0xAB_CDEF),
+        present: true,
+    };
+    let presence_buf = presence.encode();
+    g.bench_function("encode_presence", |b| b.iter(|| black_box(&presence).encode()));
+    g.bench_function("decode_presence", |b| {
+        b.iter(|| Request::decode(black_box(&presence_buf)).unwrap())
+    });
+
+    let batch = Request::PresenceBatch {
+        cell: 7,
+        items: (0..20).map(|i| (BdAddr::new(i), i % 2 == 0)).collect(),
+    };
+    let batch_buf = batch.encode();
+    g.bench_function("encode_presence_batch_20", |b| b.iter(|| black_box(&batch).encode()));
+    g.bench_function("decode_presence_batch_20", |b| {
+        b.iter(|| Request::decode(black_box(&batch_buf)).unwrap())
+    });
+
+    let locate_resp = Response::LocateResult(LocateOutcome::Found {
+        cell: 8,
+        path: (0..9).collect(),
+        distance: 71.5,
+    });
+    let locate_buf = locate_resp.encode();
+    g.bench_function("encode_locate_result", |b| b.iter(|| black_box(&locate_resp).encode()));
+    g.bench_function("decode_locate_result", |b| {
+        b.iter(|| Response::decode(black_box(&locate_buf)).unwrap())
+    });
+
+    let login = HandheldMsg::LoginUp {
+        user: "giuseppe.mainetto".into(),
+        password: "correct horse battery".into(),
+    };
+    let login_buf = login.encode();
+    g.bench_function("encode_handheld_login", |b| b.iter(|| black_box(&login).encode()));
+    g.bench_function("decode_handheld_login", |b| {
+        b.iter(|| HandheldMsg::decode(black_box(&login_buf)).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for the desim engine itself: raw event throughput and
+//! the cost of the calendar under cancellation churn — the numbers that
+//! bound how much virtual time per wall second every experiment gets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use desim::{Context, Engine, SimDuration, SimTime, World};
+
+struct SelfScheduler {
+    remaining: u64,
+}
+
+impl World for SelfScheduler {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDuration::from_micros(625), ());
+        }
+    }
+}
+
+struct Canceller {
+    remaining: u64,
+}
+
+impl World for Canceller {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Context<u32>, _: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            // Schedule two, cancel one: constant lazy-deletion churn.
+            let _keep = ctx.schedule_in(SimDuration::from_micros(625), 0);
+            let drop_ = ctx.schedule_in(SimDuration::from_micros(1250), 1);
+            ctx.cancel(drop_);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("100k_chained_events", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new(SelfScheduler { remaining: 100_000 }, 1);
+                e.schedule(SimTime::ZERO, ());
+                e
+            },
+            |mut e| e.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("50k_events_with_cancellation", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new(Canceller { remaining: 50_000 }, 1);
+                e.schedule(SimTime::ZERO, 0);
+                e
+            },
+            |mut e| e.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

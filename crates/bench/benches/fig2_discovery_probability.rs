@@ -1,0 +1,29 @@
+//! Criterion bench for experiment F2: one replication of the Figure 2
+//! scenario at several slave counts.
+
+use bips_bench::figure2::{scenario, Figure2Config};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2");
+    g.sample_size(20);
+    let cfg = Figure2Config::default();
+    for n in [2usize, 10, 20] {
+        let sc = scenario(n, &cfg);
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::new("replication", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| sc.run(s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the §2 path machinery: Dijkstra vs the
+//! Bellman–Ford reference, offline APSP precomputation, and the O(path)
+//! online lookup the paper's design relies on.
+
+use bips_core::graph::{random_connected_graph, WsGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shortest_paths");
+    for &n in &[10usize, 50, 200] {
+        let graph = random_connected_graph(n, n * 2, 42);
+        g.bench_with_input(BenchmarkId::new("dijkstra", n), &graph, |b, gr| {
+            b.iter(|| gr.dijkstra(0))
+        });
+        g.bench_with_input(BenchmarkId::new("bellman_ford", n), &graph, |b, gr| {
+            b.iter(|| gr.bellman_ford(0))
+        });
+        g.bench_with_input(BenchmarkId::new("apsp_precompute", n), &graph, |b, gr| {
+            b.iter(|| gr.precompute_all_pairs())
+        });
+        let apsp = graph.precompute_all_pairs();
+        g.bench_with_input(
+            BenchmarkId::new("online_path_lookup", n),
+            &apsp,
+            |b, t| b.iter(|| t.path(0, n - 1)),
+        );
+    }
+    // The building actually used by BIPS.
+    let dept = WsGraph::from_building(&bips_mobility::Building::academic_department());
+    g.bench_function("department_apsp", |b| b.iter(|| dept.precompute_all_pairs()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for experiment T1: the cost of one discovery trial and
+//! of the full 500-trial table.
+
+use bips_bench::table1::{run, scenario, Table1Config};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use desim::SimDuration;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    let sc = scenario(SimDuration::from_secs(60));
+    let mut seed = 0u64;
+    g.bench_function("single_trial", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| sc.run(s),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.sample_size(10);
+    g.bench_function("table_100_trials", |b| {
+        b.iter(|| {
+            run(&Table1Config {
+                trials: 100,
+                horizon: SimDuration::from_secs(60),
+                seed: 2003,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

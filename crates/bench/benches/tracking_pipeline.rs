@@ -1,0 +1,32 @@
+//! Criterion bench for the full-system pipeline: simulating one minute of
+//! a two-user deployment (radio + LAN + mobility + server).
+
+use bips_core::system::{BipsSystem, SystemConfig, UserSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use desim::SimTime;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracking_pipeline");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function("two_users_60s", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                BipsSystem::builder(SystemConfig::default())
+                    .user(UserSpec::new("alice", 0))
+                    .user(UserSpec::new("bob", 4))
+                    .into_engine(seed)
+            },
+            |mut engine| {
+                engine.run_until(SimTime::from_secs(60));
+                engine.world().stats()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

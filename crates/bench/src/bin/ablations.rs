@@ -1,0 +1,56 @@
+//! Runs the ablation suite (design-choice sensitivity).
+//!
+//! Usage: `cargo run -p bips-bench --bin ablations --release [replications] [seed]`
+
+use bips_bench::ablations;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: u64 = args
+        .next()
+        .map(|r| r.parse().expect("replications must be an integer"))
+        .unwrap_or(150);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(7);
+    print!(
+        "{}",
+        ablations::render(
+            "A1 — FHS collision handling (20 slaves)",
+            &ablations::collision_handling(reps, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "A2 — response backoff bound (20 slaves)",
+            &ablations::backoff_bound(reps, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "A3 — scan-frequency model (10 slaves)",
+            &ablations::scan_freq_model(reps, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "A4 — slave scan duty (10 slaves)",
+            &ablations::scan_duty(reps, seed)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "A5 — channel errors (10 slaves; paper assumes error-free)",
+            &ablations::channel_errors(reps, seed)
+        )
+    );
+}

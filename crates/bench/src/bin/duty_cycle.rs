@@ -1,0 +1,23 @@
+//! Regenerates the paper's §4.2/§5 sizing numbers (experiment S5).
+//!
+//! Usage: `cargo run -p bips-bench --bin duty_cycle --release [replications] [seed]`
+
+use bips_bench::duty::{render_tradeoff, run_dwell, run_sweep, run_tradeoff, DutySweepConfig, TradeoffConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = DutySweepConfig::default();
+    if let Some(r) = args.next() {
+        cfg.replications = r.parse().expect("replications must be an integer");
+    }
+    if let Some(s) = args.next() {
+        cfg.seed = s.parse().expect("seed must be an integer");
+    }
+    let sweep = run_sweep(&cfg);
+    print!("{}", sweep.render(cfg.slaves));
+    println!();
+    print!("{}", run_dwell(cfg.seed).render());
+    println!();
+    let tradeoff = run_tradeoff(&TradeoffConfig::default());
+    print!("{}", render_tradeoff(&tradeoff));
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Figure 2 (experiment F2).
+//!
+//! Prints a summary table and the full CSV series.
+//!
+//! Usage: `cargo run -p bips-bench --bin figure2 --release [replications] [seed] [svg-path]`
+//!
+//! When an `svg-path` is given, the figure is also written as an SVG plot.
+
+use bips_bench::figure2::{run, Figure2Config};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = Figure2Config::default();
+    if let Some(r) = args.next() {
+        cfg.replications = r.parse().expect("replications must be an integer");
+    }
+    if let Some(s) = args.next() {
+        cfg.seed = s.parse().expect("seed must be an integer");
+    }
+    let svg_path = args.next();
+    let result = run(&cfg);
+    print!("{}", result.render_summary());
+    println!();
+    print!("{}", result.render_csv());
+    if let Some(path) = svg_path {
+        std::fs::write(&path, result.render_svg()).expect("write svg");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's §4.1 table (experiment T1).
+//!
+//! Usage: `cargo run -p bips-bench --bin table1 --release [trials] [seed]`
+
+use bips_bench::table1::{run, Table1Config};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = Table1Config::default();
+    if let Some(t) = args.next() {
+        cfg.trials = t.parse().expect("trials must be an integer");
+    }
+    if let Some(s) = args.next() {
+        cfg.seed = s.parse().expect("seed must be an integer");
+    }
+    let result = run(&cfg);
+    print!("{}", result.render());
+}

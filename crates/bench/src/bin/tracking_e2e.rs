@@ -1,0 +1,22 @@
+//! Runs the full BIPS deployment end to end (experiment E2E).
+//!
+//! Usage: `cargo run -p bips-bench --bin tracking_e2e --release [users] [seconds] [seed]`
+
+use bips_bench::e2e::{run, E2eConfig};
+use desim::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = E2eConfig::default();
+    if let Some(u) = args.next() {
+        cfg.users = u.parse().expect("users must be an integer");
+    }
+    if let Some(d) = args.next() {
+        cfg.duration = SimDuration::from_secs(d.parse().expect("seconds must be an integer"));
+    }
+    if let Some(s) = args.next() {
+        cfg.seed = s.parse().expect("seed must be an integer");
+    }
+    let result = run(&cfg);
+    print!("{}", result.render());
+}

@@ -1,0 +1,403 @@
+//! Experiment F2 — the Figure 2 discovery-probability curves.
+//!
+//! Setup (paper §4.2): one master alternating 1 s of inquiry (train A
+//! only) with 4 s of connection management; N ∈ {2,4,6,8,10,15,20}
+//! slaves continuously in inquiry scan, starting on train A frequencies;
+//! FHS response collisions enabled (the paper's BlueHoc extension);
+//! discovered slaves proceed to enrollment and stop answering. The curve
+//! is `P(discovered ≤ t)` for t ∈ [0, 14] s.
+//!
+//! Paper's headline readings: with ≤10 slaves ≈90 % are discovered in
+//! the first 1 s phase and 100 % by the second cycle; 15–20 slaves are
+//! all discovered within two cycles.
+
+use bt_baseband::hop::Train;
+use bt_baseband::params::{
+    DutyCycle, MediumConfig, ScanFreqModel, ScanPattern, StartFreq, StartTrain, TrainPolicy,
+};
+use bt_baseband::{BdAddr, DiscoveryScenario, MasterConfig, SlaveConfig};
+use desim::stats::EmpiricalCdf;
+use desim::SimDuration;
+
+/// Configuration of the Figure 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure2Config {
+    /// The slave-count series (paper: 2, 4, 6, 8, 10, 15, 20).
+    pub slave_counts: Vec<usize>,
+    /// Replications per slave count.
+    pub replications: u64,
+    /// Measurement horizon (paper plots to 14 s).
+    pub horizon: SimDuration,
+    /// Inquiry phase length (paper: 1 s).
+    pub inquiry: SimDuration,
+    /// Full cycle (paper: 5 s).
+    pub period: SimDuration,
+    /// Grid points on the time axis.
+    pub grid_points: usize,
+    /// Whether FHS collisions destroy responses (paper: yes; disable for
+    /// the vanilla-BlueHoc ablation).
+    pub collisions: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Figure2Config {
+    fn default() -> Self {
+        Figure2Config {
+            slave_counts: vec![2, 4, 6, 8, 10, 15, 20],
+            replications: 300,
+            horizon: SimDuration::from_secs(14),
+            inquiry: SimDuration::from_secs(1),
+            period: SimDuration::from_secs(5),
+            grid_points: 29, // every 0.5 s over [0, 14]
+            collisions: true,
+            seed: 1966,
+        }
+    }
+}
+
+/// One curve of the figure.
+#[derive(Debug, Clone)]
+pub struct Figure2Curve {
+    /// Number of slaves.
+    pub slaves: usize,
+    /// `(t seconds, P(discovered ≤ t))` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Figure2Curve {
+    /// The probability at the grid point closest to `t` seconds.
+    pub fn probability_at(&self, t: f64) -> f64 {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - t)
+                    .abs()
+                    .partial_cmp(&(b.0 - t).abs())
+                    .expect("no NaN")
+            })
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Figure2Result {
+    /// One curve per slave count.
+    pub curves: Vec<Figure2Curve>,
+}
+
+/// The scenario for one slave count (exposed for the Criterion bench and
+/// the ablation suite).
+pub fn scenario(n: usize, cfg: &Figure2Config) -> DiscoveryScenario {
+    let master = MasterConfig::new(BdAddr::new(0xA0_0000))
+        .duty(DutyCycle::periodic(cfg.inquiry, cfg.period))
+        .trains(TrainPolicy::Single)
+        .start_train(StartTrain::Fixed(Train::A));
+    let slaves: Vec<SlaveConfig> = (0..n)
+        .map(|i| {
+            SlaveConfig::new(BdAddr::new(0x10_0000 + i as u64))
+                .scan(ScanPattern::continuous_inquiry())
+                .start_freq(StartFreq::InTrain(Train::A))
+                .halt_when_discovered(true)
+        })
+        .collect();
+    let medium = MediumConfig {
+        fhs_collisions: cfg.collisions,
+        // BlueHoc models every slave on the shared GIAC-derived scan
+        // sequence; collisions among simultaneous responders are the
+        // dominant loss (DESIGN.md §5).
+        scan_freq_model: ScanFreqModel::SharedSequence,
+        ..MediumConfig::default()
+    };
+    DiscoveryScenario::new(master, slaves, cfg.horizon).medium(medium)
+}
+
+/// Runs the full figure.
+pub fn run(cfg: &Figure2Config) -> Figure2Result {
+    let horizon = cfg.horizon.as_secs_f64();
+    let curves = cfg
+        .slave_counts
+        .iter()
+        .map(|&n| {
+            let sc = scenario(n, cfg);
+            let outs = sc.run_replications(cfg.seed ^ (n as u64) << 32, cfg.replications);
+            let mut cdf = EmpiricalCdf::new();
+            for o in &outs {
+                for t in &o.times {
+                    match t {
+                        Some(d) => cdf.push(d.as_secs_f64()),
+                        None => cdf.push_censored(),
+                    }
+                }
+            }
+            Figure2Curve {
+                slaves: n,
+                points: cdf.series(0.0, horizon, cfg.grid_points),
+            }
+        })
+        .collect();
+    Figure2Result { curves }
+}
+
+impl Figure2Result {
+    /// Renders the curves as CSV (one column per slave count), matching
+    /// the figure's axes.
+    pub fn render_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "time_s");
+        for c in &self.curves {
+            let _ = write!(out, ",{}_slaves", c.slaves);
+        }
+        let _ = writeln!(out);
+        if let Some(first) = self.curves.first() {
+            for (i, &(t, _)) in first.points.iter().enumerate() {
+                let _ = write!(out, "{t:.2}");
+                for c in &self.curves {
+                    let _ = write!(out, ",{:.4}", c.points[i].1);
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Renders the paper's headline readings next to ours.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 2 — discovery probability (1 s inquiry / 5 s cycle, train A)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>7} {:>12} {:>12} {:>12}",
+            "slaves", "P(t≤1s)", "P(t≤6s)", "P(t≤14s)"
+        );
+        for c in &self.curves {
+            let _ = writeln!(
+                out,
+                "{:>7} {:>12} {:>12} {:>12}",
+                c.slaves,
+                crate::pct(c.probability_at(1.0)),
+                crate::pct(c.probability_at(6.0)),
+                crate::pct(c.probability_at(14.0)),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "paper: ≤10 slaves ≈90% within the 1 s phase, 100% by cycle 2;"
+        );
+        let _ = writeln!(out, "       15–20 slaves all discovered within 2 cycles.");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> Figure2Config {
+        Figure2Config {
+            slave_counts: vec![2, 10, 20],
+            replications: 40,
+            ..Figure2Config::default()
+        }
+    }
+
+    #[test]
+    fn curves_are_monotone_cdfs() {
+        let r = run(&small_cfg());
+        for c in &r.curves {
+            for w in c.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "non-monotone at {:?}", w);
+            }
+            assert!(c.points.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn shape_matches_paper_readings() {
+        let r = run(&small_cfg());
+        let by_n = |n: usize| r.curves.iter().find(|c| c.slaves == n).unwrap();
+        // Most small-N slaves land in the first phase.
+        assert!(by_n(2).probability_at(1.0) > 0.9);
+        assert!(by_n(10).probability_at(1.0) > 0.8);
+        // 20 slaves lose more to collisions in phase 1 than 10 slaves...
+        assert!(by_n(20).probability_at(1.0) <= by_n(10).probability_at(1.0) + 0.02);
+        // ...but catch up by the second cycle.
+        assert!(by_n(20).probability_at(6.0) > 0.9);
+        // The curve is flat during the service phase (1 s → 5 s).
+        let c20 = by_n(20);
+        let p1 = c20.probability_at(1.5);
+        let p4 = c20.probability_at(4.5);
+        assert!((p4 - p1).abs() < 0.02, "curve moved during service phase");
+    }
+
+    #[test]
+    fn disabling_collisions_lifts_the_first_phase() {
+        let with = run(&small_cfg());
+        let without = run(&Figure2Config {
+            collisions: false,
+            ..small_cfg()
+        });
+        let w = with
+            .curves
+            .iter()
+            .find(|c| c.slaves == 20)
+            .unwrap()
+            .probability_at(1.0);
+        let wo = without
+            .curves
+            .iter()
+            .find(|c| c.slaves == 20)
+            .unwrap()
+            .probability_at(1.0);
+        assert!(
+            wo > w + 0.02,
+            "collision-free should discover more in phase 1: {wo} vs {w}"
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = run(&Figure2Config {
+            slave_counts: vec![2],
+            replications: 5,
+            grid_points: 5,
+            ..Figure2Config::default()
+        });
+        let csv = r.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,2_slaves");
+        assert_eq!(lines.len(), 6);
+    }
+}
+
+impl Figure2Result {
+    /// Renders the curves as a standalone SVG plot (discovery probability
+    /// vs. time), visually comparable with the paper's Figure 2.
+    pub fn render_svg(&self) -> String {
+        use std::fmt::Write as _;
+        const W: f64 = 640.0;
+        const H: f64 = 420.0;
+        const ML: f64 = 60.0; // margins
+        const MR: f64 = 130.0;
+        const MT: f64 = 30.0;
+        const MB: f64 = 50.0;
+        let pw = W - ML - MR;
+        let ph = H - MT - MB;
+        let t_max = self
+            .curves
+            .first()
+            .and_then(|c| c.points.last())
+            .map(|&(t, _)| t)
+            .unwrap_or(14.0);
+        let x = |t: f64| ML + t / t_max * pw;
+        let y = |p: f64| MT + (1.0 - p) * ph;
+        let colors = [
+            "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2",
+        ];
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="18" font-family="sans-serif" font-size="13" text-anchor="middle">Discovery probability vs time (1 s inquiry / 5 s cycle)</text>"#,
+            ML + pw / 2.0
+        );
+        // Axes and grid.
+        for i in 0..=5 {
+            let p = i as f64 / 5.0;
+            let yy = y(p);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{yy:.1}" x2="{:.1}" y2="{yy:.1}" stroke="#ddd"/>"##,
+                ML + pw
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">{p:.1}</text>"#,
+                ML - 6.0,
+                yy + 4.0
+            );
+        }
+        let mut t_tick = 0.0;
+        while t_tick <= t_max + 1e-9 {
+            let xx = x(t_tick);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{xx:.1}" y1="{MT}" x2="{xx:.1}" y2="{:.1}" stroke="#eee"/>"##,
+                MT + ph
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{xx:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{t_tick:.0}</text>"#,
+                MT + ph + 16.0
+            );
+            t_tick += 2.0;
+        }
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle">time (seconds)</text>"#,
+            ML + pw / 2.0,
+            H - 12.0
+        );
+        // Curves.
+        for (i, c) in self.curves.iter().enumerate() {
+            let color = colors[i % colors.len()];
+            let mut d = String::new();
+            for (j, &(t, p)) in c.points.iter().enumerate() {
+                let cmd = if j == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{:.1},{:.1} ", x(t), y(p));
+            }
+            let _ = writeln!(
+                s,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+            );
+            let ly = MT + 14.0 + 18.0 * i as f64;
+            let _ = writeln!(
+                s,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="1.8"/>"#,
+                ML + pw + 10.0,
+                ML + pw + 34.0
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{} slaves</text>"#,
+                ML + pw + 40.0,
+                ly + 4.0,
+                c.slaves
+            );
+        }
+        let _ = writeln!(s, "</svg>");
+        s
+    }
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_all_curves_and_is_well_formed() {
+        let r = run(&Figure2Config {
+            slave_counts: vec![2, 10],
+            replications: 10,
+            grid_points: 8,
+            ..Figure2Config::default()
+        });
+        let svg = r.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("2 slaves"));
+        assert!(svg.contains("10 slaves"));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+}

@@ -1,0 +1,394 @@
+//! The workstation graph and its shortest paths (paper §2).
+//!
+//! *"BIPS defines a weighted undirected connected graph that reflects the
+//! topology of workstations inside the building … BIPS implements the
+//! Dijkstra algorithm … the static nature of BIPS wired network allows us
+//! to compute off-line all the shortest paths that connect all the
+//! possible pairs of two nodes."*
+//!
+//! [`WsGraph`] is that graph; [`WsGraph::dijkstra`] the single-source
+//! solver; [`Apsp`] the offline all-pairs table whose online lookups cost
+//! O(path length) — the property the paper relies on to keep path
+//! queries off the critical path. A Bellman–Ford reference implementation
+//! backs the property tests.
+
+/// A node index in the workstation graph (one per BIPS workstation).
+pub type NodeId = usize;
+
+/// A weighted undirected graph over workstation nodes.
+///
+/// Weights are walking distances in meters (the paper uses positive
+/// integers; any positive finite weight is accepted).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WsGraph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl WsGraph {
+    /// A graph with `n` isolated nodes.
+    pub fn new(n: usize) -> WsGraph {
+        WsGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds the graph from a building floor plan: one node per room,
+    /// one edge per door/corridor, weighted by walking distance.
+    pub fn from_building(b: &bips_mobility::Building) -> WsGraph {
+        let mut g = WsGraph::new(b.num_rooms());
+        for r in b.rooms() {
+            for &(n, d) in b.edges(r) {
+                if r.index() < n.index() {
+                    g.add_edge(r.index(), n.index(), d);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range, `a == b`, or `weight` is not
+    /// positive and finite.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) {
+        assert!(a < self.adj.len(), "node {a} out of range");
+        assert!(b < self.adj.len(), "node {b} out of range");
+        assert!(a != b, "self loops are not allowed");
+        assert!(weight > 0.0 && weight.is_finite(), "bad weight {weight}");
+        self.adj[a].push((b, weight));
+        self.adj[b].push((a, weight));
+    }
+
+    /// The neighbors of `n` with edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn edges(&self, n: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[n]
+    }
+
+    /// Single-source shortest paths (Dijkstra with a binary heap).
+    /// Returns `(dist, prev)`: `dist[v]` is `f64::INFINITY` for
+    /// unreachable nodes, and `prev[v]` reconstructs paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn dijkstra(&self, src: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>) {
+        assert!(src < self.adj.len(), "node {src} out of range");
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(HeapEntry { dist: 0.0, node: src });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue; // stale entry
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some(u);
+                    heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Bellman–Ford reference solver (O(V·E)); used to cross-check
+    /// Dijkstra in tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bellman_ford(&self, src: NodeId) -> Vec<f64> {
+        assert!(src < self.adj.len(), "node {src} out of range");
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[src] = 0.0;
+        for _ in 0..n.saturating_sub(1) {
+            let mut changed = false;
+            for u in 0..n {
+                if dist[u].is_infinite() {
+                    continue;
+                }
+                for &(v, w) in &self.adj[u] {
+                    if dist[u] + w < dist[v] {
+                        dist[v] = dist[u] + w;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
+    /// Computes the offline all-pairs table (n Dijkstra runs — the
+    /// paper's "compute off-line all the shortest paths").
+    pub fn precompute_all_pairs(&self) -> Apsp {
+        let n = self.adj.len();
+        let mut dist = Vec::with_capacity(n);
+        let mut prev = Vec::with_capacity(n);
+        for src in 0..n {
+            let (d, p) = self.dijkstra(src);
+            dist.push(d);
+            prev.push(p);
+        }
+        Apsp { dist, prev }
+    }
+
+    /// True if every node reaches every other (the paper assumes a
+    /// connected graph).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let (dist, _) = self.dijkstra(0);
+        dist.iter().all(|d| d.is_finite())
+    }
+}
+
+/// Max-heap entry ordered by *smallest* distance first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the minimum.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("no NaN distances")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The precomputed all-pairs shortest-path table.
+///
+/// Lookups never touch the graph again: `path(a, b)` walks the `prev`
+/// chain, so the online cost is proportional to the path length — "the
+/// computation of the shortest path has no impact on BIPS online
+/// activities" (§2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Apsp {
+    dist: Vec<Vec<f64>>,
+    prev: Vec<Vec<Option<NodeId>>>,
+}
+
+impl Apsp {
+    /// The shortest distance from `a` to `b` (`None` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let d = self.dist[a][b];
+        d.is_finite().then_some(d)
+    }
+
+    /// The shortest path from `a` to `b` inclusive, with its length.
+    /// `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Option<(Vec<NodeId>, f64)> {
+        let d = self.dist[a][b];
+        if !d.is_finite() {
+            return None;
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = self.prev[a][cur].expect("prev chain reaches source");
+            path.push(cur);
+        }
+        path.reverse();
+        Some((path, d))
+    }
+
+    /// Number of nodes covered by the table.
+    pub fn num_nodes(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+/// Deterministic pseudo-random connected graph for tests and benches:
+/// a spanning chain plus `extra_edges` shortcuts.
+pub fn random_connected_graph(n: usize, extra_edges: usize, seed: u64) -> WsGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = desim::SimRng::seed_from(seed);
+    let mut g = WsGraph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i, rng.uniform(1.0, 30.0));
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && guard < extra_edges * 20 {
+        guard += 1;
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
+        if a == b || g.edges(a).iter().any(|&(v, _)| v == b) {
+            continue;
+        }
+        g.add_edge(a, b, rng.uniform(1.0, 30.0));
+        added += 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's scenario graph: a small department.
+    fn department() -> WsGraph {
+        let b = bips_mobility::Building::academic_department();
+        WsGraph::from_building(&b)
+    }
+
+    #[test]
+    fn triangle_shortest_path() {
+        let mut g = WsGraph::new(3);
+        g.add_edge(0, 1, 7.0);
+        g.add_edge(1, 2, 5.0);
+        g.add_edge(0, 2, 20.0);
+        let (dist, prev) = g.dijkstra(0);
+        assert_eq!(dist, vec![0.0, 7.0, 12.0]);
+        assert_eq!(prev[2], Some(1));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = WsGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let (dist, _) = g.dijkstra(0);
+        assert!(dist[2].is_infinite());
+        assert!(!g.is_connected());
+        let apsp = g.precompute_all_pairs();
+        assert_eq!(apsp.distance(0, 3), None);
+        assert_eq!(apsp.path(0, 3), None);
+    }
+
+    #[test]
+    fn department_graph_is_connected() {
+        let g = department();
+        assert!(g.is_connected());
+        assert_eq!(g.num_nodes(), 9);
+    }
+
+    #[test]
+    fn apsp_matches_per_source_dijkstra() {
+        let g = random_connected_graph(40, 60, 7);
+        let apsp = g.precompute_all_pairs();
+        for src in [0usize, 7, 23, 39] {
+            let (dist, _) = g.dijkstra(src);
+            for (v, &d) in dist.iter().enumerate() {
+                assert_eq!(apsp.distance(src, v), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford() {
+        for seed in 0..8 {
+            let g = random_connected_graph(30, 45, seed);
+            let (d1, _) = g.dijkstra(0);
+            let d2 = g.bellman_ford(0);
+            for (v, (a, b)) in d1.iter().zip(&d2).enumerate() {
+                assert!((a - b).abs() < 1e-9, "seed {seed} node {v}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_walks_with_correct_length() {
+        let g = random_connected_graph(25, 30, 3);
+        let apsp = g.precompute_all_pairs();
+        for a in 0..25 {
+            for b in 0..25 {
+                let (path, total) = apsp.path(a, b).expect("connected");
+                assert_eq!(path[0], a);
+                assert_eq!(*path.last().unwrap(), b);
+                let mut sum = 0.0;
+                for w in path.windows(2) {
+                    let weight = g
+                        .edges(w[0])
+                        .iter()
+                        .find(|&&(v, _)| v == w[1])
+                        .map(|&(_, wt)| wt)
+                        .expect("edge exists along path");
+                    sum += weight;
+                }
+                assert!((sum - total).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let g = department();
+        let apsp = g.precompute_all_pairs();
+        assert_eq!(apsp.path(3, 3), Some((vec![3], 0.0)));
+    }
+
+    #[test]
+    fn symmetric_distances() {
+        let g = random_connected_graph(20, 25, 11);
+        let apsp = g.precompute_all_pairs();
+        for a in 0..20 {
+            for b in 0..20 {
+                // Same path, possibly summed in opposite order: equal up
+                // to floating-point rounding.
+                let ab = apsp.distance(a, b).unwrap();
+                let ba = apsp.distance(b, a).unwrap();
+                assert!((ab - ba).abs() < 1e-9, "{a}->{b}: {ab} vs {ba}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn negative_weight_rejected() {
+        let mut g = WsGraph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_rejected() {
+        let mut g = WsGraph::new(2);
+        g.add_edge(1, 1, 1.0);
+    }
+}

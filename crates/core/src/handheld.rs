@@ -1,0 +1,298 @@
+//! The handheld ↔ workstation application protocol.
+//!
+//! What actually crosses a Bluetooth link in BIPS: the login exchange
+//! (credentials up, verdict down) and the location-query exchange
+//! (target up, answer down). Messages are encoded with the same
+//! [`wire`](crate::wire) primitives as the LAN protocol and ride in DM1
+//! packets — the simulator charges one slot pair per 17 bytes, so message
+//! size is physically meaningful.
+
+use crate::protocol::LocateOutcome;
+use crate::wire::{DecodeError, Reader, Writer};
+
+const TAG_LOGIN_UP: u8 = 1;
+const TAG_LOGIN_DOWN: u8 = 2;
+const TAG_QUERY_UP: u8 = 3;
+const TAG_QUERY_DOWN: u8 = 4;
+const TAG_HISTORY_UP: u8 = 5;
+const TAG_HISTORY_DOWN: u8 = 6;
+
+const OUT_FOUND: u8 = 0;
+const OUT_NOT_LOGGED_IN: u8 = 1;
+const OUT_OUT_OF_COVERAGE: u8 = 2;
+const OUT_NO_SUCH_USER: u8 = 3;
+const OUT_DENIED: u8 = 4;
+const OUT_QUERIER_NOT_LOGGED_IN: u8 = 5;
+
+/// A message on the handheld ↔ workstation link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandheldMsg {
+    /// Handheld → workstation: log me in.
+    LoginUp {
+        /// Claimed user name.
+        user: String,
+        /// Password.
+        password: String,
+    },
+    /// Workstation → handheld: login verdict.
+    LoginDown {
+        /// Whether the server accepted the login.
+        ok: bool,
+    },
+    /// Handheld → workstation: where is `target`?
+    QueryUp {
+        /// Target user name.
+        target: String,
+    },
+    /// Workstation → handheld: the answer to display.
+    QueryDown(LocateOutcome),
+    /// Handheld → workstation: where was `target` between two instants?
+    HistoryUp {
+        /// Target user name.
+        target: String,
+        /// Window start (µs of simulation time).
+        from_us: u64,
+        /// Window end (µs).
+        to_us: u64,
+    },
+    /// Workstation → handheld: the movement trace to display.
+    HistoryDown(crate::protocol::HistoryOutcome),
+}
+
+impl HandheldMsg {
+    /// Encodes the message for the link.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            HandheldMsg::LoginUp { user, password } => {
+                w.u8(TAG_LOGIN_UP).string(user).string(password);
+            }
+            HandheldMsg::LoginDown { ok } => {
+                w.u8(TAG_LOGIN_DOWN).bool(*ok);
+            }
+            HandheldMsg::QueryUp { target } => {
+                w.u8(TAG_QUERY_UP).string(target);
+            }
+            HandheldMsg::HistoryUp {
+                target,
+                from_us,
+                to_us,
+            } => {
+                w.u8(TAG_HISTORY_UP).string(target).u64(*from_us).u64(*to_us);
+            }
+            HandheldMsg::HistoryDown(out) => {
+                use crate::protocol::HistoryOutcome;
+                w.u8(TAG_HISTORY_DOWN);
+                match out {
+                    HistoryOutcome::Trace(steps) => {
+                        w.u8(0).u32(steps.len() as u32);
+                        for st in steps {
+                            w.u32(st.cell).bool(st.present).u64(st.at_us);
+                        }
+                    }
+                    HistoryOutcome::Denied => {
+                        w.u8(1);
+                    }
+                    HistoryOutcome::NoSuchUser => {
+                        w.u8(2);
+                    }
+                    HistoryOutcome::QuerierNotLoggedIn => {
+                        w.u8(3);
+                    }
+                }
+            }
+            HandheldMsg::QueryDown(out) => {
+                w.u8(TAG_QUERY_DOWN);
+                match out {
+                    LocateOutcome::Found {
+                        cell,
+                        path,
+                        distance,
+                    } => {
+                        w.u8(OUT_FOUND).u32(*cell).f64(*distance).u32(path.len() as u32);
+                        for c in path {
+                            w.u32(*c);
+                        }
+                    }
+                    LocateOutcome::NotLoggedIn => {
+                        w.u8(OUT_NOT_LOGGED_IN);
+                    }
+                    LocateOutcome::OutOfCoverage => {
+                        w.u8(OUT_OUT_OF_COVERAGE);
+                    }
+                    LocateOutcome::NoSuchUser => {
+                        w.u8(OUT_NO_SUCH_USER);
+                    }
+                    LocateOutcome::Denied => {
+                        w.u8(OUT_DENIED);
+                    }
+                    LocateOutcome::QuerierNotLoggedIn => {
+                        w.u8(OUT_QUERIER_NOT_LOGGED_IN);
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a link message.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<HandheldMsg, DecodeError> {
+        let mut r = Reader::new(buf);
+        let msg = match r.u8()? {
+            TAG_LOGIN_UP => HandheldMsg::LoginUp {
+                user: r.string()?,
+                password: r.string()?,
+            },
+            TAG_LOGIN_DOWN => HandheldMsg::LoginDown { ok: r.bool()? },
+            TAG_QUERY_UP => HandheldMsg::QueryUp { target: r.string()? },
+            TAG_HISTORY_UP => HandheldMsg::HistoryUp {
+                target: r.string()?,
+                from_us: r.u64()?,
+                to_us: r.u64()?,
+            },
+            TAG_HISTORY_DOWN => {
+                use crate::protocol::{HistoryOutcome, HistoryStep};
+                let out = match r.u8()? {
+                    0 => {
+                        let n = r.u32()? as usize;
+                        if n > crate::wire::MAX_FIELD_LEN / 13 {
+                            return Err(DecodeError::FieldTooLong);
+                        }
+                        let mut steps = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            steps.push(HistoryStep {
+                                cell: r.u32()?,
+                                present: r.bool()?,
+                                at_us: r.u64()?,
+                            });
+                        }
+                        HistoryOutcome::Trace(steps)
+                    }
+                    1 => HistoryOutcome::Denied,
+                    2 => HistoryOutcome::NoSuchUser,
+                    3 => HistoryOutcome::QuerierNotLoggedIn,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                HandheldMsg::HistoryDown(out)
+            }
+            TAG_QUERY_DOWN => {
+                let out = match r.u8()? {
+                    OUT_FOUND => {
+                        let cell = r.u32()?;
+                        let distance = r.f64()?;
+                        let n = r.u32()? as usize;
+                        if n > crate::wire::MAX_FIELD_LEN / 4 {
+                            return Err(DecodeError::FieldTooLong);
+                        }
+                        let mut path = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            path.push(r.u32()?);
+                        }
+                        LocateOutcome::Found {
+                            cell,
+                            path,
+                            distance,
+                        }
+                    }
+                    OUT_NOT_LOGGED_IN => LocateOutcome::NotLoggedIn,
+                    OUT_OUT_OF_COVERAGE => LocateOutcome::OutOfCoverage,
+                    OUT_NO_SUCH_USER => LocateOutcome::NoSuchUser,
+                    OUT_DENIED => LocateOutcome::Denied,
+                    OUT_QUERIER_NOT_LOGGED_IN => LocateOutcome::QuerierNotLoggedIn,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                HandheldMsg::QueryDown(out)
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: HandheldMsg) {
+        let buf = msg.encode();
+        assert_eq!(HandheldMsg::decode(&buf), Ok(msg));
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(HandheldMsg::LoginUp {
+            user: "alice".into(),
+            password: "p√ss".into(),
+        });
+        round_trip(HandheldMsg::LoginDown { ok: true });
+        round_trip(HandheldMsg::LoginDown { ok: false });
+        round_trip(HandheldMsg::QueryUp {
+            target: "bob".into(),
+        });
+        round_trip(HandheldMsg::QueryDown(LocateOutcome::Found {
+            cell: 3,
+            path: vec![0, 1, 3],
+            distance: 44.5,
+        }));
+        for out in [
+            LocateOutcome::NotLoggedIn,
+            LocateOutcome::OutOfCoverage,
+            LocateOutcome::NoSuchUser,
+            LocateOutcome::Denied,
+            LocateOutcome::QuerierNotLoggedIn,
+        ] {
+            round_trip(HandheldMsg::QueryDown(out));
+        }
+    }
+
+    #[test]
+    fn history_messages_round_trip() {
+        use crate::protocol::{HistoryOutcome, HistoryStep};
+        round_trip(HandheldMsg::HistoryUp {
+            target: "bob".into(),
+            from_us: 5,
+            to_us: 99,
+        });
+        round_trip(HandheldMsg::HistoryDown(HistoryOutcome::Trace(vec![
+            HistoryStep {
+                cell: 2,
+                present: true,
+                at_us: 7,
+            },
+        ])));
+        round_trip(HandheldMsg::HistoryDown(HistoryOutcome::Denied));
+    }
+
+    #[test]
+    fn message_sizes_fit_typical_link_budgets() {
+        // Login with realistic names: a handful of DM1 packets.
+        let login = HandheldMsg::LoginUp {
+            user: "giuseppe.mainetto".into(),
+            password: "correct horse".into(),
+        }
+        .encode();
+        assert!(login.len() < 64, "{}", login.len());
+        // A worst-case path across a large building still encodes small.
+        let down = HandheldMsg::QueryDown(LocateOutcome::Found {
+            cell: 199,
+            path: (0..200).collect(),
+            distance: 4000.0,
+        })
+        .encode();
+        assert!(down.len() < 1024);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(HandheldMsg::decode(&[]).is_err());
+        assert!(HandheldMsg::decode(&[99]).is_err());
+        let mut buf = HandheldMsg::LoginDown { ok: true }.encode();
+        buf.push(0);
+        assert_eq!(HandheldMsg::decode(&buf), Err(DecodeError::TrailingBytes));
+    }
+}

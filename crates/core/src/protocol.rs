@@ -1,0 +1,683 @@
+//! The BIPS workstation ↔ server protocol.
+//!
+//! Three interactions cross the LAN (paper §2):
+//!
+//! 1. **Presence updates** — a workstation announces a new presence or a
+//!    new absence in its cell (update-on-change);
+//! 2. **Login** — a workstation relays a handheld's credentials so the
+//!    server can bind `userid ↔ BD_ADDR`;
+//! 3. **Location queries** — *"select the target actual piconet of the
+//!    mobile device BD_ADDR1 where BD_ADDR1 is associated with userid1
+//!    and userid1 is associated with the given user name"*, answered
+//!    with the target cell and the precomputed shortest path.
+//!
+//! All requests are encoded with [`wire`](crate::wire) and carried as
+//! RPC payloads over the reliable transport.
+
+use bt_baseband::BdAddr;
+
+use crate::wire::{DecodeError, Reader, Writer};
+
+/// A request sent by a workstation to the central server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Update-on-change presence report for this workstation's cell.
+    Presence {
+        /// Reporting cell (graph node index).
+        cell: u32,
+        /// The observed device.
+        addr: BdAddr,
+        /// New presence (`true`) or new absence (`false`).
+        present: bool,
+    },
+    /// Relayed login attempt from a handheld in this cell.
+    Login {
+        /// The device logging in.
+        addr: BdAddr,
+        /// Claimed user name.
+        user: String,
+        /// Password.
+        password: String,
+    },
+    /// Relayed logout.
+    Logout {
+        /// The device logging out.
+        addr: BdAddr,
+    },
+    /// Location query issued by the user on device `from`.
+    Locate {
+        /// Querying device (identifies the querying user).
+        from: BdAddr,
+        /// Target user name.
+        target: String,
+        /// Cell of the querying device, for path computation.
+        from_cell: u32,
+    },
+    /// A whole sweep's presence changes in one message (batching
+    /// amortizes LAN/RPC overhead when several devices change at once).
+    PresenceBatch {
+        /// Reporting cell.
+        cell: u32,
+        /// `(device, present)` changes observed this sweep.
+        items: Vec<(BdAddr, bool)>,
+    },
+    /// Idle-sweep keepalive: lets the server detect dead workstations and
+    /// lets workstations observe the server's incarnation even when no
+    /// presence changed (restart detection has bounded delay).
+    Heartbeat {
+        /// Reporting cell.
+        cell: u32,
+    },
+    /// Spatio-temporal history query: where was `target` between two
+    /// instants? (The paper's current-piconet query is the degenerate
+    /// `[now, now]` case; this is the generalization its "spatio-temporal
+    /// query" phrasing suggests.)
+    History {
+        /// Querying device.
+        from: BdAddr,
+        /// Target user name.
+        target: String,
+        /// Window start, microseconds of simulation time.
+        from_us: u64,
+        /// Window end, microseconds of simulation time.
+        to_us: u64,
+    },
+}
+
+/// The server's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Presence recorded (acknowledgment for the reliable-update
+    /// accounting).
+    PresenceAck {
+        /// Whether the update changed server state.
+        changed: bool,
+    },
+    /// Login verdict.
+    LoginResult {
+        /// `Ok` or the failure reason.
+        result: Result<(), LoginFailure>,
+    },
+    /// Logout verdict.
+    LogoutResult {
+        /// Whether a session existed.
+        ok: bool,
+    },
+    /// Query verdict.
+    LocateResult(LocateOutcome),
+    /// History verdict.
+    HistoryResult(HistoryOutcome),
+    /// Batch acknowledgment: how many items changed server state.
+    PresenceBatchAck {
+        /// Number of items that were not redundant.
+        changed: u32,
+    },
+    /// Heartbeat acknowledgment.
+    HeartbeatAck,
+}
+
+/// Why a login was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoginFailure {
+    /// Unknown user name.
+    NoSuchUser,
+    /// Wrong password.
+    BadPassword,
+    /// Device already bound or user logged in elsewhere.
+    SessionConflict,
+}
+
+/// The outcome of a location query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocateOutcome {
+    /// Target found: its current cell and the shortest path from the
+    /// querier's cell (inclusive on both ends), with walking distance in
+    /// meters.
+    Found {
+        /// Target's current cell.
+        cell: u32,
+        /// Cells along the shortest path, querier first.
+        path: Vec<u32>,
+        /// Total walking distance, meters.
+        distance: f64,
+    },
+    /// Target user exists but is not logged in.
+    NotLoggedIn,
+    /// Target is logged in but currently in no cell (out of coverage).
+    OutOfCoverage,
+    /// No user with that name.
+    NoSuchUser,
+    /// The querier lacks the right to locate the target.
+    Denied,
+    /// The querying device is not logged in.
+    QuerierNotLoggedIn,
+}
+
+/// One step of a movement history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryStep {
+    /// The cell reporting the transition.
+    pub cell: u32,
+    /// Presence (`true`) or absence (`false`).
+    pub present: bool,
+    /// Server time of the transition, microseconds.
+    pub at_us: u64,
+}
+
+/// The outcome of a history query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryOutcome {
+    /// The target's presence transitions inside the window, oldest first.
+    Trace(Vec<HistoryStep>),
+    /// The querier lacks the right to trace the target (same policy as
+    /// locating them).
+    Denied,
+    /// No user with that name.
+    NoSuchUser,
+    /// The querying device is not logged in.
+    QuerierNotLoggedIn,
+}
+
+const TAG_PRESENCE: u8 = 1;
+const TAG_LOGIN: u8 = 2;
+const TAG_LOGOUT: u8 = 3;
+const TAG_LOCATE: u8 = 4;
+const TAG_HISTORY: u8 = 5;
+const TAG_PRESENCE_BATCH: u8 = 6;
+const TAG_HEARTBEAT: u8 = 7;
+
+const TAG_PRESENCE_ACK: u8 = 101;
+const TAG_LOGIN_RESULT: u8 = 102;
+const TAG_LOGOUT_RESULT: u8 = 103;
+const TAG_LOCATE_RESULT: u8 = 104;
+const TAG_HISTORY_RESULT: u8 = 105;
+const TAG_PRESENCE_BATCH_ACK: u8 = 106;
+const TAG_HEARTBEAT_ACK: u8 = 107;
+
+const HISTORY_OK: u8 = 0;
+const HISTORY_DENIED: u8 = 1;
+const HISTORY_NO_USER: u8 = 2;
+const HISTORY_NOT_LOGGED_IN: u8 = 3;
+
+const OUTCOME_FOUND: u8 = 0;
+const OUTCOME_NOT_LOGGED_IN: u8 = 1;
+const OUTCOME_OUT_OF_COVERAGE: u8 = 2;
+const OUTCOME_NO_SUCH_USER: u8 = 3;
+const OUTCOME_DENIED: u8 = 4;
+const OUTCOME_QUERIER_NOT_LOGGED_IN: u8 = 5;
+
+const LOGIN_OK: u8 = 0;
+const LOGIN_NO_USER: u8 = 1;
+const LOGIN_BAD_PASSWORD: u8 = 2;
+const LOGIN_CONFLICT: u8 = 3;
+
+impl Request {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Presence {
+                cell,
+                addr,
+                present,
+            } => {
+                w.u8(TAG_PRESENCE).u32(*cell).u64(addr.raw()).bool(*present);
+            }
+            Request::Login {
+                addr,
+                user,
+                password,
+            } => {
+                w.u8(TAG_LOGIN).u64(addr.raw()).string(user).string(password);
+            }
+            Request::Logout { addr } => {
+                w.u8(TAG_LOGOUT).u64(addr.raw());
+            }
+            Request::Locate {
+                from,
+                target,
+                from_cell,
+            } => {
+                w.u8(TAG_LOCATE).u64(from.raw()).string(target).u32(*from_cell);
+            }
+            Request::PresenceBatch { cell, items } => {
+                w.u8(TAG_PRESENCE_BATCH).u32(*cell).u32(items.len() as u32);
+                for (a, p) in items {
+                    w.u64(a.raw()).bool(*p);
+                }
+            }
+            Request::Heartbeat { cell } => {
+                w.u8(TAG_HEARTBEAT).u32(*cell);
+            }
+            Request::History {
+                from,
+                target,
+                from_us,
+                to_us,
+            } => {
+                w.u8(TAG_HISTORY)
+                    .u64(from.raw())
+                    .string(target)
+                    .u64(*from_us)
+                    .u64(*to_us);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = Reader::new(buf);
+        let tag = r.u8()?;
+        let req = match tag {
+            TAG_PRESENCE => Request::Presence {
+                cell: r.u32()?,
+                addr: addr(r.u64()?)?,
+                present: r.bool()?,
+            },
+            TAG_LOGIN => Request::Login {
+                addr: addr(r.u64()?)?,
+                user: r.string()?,
+                password: r.string()?,
+            },
+            TAG_LOGOUT => Request::Logout {
+                addr: addr(r.u64()?)?,
+            },
+            TAG_LOCATE => Request::Locate {
+                from: addr(r.u64()?)?,
+                target: r.string()?,
+                from_cell: r.u32()?,
+            },
+            TAG_PRESENCE_BATCH => {
+                let cell = r.u32()?;
+                let n = r.u32()? as usize;
+                if n > crate::wire::MAX_FIELD_LEN / 9 {
+                    return Err(DecodeError::FieldTooLong);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push((addr(r.u64()?)?, r.bool()?));
+                }
+                Request::PresenceBatch { cell, items }
+            }
+            TAG_HEARTBEAT => Request::Heartbeat { cell: r.u32()? },
+            TAG_HISTORY => Request::History {
+                from: addr(r.u64()?)?,
+                target: r.string()?,
+                from_us: r.u64()?,
+                to_us: r.u64()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+fn addr(raw: u64) -> Result<BdAddr, DecodeError> {
+    BdAddr::try_from(raw).map_err(|_| DecodeError::BadTag(0xFF))
+}
+
+impl Response {
+    /// Encodes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::PresenceAck { changed } => {
+                w.u8(TAG_PRESENCE_ACK).bool(*changed);
+            }
+            Response::LoginResult { result } => {
+                w.u8(TAG_LOGIN_RESULT).u8(match result {
+                    Ok(()) => LOGIN_OK,
+                    Err(LoginFailure::NoSuchUser) => LOGIN_NO_USER,
+                    Err(LoginFailure::BadPassword) => LOGIN_BAD_PASSWORD,
+                    Err(LoginFailure::SessionConflict) => LOGIN_CONFLICT,
+                });
+            }
+            Response::LogoutResult { ok } => {
+                w.u8(TAG_LOGOUT_RESULT).bool(*ok);
+            }
+            Response::LocateResult(out) => {
+                w.u8(TAG_LOCATE_RESULT);
+                match out {
+                    LocateOutcome::Found {
+                        cell,
+                        path,
+                        distance,
+                    } => {
+                        w.u8(OUTCOME_FOUND).u32(*cell).f64(*distance).u32(path.len() as u32);
+                        for c in path {
+                            w.u32(*c);
+                        }
+                    }
+                    LocateOutcome::NotLoggedIn => {
+                        w.u8(OUTCOME_NOT_LOGGED_IN);
+                    }
+                    LocateOutcome::OutOfCoverage => {
+                        w.u8(OUTCOME_OUT_OF_COVERAGE);
+                    }
+                    LocateOutcome::NoSuchUser => {
+                        w.u8(OUTCOME_NO_SUCH_USER);
+                    }
+                    LocateOutcome::Denied => {
+                        w.u8(OUTCOME_DENIED);
+                    }
+                    LocateOutcome::QuerierNotLoggedIn => {
+                        w.u8(OUTCOME_QUERIER_NOT_LOGGED_IN);
+                    }
+                }
+            }
+            Response::PresenceBatchAck { changed } => {
+                w.u8(TAG_PRESENCE_BATCH_ACK).u32(*changed);
+            }
+            Response::HeartbeatAck => {
+                w.u8(TAG_HEARTBEAT_ACK);
+            }
+            Response::HistoryResult(out) => {
+                w.u8(TAG_HISTORY_RESULT);
+                match out {
+                    HistoryOutcome::Trace(steps) => {
+                        w.u8(HISTORY_OK).u32(steps.len() as u32);
+                        for st in steps {
+                            w.u32(st.cell).bool(st.present).u64(st.at_us);
+                        }
+                    }
+                    HistoryOutcome::Denied => {
+                        w.u8(HISTORY_DENIED);
+                    }
+                    HistoryOutcome::NoSuchUser => {
+                        w.u8(HISTORY_NO_USER);
+                    }
+                    HistoryOutcome::QuerierNotLoggedIn => {
+                        w.u8(HISTORY_NOT_LOGGED_IN);
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = Reader::new(buf);
+        let tag = r.u8()?;
+        let resp = match tag {
+            TAG_PRESENCE_ACK => Response::PresenceAck { changed: r.bool()? },
+            TAG_LOGIN_RESULT => {
+                let code = r.u8()?;
+                Response::LoginResult {
+                    result: match code {
+                        LOGIN_OK => Ok(()),
+                        LOGIN_NO_USER => Err(LoginFailure::NoSuchUser),
+                        LOGIN_BAD_PASSWORD => Err(LoginFailure::BadPassword),
+                        LOGIN_CONFLICT => Err(LoginFailure::SessionConflict),
+                        t => return Err(DecodeError::BadTag(t)),
+                    },
+                }
+            }
+            TAG_LOGOUT_RESULT => Response::LogoutResult { ok: r.bool()? },
+            TAG_LOCATE_RESULT => {
+                let code = r.u8()?;
+                let out = match code {
+                    OUTCOME_FOUND => {
+                        let cell = r.u32()?;
+                        let distance = r.f64()?;
+                        let n = r.u32()? as usize;
+                        if n > crate::wire::MAX_FIELD_LEN / 4 {
+                            return Err(DecodeError::FieldTooLong);
+                        }
+                        let mut path = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            path.push(r.u32()?);
+                        }
+                        LocateOutcome::Found {
+                            cell,
+                            path,
+                            distance,
+                        }
+                    }
+                    OUTCOME_NOT_LOGGED_IN => LocateOutcome::NotLoggedIn,
+                    OUTCOME_OUT_OF_COVERAGE => LocateOutcome::OutOfCoverage,
+                    OUTCOME_NO_SUCH_USER => LocateOutcome::NoSuchUser,
+                    OUTCOME_DENIED => LocateOutcome::Denied,
+                    OUTCOME_QUERIER_NOT_LOGGED_IN => LocateOutcome::QuerierNotLoggedIn,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                Response::LocateResult(out)
+            }
+            TAG_PRESENCE_BATCH_ACK => Response::PresenceBatchAck { changed: r.u32()? },
+            TAG_HEARTBEAT_ACK => Response::HeartbeatAck,
+            TAG_HISTORY_RESULT => {
+                let code = r.u8()?;
+                let out = match code {
+                    HISTORY_OK => {
+                        let n = r.u32()? as usize;
+                        if n > crate::wire::MAX_FIELD_LEN / 13 {
+                            return Err(DecodeError::FieldTooLong);
+                        }
+                        let mut steps = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            steps.push(HistoryStep {
+                                cell: r.u32()?,
+                                present: r.bool()?,
+                                at_us: r.u64()?,
+                            });
+                        }
+                        HistoryOutcome::Trace(steps)
+                    }
+                    HISTORY_DENIED => HistoryOutcome::Denied,
+                    HISTORY_NO_USER => HistoryOutcome::NoSuchUser,
+                    HISTORY_NOT_LOGGED_IN => HistoryOutcome::QuerierNotLoggedIn,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                Response::HistoryResult(out)
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let buf = req.encode();
+        assert_eq!(Request::decode(&buf), Ok(req));
+    }
+
+    fn round_trip_resp(resp: Response) {
+        let buf = resp.encode();
+        assert_eq!(Response::decode(&buf), Ok(resp));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Presence {
+            cell: 3,
+            addr: BdAddr::new(0xAB_CDEF),
+            present: true,
+        });
+        round_trip_req(Request::Login {
+            addr: BdAddr::new(1),
+            user: "alice".into(),
+            password: "päss✓".into(),
+        });
+        round_trip_req(Request::Logout {
+            addr: BdAddr::new(2),
+        });
+        round_trip_req(Request::Locate {
+            from: BdAddr::new(3),
+            target: "bob".into(),
+            from_cell: 8,
+        });
+        round_trip_req(Request::History {
+            from: BdAddr::new(3),
+            target: "bob".into(),
+            from_us: 1_000_000,
+            to_us: 90_000_000,
+        });
+        round_trip_req(Request::PresenceBatch {
+            cell: 4,
+            items: vec![(BdAddr::new(1), true), (BdAddr::new(2), false)],
+        });
+        round_trip_resp(Response::PresenceBatchAck { changed: 2 });
+        round_trip_req(Request::Heartbeat { cell: 3 });
+        round_trip_resp(Response::HeartbeatAck);
+    }
+
+    #[test]
+    fn history_responses_round_trip() {
+        round_trip_resp(Response::HistoryResult(HistoryOutcome::Trace(vec![
+            HistoryStep {
+                cell: 1,
+                present: true,
+                at_us: 5,
+            },
+            HistoryStep {
+                cell: 1,
+                present: false,
+                at_us: 9,
+            },
+        ])));
+        for out in [
+            HistoryOutcome::Denied,
+            HistoryOutcome::NoSuchUser,
+            HistoryOutcome::QuerierNotLoggedIn,
+        ] {
+            round_trip_resp(Response::HistoryResult(out));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::PresenceAck { changed: false });
+        round_trip_resp(Response::LoginResult { result: Ok(()) });
+        round_trip_resp(Response::LoginResult {
+            result: Err(LoginFailure::BadPassword),
+        });
+        round_trip_resp(Response::LogoutResult { ok: true });
+        round_trip_resp(Response::LocateResult(LocateOutcome::Found {
+            cell: 4,
+            path: vec![1, 2, 4],
+            distance: 36.5,
+        }));
+        for out in [
+            LocateOutcome::NotLoggedIn,
+            LocateOutcome::OutOfCoverage,
+            LocateOutcome::NoSuchUser,
+            LocateOutcome::Denied,
+            LocateOutcome::QuerierNotLoggedIn,
+        ] {
+            round_trip_resp(Response::LocateResult(out));
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert_eq!(Request::decode(&[0x7F]), Err(DecodeError::BadTag(0x7F)));
+        assert_eq!(Response::decode(&[0x00]), Err(DecodeError::BadTag(0x00)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = Request::Logout {
+            addr: BdAddr::new(1),
+        }
+        .encode();
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let buf = Request::Login {
+            addr: BdAddr::new(1),
+            user: "alice".into(),
+            password: "pw".into(),
+        }
+        .encode();
+        for cut in 0..buf.len() {
+            assert!(Request::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod golden_bytes {
+    use super::*;
+
+    /// The on-wire encodings are a protocol: changing them breaks mixed
+    /// deployments. These tests pin the exact bytes.
+    #[test]
+    fn request_encodings_are_stable() {
+        assert_eq!(
+            Request::Presence {
+                cell: 1,
+                addr: BdAddr::new(0x0203),
+                present: true,
+            }
+            .encode(),
+            vec![1, 1, 0, 0, 0, 3, 2, 0, 0, 0, 0, 0, 0, 1]
+        );
+        assert_eq!(
+            Request::Logout {
+                addr: BdAddr::new(0xFF),
+            }
+            .encode(),
+            vec![3, 255, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            Request::Login {
+                addr: BdAddr::new(1),
+                user: "a".into(),
+                password: "b".into(),
+            }
+            .encode(),
+            vec![2, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, b'a', 1, 0, 0, 0, b'b']
+        );
+        assert_eq!(
+            Request::Heartbeat { cell: 0x0102 }.encode(),
+            vec![7, 2, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn response_encodings_are_stable() {
+        assert_eq!(
+            Response::PresenceAck { changed: false }.encode(),
+            vec![101, 0]
+        );
+        assert_eq!(Response::HeartbeatAck.encode(), vec![107]);
+        assert_eq!(
+            Response::LoginResult { result: Ok(()) }.encode(),
+            vec![102, 0]
+        );
+        assert_eq!(
+            Response::LocateResult(LocateOutcome::Denied).encode(),
+            vec![104, 4]
+        );
+        // Found: tag, code, cell u32, distance f64, len u32, path u32s.
+        let found = Response::LocateResult(LocateOutcome::Found {
+            cell: 2,
+            path: vec![0, 2],
+            distance: 1.0,
+        })
+        .encode();
+        assert_eq!(found[0..2], [104, 0]);
+        assert_eq!(found[2..6], [2, 0, 0, 0]);
+        assert_eq!(found[6..14], 1.0f64.to_bits().to_le_bytes());
+        assert_eq!(found[14..18], [2, 0, 0, 0]);
+        assert_eq!(found[18..], [0, 0, 0, 0, 2, 0, 0, 0]);
+    }
+}

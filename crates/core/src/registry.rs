@@ -1,0 +1,426 @@
+//! User registration, passwords, access rights, login sessions (§2).
+//!
+//! *"An off-line procedure has been implemented for registering new BIPS
+//! users. The procedure associates the name of a user with a user
+//! identifier (userid). In this phase, a password and a set of access
+//! rights are defined for enforcing security and privacy issues. …
+//! logging in … defines a one-to-one correspondence between a userid and
+//! the Bluetooth device address (BD_ADDR)."*
+//!
+//! Passwords are stored as salted, iterated FNV-1a digests. **This is a
+//! documented stand-in**, not a cryptographic KDF — the paper does not
+//! specify a scheme, and the simulation only needs the workflow
+//! (register → login → bind userid ↔ BD_ADDR) to be faithful.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bt_baseband::BdAddr;
+
+/// A registered user's identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(u64);
+
+impl UserId {
+    /// The raw value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Who may locate a user, and whether the user may query others.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessRights {
+    /// May this user issue location queries?
+    pub may_query: bool,
+    /// Who may locate this user.
+    pub visibility: Visibility,
+}
+
+impl AccessRights {
+    /// The common case: may query, locatable by everyone.
+    pub fn open() -> AccessRights {
+        AccessRights {
+            may_query: true,
+            visibility: Visibility::Everyone,
+        }
+    }
+
+    /// May query others but cannot be located (e.g. a director).
+    pub fn invisible() -> AccessRights {
+        AccessRights {
+            may_query: true,
+            visibility: Visibility::Nobody,
+        }
+    }
+}
+
+/// Visibility policy of a user.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Visibility {
+    /// Any logged-in user with query rights may locate them.
+    #[default]
+    Everyone,
+    /// No one may locate them.
+    Nobody,
+    /// Only the listed users may locate them.
+    Only(Vec<UserId>),
+}
+
+impl Visibility {
+    /// Whether `querier` may locate a user with this policy.
+    pub fn allows(&self, querier: UserId) -> bool {
+        match self {
+            Visibility::Everyone => true,
+            Visibility::Nobody => false,
+            Visibility::Only(list) => list.contains(&querier),
+        }
+    }
+}
+
+/// Errors from registration and login.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The user name is already registered.
+    DuplicateName,
+    /// Unknown user name.
+    NoSuchUser,
+    /// Wrong password.
+    BadPassword,
+    /// The device address is already bound to a logged-in user.
+    AddressInUse,
+    /// The user is already logged in from another device.
+    AlreadyLoggedIn,
+    /// The user is not logged in.
+    NotLoggedIn,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            RegistryError::DuplicateName => "user name already registered",
+            RegistryError::NoSuchUser => "no such user",
+            RegistryError::BadPassword => "wrong password",
+            RegistryError::AddressInUse => "device address already bound",
+            RegistryError::AlreadyLoggedIn => "user already logged in",
+            RegistryError::NotLoggedIn => "user not logged in",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[derive(Debug, Clone)]
+struct UserRecord {
+    id: UserId,
+    name: String,
+    salt: u64,
+    digest: u64,
+    rights: AccessRights,
+}
+
+/// FNV-1a 64 over the salted password, iterated — a placeholder KDF
+/// shape (salt + iteration), explicitly *not* cryptographic.
+fn digest(salt: u64, password: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET ^ salt;
+    for _round in 0..16 {
+        for b in password.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= salt.rotate_left(17);
+    }
+    h
+}
+
+/// The user registry plus live login sessions.
+///
+/// # Example
+///
+/// ```
+/// use bips_core::registry::{AccessRights, Registry};
+/// use bt_baseband::BdAddr;
+///
+/// let mut reg = Registry::new();
+/// let alice = reg.register("alice", "s3cret", AccessRights::open()).unwrap();
+/// let dev = BdAddr::new(0x1111);
+/// reg.login("alice", "s3cret", dev).unwrap();
+/// assert_eq!(reg.user_of_addr(dev), Some(alice));
+/// assert_eq!(reg.addr_of_user(alice), Some(dev));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    users: Vec<UserRecord>,
+    by_name: HashMap<String, usize>,
+    /// Live sessions: userid ↔ BD_ADDR is one-to-one while logged in.
+    addr_to_user: HashMap<BdAddr, UserId>,
+    user_to_addr: HashMap<UserId, BdAddr>,
+    salt_state: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            salt_state: 0x9E37_79B9_7F4A_7C15,
+            ..Registry::default()
+        }
+    }
+
+    /// Registers a user (the paper's off-line procedure).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateName`] if the name is taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        password: &str,
+        rights: AccessRights,
+    ) -> Result<UserId, RegistryError> {
+        if self.by_name.contains_key(name) {
+            return Err(RegistryError::DuplicateName);
+        }
+        // Deterministic salt stream (the simulation must be reproducible).
+        self.salt_state = self
+            .salt_state
+            .rotate_left(13)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(1);
+        let salt = self.salt_state;
+        let id = UserId(self.users.len() as u64);
+        self.by_name.insert(name.to_string(), self.users.len());
+        self.users.push(UserRecord {
+            id,
+            name: name.to_string(),
+            salt,
+            digest: digest(salt, password),
+            rights,
+        });
+        Ok(id)
+    }
+
+    /// Number of registered users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Resolves a user name.
+    pub fn id_of(&self, name: &str) -> Option<UserId> {
+        self.by_name.get(name).map(|&i| self.users[i].id)
+    }
+
+    /// A user's display name.
+    pub fn name_of(&self, id: UserId) -> Option<&str> {
+        self.users.get(id.0 as usize).map(|u| u.name.as_str())
+    }
+
+    /// A user's access rights.
+    pub fn rights_of(&self, id: UserId) -> Option<&AccessRights> {
+        self.users.get(id.0 as usize).map(|u| &u.rights)
+    }
+
+    /// Logs `name` in from device `addr`, establishing the one-to-one
+    /// userid ↔ BD_ADDR correspondence.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown user, wrong password, an address already bound,
+    /// or a user already logged in elsewhere.
+    pub fn login(&mut self, name: &str, password: &str, addr: BdAddr) -> Result<UserId, RegistryError> {
+        let &idx = self.by_name.get(name).ok_or(RegistryError::NoSuchUser)?;
+        let rec = &self.users[idx];
+        if digest(rec.salt, password) != rec.digest {
+            return Err(RegistryError::BadPassword);
+        }
+        if self.addr_to_user.contains_key(&addr) {
+            return Err(RegistryError::AddressInUse);
+        }
+        if self.user_to_addr.contains_key(&rec.id) {
+            return Err(RegistryError::AlreadyLoggedIn);
+        }
+        self.addr_to_user.insert(addr, rec.id);
+        self.user_to_addr.insert(rec.id, addr);
+        Ok(rec.id)
+    }
+
+    /// Ends a user's session.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotLoggedIn`] if no session exists.
+    pub fn logout(&mut self, id: UserId) -> Result<(), RegistryError> {
+        match self.user_to_addr.remove(&id) {
+            Some(addr) => {
+                self.addr_to_user.remove(&addr);
+                Ok(())
+            }
+            None => Err(RegistryError::NotLoggedIn),
+        }
+    }
+
+    /// The user logged in from `addr`, if any.
+    pub fn user_of_addr(&self, addr: BdAddr) -> Option<UserId> {
+        self.addr_to_user.get(&addr).copied()
+    }
+
+    /// The device a user is logged in from, if any.
+    pub fn addr_of_user(&self, id: UserId) -> Option<BdAddr> {
+        self.user_to_addr.get(&id).copied()
+    }
+
+    /// Ends every live session (server crash recovery: registrations are
+    /// durable, sessions are not).
+    pub fn logout_all(&mut self) {
+        self.addr_to_user.clear();
+        self.user_to_addr.clear();
+    }
+
+    /// Whether `querier` may locate `target` (both by id): querier must
+    /// hold query rights and the target's visibility must allow it.
+    pub fn may_locate(&self, querier: UserId, target: UserId) -> bool {
+        let Some(q) = self.rights_of(querier) else {
+            return false;
+        };
+        let Some(t) = self.rights_of(target) else {
+            return false;
+        };
+        q.may_query && t.visibility.allows(querier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(names: &[&str]) -> Registry {
+        let mut r = Registry::new();
+        for n in names {
+            r.register(n, "pw", AccessRights::open()).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn register_login_bind_round_trip() {
+        let mut r = reg_with(&["alice"]);
+        let a = r.id_of("alice").unwrap();
+        let dev = BdAddr::new(7);
+        assert_eq!(r.login("alice", "pw", dev), Ok(a));
+        assert_eq!(r.user_of_addr(dev), Some(a));
+        assert_eq!(r.addr_of_user(a), Some(dev));
+        r.logout(a).unwrap();
+        assert_eq!(r.user_of_addr(dev), None);
+        assert_eq!(r.logout(a), Err(RegistryError::NotLoggedIn));
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let mut r = reg_with(&["alice"]);
+        assert_eq!(
+            r.login("alice", "nope", BdAddr::new(1)),
+            Err(RegistryError::BadPassword)
+        );
+        assert_eq!(
+            r.login("bob", "pw", BdAddr::new(1)),
+            Err(RegistryError::NoSuchUser)
+        );
+    }
+
+    #[test]
+    fn bindings_are_one_to_one() {
+        let mut r = reg_with(&["alice", "bob"]);
+        let dev = BdAddr::new(42);
+        r.login("alice", "pw", dev).unwrap();
+        // Same device, different user.
+        assert_eq!(r.login("bob", "pw", dev), Err(RegistryError::AddressInUse));
+        // Same user, different device.
+        assert_eq!(
+            r.login("alice", "pw", BdAddr::new(43)),
+            Err(RegistryError::AlreadyLoggedIn)
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut r = reg_with(&["alice"]);
+        assert_eq!(
+            r.register("alice", "x", AccessRights::open()),
+            Err(RegistryError::DuplicateName)
+        );
+    }
+
+    #[test]
+    fn digests_differ_by_salt_and_password() {
+        let mut r = Registry::new();
+        let _ = r.register("a", "same", AccessRights::open()).unwrap();
+        let _ = r.register("b", "same", AccessRights::open()).unwrap();
+        assert_ne!(r.users[0].digest, r.users[1].digest, "salts must differ");
+        assert_ne!(digest(1, "x"), digest(1, "y"));
+    }
+
+    #[test]
+    fn visibility_policies() {
+        let mut r = Registry::new();
+        let alice = r.register("alice", "pw", AccessRights::open()).unwrap();
+        let boss = r.register("boss", "pw", AccessRights::invisible()).unwrap();
+        let friend = r
+            .register(
+                "friend",
+                "pw",
+                AccessRights {
+                    may_query: true,
+                    visibility: Visibility::Only(vec![alice]),
+                },
+            )
+            .unwrap();
+        let lurker = r
+            .register(
+                "lurker",
+                "pw",
+                AccessRights {
+                    may_query: false,
+                    visibility: Visibility::Everyone,
+                },
+            )
+            .unwrap();
+        assert!(r.may_locate(alice, friend), "allow-listed");
+        assert!(!r.may_locate(boss, friend), "not on the list");
+        assert!(!r.may_locate(alice, boss), "invisible target");
+        assert!(!r.may_locate(lurker, alice), "no query rights");
+        assert!(r.may_locate(boss, alice), "invisible may still query");
+    }
+
+    #[test]
+    fn logout_all_clears_sessions_but_keeps_users() {
+        let mut r = reg_with(&["alice", "bob"]);
+        r.login("alice", "pw", BdAddr::new(1)).unwrap();
+        r.login("bob", "pw", BdAddr::new(2)).unwrap();
+        r.logout_all();
+        assert_eq!(r.user_of_addr(BdAddr::new(1)), None);
+        assert_eq!(r.addr_of_user(r.id_of("bob").unwrap()), None);
+        // Users remain registered and can log back in.
+        assert!(r.login("alice", "pw", BdAddr::new(1)).is_ok());
+    }
+
+    #[test]
+    fn ids_and_names_round_trip() {
+        let r = reg_with(&["x", "y", "z"]);
+        for n in ["x", "y", "z"] {
+            let id = r.id_of(n).unwrap();
+            assert_eq!(r.name_of(id), Some(n));
+        }
+        assert_eq!(r.id_of("nope"), None);
+        assert_eq!(r.name_of(UserId(99)), None);
+        assert_eq!(r.num_users(), 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Binary wire primitives for the BIPS protocol.
+//!
+//! Little-endian integers, length-prefixed strings and byte blobs — a
+//! small, explicit codec so protocol messages cross the simulated LAN as
+//! real bytes (the same layering a deployment over UDP/TCP would use).
+//! Decoding is strict: trailing garbage, truncated fields and oversized
+//! lengths are errors, never panics.
+
+use std::fmt;
+
+/// Maximum accepted length for strings and blobs (defense against
+/// corrupted length prefixes).
+pub const MAX_FIELD_LEN: usize = 1 << 20;
+
+/// A decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the field completed.
+    Truncated,
+    /// A length prefix exceeded [`MAX_FIELD_LEN`].
+    FieldTooLong,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum tag byte had no meaning.
+    BadTag(u8),
+    /// Bytes remained after the complete message.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated message"),
+            DecodeError::FieldTooLong => write!(f, "field length exceeds limit"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only encoder.
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Appends an `f64` in IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds [`MAX_FIELD_LEN`].
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        assert!(v.len() <= MAX_FIELD_LEN, "string too long");
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+        self
+    }
+
+    /// Appends a `u32`-length-prefixed byte blob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob exceeds [`MAX_FIELD_LEN`].
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        assert!(v.len() <= MAX_FIELD_LEN, "blob too long");
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A cursor-based decoder.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a bool byte (any nonzero is `true`).
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(DecodeError::FieldTooLong);
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(DecodeError::FieldTooLong);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Asserts the message is fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX)
+            .bool(true)
+            .f64(15.4)
+            .string("bips")
+            .bytes(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), 15.4);
+        assert_eq!(r.string().unwrap(), "bips");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let mut w = Writer::new();
+        w.u64(1).string("hello");
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let res = r.u64().and_then(|_| r.string());
+            assert!(res.is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut w = Writer::new();
+        w.u32((MAX_FIELD_LEN + 1) as u32);
+        let buf = w.into_bytes();
+        assert_eq!(Reader::new(&buf).string(), Err(DecodeError::FieldTooLong));
+        assert_eq!(Reader::new(&buf).bytes(), Err(DecodeError::FieldTooLong));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let buf = w.into_bytes();
+        assert_eq!(Reader::new(&buf).string(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(DecodeError::Truncated.to_string(), "truncated message");
+        assert_eq!(DecodeError::BadTag(0xAB).to_string(), "unknown tag byte 0xab");
+    }
+}

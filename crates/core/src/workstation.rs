@@ -1,0 +1,315 @@
+//! Per-cell tracking logic: sightings → presence → update-on-change.
+//!
+//! *"Every workstation has the task of computing the presence of those
+//! mobile devices inside the piconet. These presences are revealed at
+//! fixed intervals of time. In order to reduce the computational and
+//! communication load of the system, a workstation updates the central
+//! location database only when it reveals a new presence or a new
+//! absence."* (§2)
+//!
+//! [`WorkstationTracker`] is the pure half of a workstation: it ingests
+//! radio *sightings* (FHS receptions, link establishment) and, on each
+//! fixed-interval sweep, decides which devices are newly present or newly
+//! absent. The full-system simulation schedules the sweeps and ships the
+//! returned diffs to the server; the [`naive_announcements`] helper
+//! computes what a non-diffing workstation would have sent, for the
+//! update-on-change accounting in experiment E2E.
+
+use std::collections::HashMap;
+
+use bt_baseband::BdAddr;
+use desim::{SimDuration, SimTime};
+
+/// A presence change detected by a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresenceChange {
+    /// The device.
+    pub addr: BdAddr,
+    /// New presence (`true`) or new absence (`false`).
+    pub present: bool,
+}
+
+/// Tracker counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackerStats {
+    /// Radio sightings ingested.
+    pub sightings: u64,
+    /// Presence transitions emitted (the update-on-change traffic).
+    pub changes_emitted: u64,
+    /// Announcements a naive periodic reporter would have sent.
+    pub naive_announcements: u64,
+}
+
+/// The pure tracking state of one workstation.
+///
+/// # Example
+///
+/// ```
+/// use bips_core::workstation::WorkstationTracker;
+/// use bt_baseband::BdAddr;
+/// use desim::{SimDuration, SimTime};
+///
+/// let mut ws = WorkstationTracker::new(SimDuration::from_secs(10));
+/// let dev = BdAddr::new(0xD);
+/// ws.sighting(dev, SimTime::from_secs(1));
+/// let changes = ws.sweep(SimTime::from_secs(2));
+/// assert_eq!(changes.len(), 1);
+/// assert!(changes[0].present);
+/// // No further sightings: after the absence timeout the device drops.
+/// let changes = ws.sweep(SimTime::from_secs(13));
+/// assert!(!changes[0].present);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkstationTracker {
+    /// How long a device stays "present" after its last sighting.
+    absence_timeout: SimDuration,
+    last_seen: HashMap<BdAddr, SimTime>,
+    /// Devices currently reported present to the server.
+    reported: HashMap<BdAddr, bool>,
+    stats: TrackerStats,
+}
+
+impl WorkstationTracker {
+    /// A tracker that declares absence after `absence_timeout` without a
+    /// sighting. The paper ties this to the master's operational cycle:
+    /// a device is inquired at least once per cycle, so a timeout of
+    /// 1–2 cycles is the natural setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is zero.
+    pub fn new(absence_timeout: SimDuration) -> WorkstationTracker {
+        assert!(!absence_timeout.is_zero(), "zero absence timeout");
+        WorkstationTracker {
+            absence_timeout,
+            last_seen: HashMap::new(),
+            reported: HashMap::new(),
+            stats: TrackerStats::default(),
+        }
+    }
+
+    /// The configured absence timeout.
+    pub fn absence_timeout(&self) -> SimDuration {
+        self.absence_timeout
+    }
+
+    /// Ingests a radio sighting of `addr` at `at` (an FHS reception or
+    /// any link activity).
+    pub fn sighting(&mut self, addr: BdAddr, at: SimTime) {
+        self.stats.sightings += 1;
+        let e = self.last_seen.entry(addr).or_insert(at);
+        if at > *e {
+            *e = at;
+        }
+    }
+
+    /// Forgets a device immediately (definitive absence, e.g. link lost
+    /// after walking out of range).
+    pub fn definitive_absence(&mut self, addr: BdAddr) {
+        self.last_seen.remove(&addr);
+    }
+
+    /// The fixed-interval presence computation: returns the diff against
+    /// what was last reported (the update-on-change messages), and
+    /// accounts what a naive periodic reporter would have sent (one
+    /// announcement per present device per sweep).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<PresenceChange> {
+        // Drop expired sightings.
+        let timeout = self.absence_timeout;
+        self.last_seen
+            .retain(|_, &mut seen| now.saturating_since(seen) < timeout);
+
+        let mut changes = Vec::new();
+        // New presences.
+        for &addr in self.last_seen.keys() {
+            if !self.reported.get(&addr).copied().unwrap_or(false) {
+                changes.push(PresenceChange {
+                    addr,
+                    present: true,
+                });
+            }
+        }
+        // New absences.
+        for (&addr, &reported) in &self.reported {
+            if reported && !self.last_seen.contains_key(&addr) {
+                changes.push(PresenceChange {
+                    addr,
+                    present: false,
+                });
+            }
+        }
+        changes.sort_by_key(|c| (c.addr, c.present));
+        for c in &changes {
+            self.reported.insert(c.addr, c.present);
+        }
+        self.reported.retain(|_, &mut p| p);
+        self.stats.changes_emitted += changes.len() as u64;
+        self.stats.naive_announcements += self.last_seen.len() as u64;
+        changes
+    }
+
+    /// Forgets what has been reported to the server (the server lost its
+    /// RAM state): the next sweep re-announces every present device.
+    pub fn reset_reported(&mut self) {
+        self.reported.clear();
+    }
+
+    /// Devices currently considered present (reported or pending report).
+    pub fn present_now(&self) -> Vec<BdAddr> {
+        let mut v: Vec<BdAddr> = self.last_seen.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+}
+
+/// What a naive periodic reporter (no update-on-change) would send over
+/// the LAN for the same observation stream: one message per present
+/// device per sweep. Returned by [`TrackerStats::naive_announcements`];
+/// this helper documents the comparison used by the E2E bench.
+pub fn naive_announcements(stats: &TrackerStats) -> u64 {
+    stats.naive_announcements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn tracker() -> WorkstationTracker {
+        WorkstationTracker::new(SimDuration::from_secs(10))
+    }
+
+    const D1: BdAddr = BdAddr::new(1);
+    const D2: BdAddr = BdAddr::new(2);
+
+    #[test]
+    fn steady_presence_emits_once() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        assert_eq!(ws.sweep(t(1)).len(), 1);
+        // Keep sighting it: no further changes.
+        for s in 2..8 {
+            ws.sighting(D1, t(s));
+            assert!(ws.sweep(t(s)).is_empty(), "sweep {s} emitted");
+        }
+        let st = ws.stats();
+        assert_eq!(st.changes_emitted, 1);
+        assert_eq!(st.naive_announcements, 7, "naive would send every sweep");
+    }
+
+    #[test]
+    fn absence_after_timeout() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        assert_eq!(ws.sweep(t(1)).len(), 1);
+        assert!(ws.sweep(t(9)).is_empty(), "still within timeout");
+        let c = ws.sweep(t(10));
+        assert_eq!(
+            c,
+            vec![PresenceChange {
+                addr: D1,
+                present: false
+            }]
+        );
+        assert!(ws.present_now().is_empty());
+        // No repeated absence reports.
+        assert!(ws.sweep(t(20)).is_empty());
+    }
+
+    #[test]
+    fn re_sighting_refreshes_timeout() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        ws.sweep(t(1));
+        ws.sighting(D1, t(8));
+        assert!(ws.sweep(t(12)).is_empty(), "refreshed at t=8, expires t=18");
+        let c = ws.sweep(t(18));
+        assert_eq!(c.len(), 1);
+        assert!(!c[0].present);
+    }
+
+    #[test]
+    fn multiple_devices_diff_independently() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        ws.sighting(D2, t(0));
+        assert_eq!(ws.sweep(t(1)).len(), 2);
+        // D2 keeps being seen; D1 expires.
+        ws.sighting(D2, t(9));
+        let c = ws.sweep(t(11));
+        assert_eq!(
+            c,
+            vec![PresenceChange {
+                addr: D1,
+                present: false
+            }]
+        );
+        assert_eq!(ws.present_now(), vec![D2]);
+    }
+
+    #[test]
+    fn definitive_absence_is_immediate() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        ws.sweep(t(1));
+        ws.definitive_absence(D1);
+        let c = ws.sweep(t(2));
+        assert_eq!(c.len(), 1);
+        assert!(!c[0].present);
+    }
+
+    #[test]
+    fn out_of_order_sightings_keep_latest() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(5));
+        ws.sighting(D1, t(3)); // late-arriving older sighting
+        ws.sweep(t(6));
+        assert!(ws.sweep(t(14)).is_empty(), "timeout measured from t=5");
+        assert_eq!(ws.sweep(t(15)).len(), 1);
+    }
+
+    #[test]
+    fn present_then_absent_then_present_again() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        assert_eq!(ws.sweep(t(1)).len(), 1);
+        assert_eq!(ws.sweep(t(11)).len(), 1); // absent
+        ws.sighting(D1, t(12));
+        let c = ws.sweep(t(13));
+        assert_eq!(
+            c,
+            vec![PresenceChange {
+                addr: D1,
+                present: true
+            }]
+        );
+        assert_eq!(ws.stats().changes_emitted, 3);
+    }
+
+    #[test]
+    fn reset_reported_triggers_reannouncement() {
+        let mut ws = tracker();
+        ws.sighting(D1, t(0));
+        assert_eq!(ws.sweep(t(1)).len(), 1);
+        assert!(ws.sweep(t(2)).is_empty());
+        ws.reset_reported();
+        ws.sighting(D1, t(3));
+        let c = ws.sweep(t(3));
+        assert_eq!(c.len(), 1, "must re-announce after reset");
+        assert!(c[0].present);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero absence timeout")]
+    fn zero_timeout_rejected() {
+        let _ = WorkstationTracker::new(SimDuration::ZERO);
+    }
+}

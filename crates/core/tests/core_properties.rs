@@ -1,0 +1,124 @@
+//! Property tests for bips-core: registry session invariants, codec
+//! totality, tracker diff correctness.
+
+use bips_core::handheld::HandheldMsg;
+use bips_core::protocol::LocateOutcome;
+use bips_core::registry::{AccessRights, Registry};
+use bips_core::workstation::WorkstationTracker;
+use bt_baseband::BdAddr;
+use desim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Under arbitrary login/logout sequences, the userid ↔ BD_ADDR
+    /// binding stays a bijection between live sessions.
+    #[test]
+    fn registry_bindings_stay_bijective(
+        ops in proptest::collection::vec((0usize..4, 0u64..4, any::<bool>()), 1..80)
+    ) {
+        let mut reg = Registry::new();
+        let names = ["a", "b", "c", "d"];
+        for n in names {
+            reg.register(n, "pw", AccessRights::open()).unwrap();
+        }
+        // Model of who should be logged in where.
+        let mut model: HashMap<usize, u64> = HashMap::new();
+        for (user, dev, login) in ops {
+            let name = names[user];
+            let id = reg.id_of(name).unwrap();
+            let addr = BdAddr::new(dev);
+            if login {
+                let res = reg.login(name, "pw", addr);
+                let addr_taken = model.values().any(|&d| d == dev);
+                let user_live = model.contains_key(&user);
+                if !addr_taken && !user_live {
+                    prop_assert!(res.is_ok());
+                    model.insert(user, dev);
+                } else {
+                    prop_assert!(res.is_err());
+                }
+            } else {
+                let res = reg.logout(id);
+                prop_assert_eq!(res.is_ok(), model.remove(&user).is_some());
+            }
+        }
+        // Check the bijection against the model.
+        for (user, dev) in &model {
+            let id = reg.id_of(names[*user]).unwrap();
+            prop_assert_eq!(reg.addr_of_user(id), Some(BdAddr::new(*dev)));
+            prop_assert_eq!(reg.user_of_addr(BdAddr::new(*dev)), Some(id));
+        }
+        for (user, name) in names.iter().enumerate() {
+            if !model.contains_key(&user) {
+                let id = reg.id_of(name).unwrap();
+                prop_assert_eq!(reg.addr_of_user(id), None);
+            }
+        }
+    }
+
+    /// Handheld link messages round-trip with arbitrary contents and the
+    /// decoder never panics on garbage.
+    #[test]
+    fn handheld_msgs_round_trip(
+        user in "\\PC{0,30}",
+        password in "\\PC{0,30}",
+        target in "\\PC{0,30}",
+        cell in any::<u32>(),
+        path in proptest::collection::vec(any::<u32>(), 0..20),
+        distance in 0.0f64..10_000.0,
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        for msg in [
+            HandheldMsg::LoginUp { user: user.clone(), password: password.clone() },
+            HandheldMsg::LoginDown { ok: true },
+            HandheldMsg::QueryUp { target: target.clone() },
+            HandheldMsg::QueryDown(LocateOutcome::Found { cell, path: path.clone(), distance }),
+            HandheldMsg::QueryDown(LocateOutcome::Denied),
+        ] {
+            let buf = msg.encode();
+            prop_assert_eq!(HandheldMsg::decode(&buf), Ok(msg));
+        }
+        let _ = HandheldMsg::decode(&garbage); // must not panic
+    }
+
+    /// The tracker's reported state equals a straightforward model:
+    /// present iff a sighting within the timeout, with exactly one change
+    /// emitted per transition.
+    #[test]
+    fn tracker_matches_reference_model(
+        events in proptest::collection::vec((0u64..3, 1u64..120), 1..80),
+    ) {
+        let timeout = SimDuration::from_secs(10);
+        let mut ws = WorkstationTracker::new(timeout);
+        let mut last_seen: HashMap<u64, u64> = HashMap::new();
+        let mut reported: HashMap<u64, bool> = HashMap::new();
+        let mut t = 0u64;
+        for (dev, dt) in events {
+            t += dt;
+            let now = SimTime::from_secs(t);
+            ws.sighting(BdAddr::new(dev), now);
+            last_seen.insert(dev, t);
+            let changes = ws.sweep(now);
+            // Model: device present iff seen within (now - 10 s, now].
+            for d in 0u64..3 {
+                let model_present = last_seen
+                    .get(&d)
+                    .map(|&s| t - s < 10)
+                    .unwrap_or(false);
+                let was = reported.get(&d).copied().unwrap_or(false);
+                let change = changes.iter().find(|c| c.addr == BdAddr::new(d));
+                match (was, model_present) {
+                    (false, true) => {
+                        prop_assert!(change.is_some_and(|c| c.present), "missing presence for {} at {}", d, t);
+                    }
+                    (true, false) => {
+                        prop_assert!(change.is_some_and(|c| !c.present), "missing absence for {} at {}", d, t);
+                    }
+                    _ => prop_assert!(change.is_none(), "spurious change for {} at {}: {:?}", d, t, change),
+                }
+                reported.insert(d, model_present);
+            }
+        }
+    }
+}

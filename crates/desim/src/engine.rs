@@ -1,0 +1,487 @@
+//! The event calendar and execution loop.
+//!
+//! An [`Engine`] owns a user-supplied [`World`] (the model state) and a
+//! time-ordered calendar of the world's events. Execution repeatedly pops
+//! the earliest event and hands it to [`World::handle`] together with a
+//! [`Context`] through which the handler reads the clock, schedules or
+//! cancels future events, and draws randomness.
+//!
+//! Determinism: events at equal times run in the order they were scheduled
+//! (FIFO tie-break by a monotone sequence number), and all randomness comes
+//! from the engine's seeded RNG, so a simulation is a pure function of the
+//! initial world, the seed, and the initial events.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A handle to a scheduled event, usable to [cancel](Context::cancel) it.
+///
+/// Ids are unique within one engine for its whole lifetime and are never
+/// reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// The model driven by an [`Engine`].
+///
+/// Implementors hold all mutable simulation state; the engine owns the
+/// calendar and the clock. `Event` is typically an enum describing
+/// everything that can happen in the model.
+pub trait World {
+    /// The event type dispatched to [`handle`](World::handle).
+    type Event;
+
+    /// Processes one event at the current virtual time.
+    fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+// Order by (time, sequence). BinaryHeap is a max-heap, so we wrap in Reverse
+// at the call sites; these impls define the natural (ascending) order.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The engine surface visible to event handlers: the clock, the calendar and
+/// the random stream.
+///
+/// A `Context` is passed by the engine into [`World::handle`]; handlers use
+/// it to schedule follow-up events with [`schedule_in`](Context::schedule_in)
+/// or [`schedule_at`](Context::schedule_at), to [`cancel`](Context::cancel)
+/// pending events, and to draw random values via [`rng`](Context::rng).
+pub struct Context<E> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Ids cancelled but still physically in `queue` (lazy deletion).
+    cancelled: HashSet<EventId>,
+    /// Ids currently scheduled and not cancelled.
+    pending_ids: HashSet<EventId>,
+    next_seq: u64,
+    rng: SimRng,
+}
+
+impl<E> Context<E> {
+    fn new(rng: SimRng) -> Self {
+        Context {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            pending_ids: HashSet::new(),
+            next_seq: 0,
+            rng,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](Context::now) — the calendar
+    /// cannot rewind.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.queue.push(Reverse(Scheduled { at, seq, id, event }));
+        self.pending_ids.insert(id);
+        id
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` to run after all events already scheduled for the
+    /// current instant.
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending, `false` if it already ran or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending_ids.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// The deterministic random stream of this engine.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(s)) = self.queue.pop() {
+            if self.cancelled.remove(&s.id) {
+                continue;
+            }
+            self.pending_ids.remove(&s.id);
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    // Debug cannot be derived (events in the calendar need not be Debug),
+    // so render a summary instead.
+    fn debug_summary(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("pending", &self.pending_ids.len())
+            .finish_non_exhaustive()
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain lazily-deleted entries off the top so the peek is O(1)
+        // amortized.
+        while let Some(Reverse(s)) = self.queue.peek() {
+            if self.cancelled.contains(&s.id) {
+                let Reverse(s) = self.queue.pop().expect("peeked entry exists");
+                self.cancelled.remove(&s.id);
+            } else {
+                return Some(s.at);
+            }
+        }
+        None
+    }
+}
+
+/// A discrete-event simulation engine: a [`World`] plus its event calendar.
+///
+/// # Example
+///
+/// ```
+/// use desim::{Engine, World, Context, SimTime, SimDuration};
+///
+/// struct Pinger { pongs: u32 }
+/// enum Ev { Ping, Pong }
+///
+/// impl World for Pinger {
+///     type Event = Ev;
+///     fn handle(&mut self, ctx: &mut Context<Ev>, ev: Ev) {
+///         match ev {
+///             Ev::Ping => { ctx.schedule_in(SimDuration::from_micros(625), Ev::Pong); }
+///             Ev::Pong => self.pongs += 1,
+///         }
+///     }
+/// }
+///
+/// let mut e = Engine::new(Pinger { pongs: 0 }, 7);
+/// e.schedule(SimTime::ZERO, Ev::Ping);
+/// e.run();
+/// assert_eq!(e.world().pongs, 1);
+/// ```
+pub struct Engine<W: World> {
+    world: W,
+    ctx: Context<W::Event>,
+    steps: u64,
+}
+
+impl<E> std::fmt::Debug for Context<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.debug_summary(f)
+    }
+}
+
+impl<W: World + std::fmt::Debug> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("world", &self.world)
+            .field("ctx", &self.ctx)
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine over `world` with deterministic randomness derived
+    /// from `seed`.
+    pub fn new(world: W, seed: u64) -> Self {
+        Engine {
+            world,
+            ctx: Context::new(SimRng::seed_from(seed)),
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time (time of the last executed event).
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Number of events executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared access to the model.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the model, e.g. to inspect or tweak state
+    /// between [`run_until`](Engine::run_until) calls.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Schedules an event from outside any handler (e.g. initial events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule(&mut self, at: SimTime, event: W::Event) -> EventId {
+        self.ctx.schedule_at(at, event)
+    }
+
+    /// The engine's [`Context`], for seeding randomness or scheduling
+    /// before the run starts.
+    pub fn context_mut(&mut self) -> &mut Context<W::Event> {
+        &mut self.ctx
+    }
+
+    /// Executes a single event if one is pending. Returns `false` when the
+    /// calendar is empty.
+    pub fn step(&mut self) -> bool {
+        match self.ctx.pop() {
+            Some((at, event)) => {
+                debug_assert!(at >= self.ctx.now);
+                self.ctx.now = at;
+                self.world.handle(&mut self.ctx, event);
+                self.steps += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the calendar is empty. Returns the number of events
+    /// executed by this call.
+    pub fn run(&mut self) -> u64 {
+        let before = self.steps;
+        while self.step() {}
+        self.steps - before
+    }
+
+    /// Runs every event scheduled strictly before `deadline`, then advances
+    /// the clock to `deadline`. Returns the number of events executed.
+    ///
+    /// Events scheduled exactly at `deadline` are *not* executed, so
+    /// repeated calls with increasing deadlines partition the timeline.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.steps;
+        while let Some(t) = self.ctx.peek_time() {
+            if t >= deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.ctx.now < deadline {
+            self.ctx.now = deadline;
+        }
+        self.steps - before
+    }
+
+    /// Runs every event scheduled within the next `span` of virtual time
+    /// (exclusive of the end instant), advancing the clock to `now() +
+    /// span`. Returns the number of events executed.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let deadline = self.ctx.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the calendar is empty or `max_steps` more events have
+    /// executed; returns the number executed.
+    pub fn run_steps(&mut self, max_steps: u64) -> u64 {
+        let before = self.steps;
+        while self.steps - before < max_steps && self.step() {}
+        self.steps - before
+    }
+
+    /// Consumes the engine, returning the final world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<u32>, ev: u32) {
+            self.seen.push((ctx.now(), ev));
+        }
+    }
+
+    fn recorder() -> Engine<Recorder> {
+        Engine::new(Recorder { seen: Vec::new() }, 1)
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = recorder();
+        e.schedule(SimTime::from_micros(30), 3);
+        e.schedule(SimTime::from_micros(10), 1);
+        e.schedule(SimTime::from_micros(20), 2);
+        e.run();
+        let evs: Vec<u32> = e.world().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut e = recorder();
+        let t = SimTime::from_millis(5);
+        for v in 0..100 {
+            e.schedule(t, v);
+        }
+        e.run();
+        let evs: Vec<u32> = e.world().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut e = recorder();
+        let keep = e.schedule(SimTime::from_micros(10), 1);
+        let drop_ = e.schedule(SimTime::from_micros(20), 2);
+        assert!(e.context_mut().cancel(drop_));
+        assert!(!e.context_mut().cancel(drop_), "double cancel is a no-op");
+        e.run();
+        assert_eq!(e.world().seen.len(), 1);
+        assert!(!e.context_mut().cancel(keep), "already ran");
+    }
+
+    #[test]
+    fn run_until_is_exclusive_and_advances_clock() {
+        let mut e = recorder();
+        e.schedule(SimTime::from_micros(10), 1);
+        e.schedule(SimTime::from_micros(50), 2);
+        let n = e.run_until(SimTime::from_micros(50));
+        assert_eq!(n, 1);
+        assert_eq!(e.now(), SimTime::from_micros(50));
+        e.run();
+        assert_eq!(e.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn pending_counts_live_events() {
+        let mut e = recorder();
+        let a = e.schedule(SimTime::from_micros(10), 1);
+        e.schedule(SimTime::from_micros(20), 2);
+        assert_eq!(e.context_mut().pending(), 2);
+        e.context_mut().cancel(a);
+        assert_eq!(e.context_mut().pending(), 1);
+        e.run();
+        assert_eq!(e.context_mut().pending(), 0);
+    }
+
+    struct Chainer {
+        depth: u32,
+        max: u32,
+    }
+    impl World for Chainer {
+        type Event = ();
+        fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+            self.depth += 1;
+            if self.depth < self.max {
+                ctx.schedule_now(());
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_events() {
+        let mut e = Engine::new(Chainer { depth: 0, max: 10 }, 0);
+        e.schedule(SimTime::ZERO, ());
+        e.run();
+        assert_eq!(e.world().depth, 10);
+        assert_eq!(e.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut e = Engine::new(Bad, 0);
+        e.schedule(SimTime::from_secs(1), ());
+        e.run();
+    }
+
+    #[test]
+    fn run_for_advances_relative_spans() {
+        let mut e = recorder();
+        e.schedule(SimTime::from_micros(10), 1);
+        e.schedule(SimTime::from_micros(30), 2);
+        assert_eq!(e.run_for(SimDuration::from_micros(20)), 1);
+        assert_eq!(e.now(), SimTime::from_micros(20));
+        assert_eq!(e.run_for(SimDuration::from_micros(20)), 1);
+        assert_eq!(e.now(), SimTime::from_micros(40));
+    }
+
+    #[test]
+    fn run_steps_bounds_execution() {
+        let mut e = Engine::new(Chainer { depth: 0, max: u32::MAX }, 0);
+        e.schedule(SimTime::ZERO, ());
+        let n = e.run_steps(1000);
+        assert_eq!(n, 1000);
+        assert_eq!(e.world().depth, 1000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_randoms() {
+        fn draw(seed: u64) -> Vec<u64> {
+            let mut e = Engine::new(Recorder { seen: vec![] }, seed);
+            (0..16).map(|_| e.context_mut().rng().next_u64()).collect()
+        }
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
+}

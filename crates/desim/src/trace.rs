@@ -1,0 +1,216 @@
+//! Lightweight structured tracing for simulations.
+//!
+//! A [`Trace`] collects timestamped records emitted by model code. Tests
+//! assert on traces instead of sprinkling `println!` through the models,
+//! and experiment binaries can dump them for debugging. Recording is
+//! generic over the record type so each model defines its own vocabulary.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A bounded, timestamped event log.
+///
+/// The log keeps at most `capacity` records, dropping the **oldest** on
+/// overflow (and counting the drops), so long simulations cannot exhaust
+/// memory through tracing.
+///
+/// # Example
+///
+/// ```
+/// use desim::trace::Trace;
+/// use desim::SimTime;
+///
+/// let mut t: Trace<&str> = Trace::with_capacity(2);
+/// t.record(SimTime::ZERO, "a");
+/// t.record(SimTime::from_secs(1), "b");
+/// t.record(SimTime::from_secs(2), "c");
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// assert_eq!(t.iter().map(|r| r.record).collect::<Vec<_>>(), vec!["b", "c"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<R> {
+    records: std::collections::VecDeque<Entry<R>>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry<R> {
+    /// When the record was emitted.
+    pub at: SimTime,
+    /// The payload.
+    pub record: R,
+}
+
+impl<R> Default for Trace<R> {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl<R> Trace<R> {
+    /// Default capacity used by [`Trace::new`].
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A trace with the default capacity.
+    pub fn new() -> Self {
+        Trace::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A trace bounded to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace");
+        Trace {
+            records: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Turns recording on or off (records are silently discarded while off,
+    /// without counting as dropped).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record at time `at`.
+    pub fn record(&mut self, at: SimTime, record: R) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(Entry { at, record });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<R>> {
+        self.records.iter()
+    }
+
+    /// Removes and returns all retained records, oldest-first.
+    pub fn drain(&mut self) -> Vec<Entry<R>> {
+        self.records.drain(..).collect()
+    }
+
+    /// Retained records matching a predicate, oldest-first.
+    pub fn filtered<F>(&self, mut pred: F) -> Vec<&Entry<R>>
+    where
+        F: FnMut(&R) -> bool,
+    {
+        self.iter().filter(|e| pred(&e.record)).collect()
+    }
+}
+
+impl<R: fmt::Display> Trace<R> {
+    /// Renders the retained records one per line as `time record`.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for e in self.iter() {
+            let _ = writeln!(out, "{} {}", e.at, e.record);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(1), 10u32);
+        t.record(SimTime::from_micros(2), 20);
+        let v: Vec<u32> = t.iter().map(|e| e.record).collect();
+        assert_eq!(v, vec![10, 20]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5u32 {
+            t.record(SimTime::from_micros(i as u64), i);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let v: Vec<u32> = t.iter().map(|e| e.record).collect();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_discards_silently() {
+        let mut t: Trace<u8> = Trace::new();
+        t.set_enabled(false);
+        t.record(SimTime::ZERO, 1);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, 'x');
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn filtered_selects() {
+        let mut t = Trace::new();
+        for i in 0..10u32 {
+            t.record(SimTime::from_micros(i as u64), i);
+        }
+        let even = t.filtered(|r| r % 2 == 0);
+        assert_eq!(even.len(), 5);
+    }
+
+    #[test]
+    fn render_lines() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(625), "hop");
+        assert_eq!(t.render(), "625us hop\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = Trace::<u8>::with_capacity(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Request/response correlation over the reliable transport.
+//!
+//! BIPS has two request/response interactions: mobile-user queries
+//! ("where is user X?") relayed by a workstation to the central server,
+//! and login validation. This layer frames application payloads with a
+//! direction byte and a correlation id so a host can have several
+//! requests in flight and match responses to them.
+//!
+//! Wire format (inside a transport message):
+//! `[dir: u8][corr: u64 LE][payload…]` with dir 0 = request,
+//! 1 = response.
+
+use crate::network::HostId;
+use crate::transport::AppMessage;
+
+const DIR_REQUEST: u8 = 0;
+const DIR_RESPONSE: u8 = 1;
+const HEADER_LEN: usize = 9;
+
+/// A correlation id scoped to the issuing host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CorrelationId(u64);
+
+impl CorrelationId {
+    /// The raw value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// A decoded RPC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMessage {
+    /// An incoming request to serve.
+    Request {
+        /// Requesting host.
+        from: HostId,
+        /// Correlate the response with this.
+        corr: CorrelationId,
+        /// Request payload.
+        payload: Vec<u8>,
+    },
+    /// A response to a request this host issued.
+    Response {
+        /// Responding host.
+        from: HostId,
+        /// The id returned by [`RpcCodec::encode_request`].
+        corr: CorrelationId,
+        /// Response payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// Stateless-ish codec: allocates correlation ids and frames/deframes RPC
+/// messages. One per host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RpcCodec {
+    next_corr: u64,
+}
+
+impl RpcCodec {
+    /// A fresh codec.
+    pub fn new() -> RpcCodec {
+        RpcCodec::default()
+    }
+
+    /// Frames a request, allocating its correlation id.
+    pub fn encode_request(&mut self, payload: &[u8]) -> (CorrelationId, Vec<u8>) {
+        let corr = CorrelationId(self.next_corr);
+        self.next_corr += 1;
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.push(DIR_REQUEST);
+        out.extend_from_slice(&corr.0.to_le_bytes());
+        out.extend_from_slice(payload);
+        (corr, out)
+    }
+
+    /// Frames a response to a previously decoded request.
+    pub fn encode_response(corr: CorrelationId, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.push(DIR_RESPONSE);
+        out.extend_from_slice(&corr.0.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Decodes a transport message into an RPC message, or `None` if it
+    /// is not RPC-framed.
+    pub fn decode(msg: &AppMessage) -> Option<RpcMessage> {
+        if msg.payload.len() < HEADER_LEN {
+            return None;
+        }
+        let corr = CorrelationId(u64::from_le_bytes(
+            msg.payload[1..9].try_into().expect("9-byte header"),
+        ));
+        let payload = msg.payload[HEADER_LEN..].to_vec();
+        match msg.payload[0] {
+            DIR_REQUEST => Some(RpcMessage::Request {
+                from: msg.src,
+                corr,
+                payload,
+            }),
+            DIR_RESPONSE => Some(RpcMessage::Response {
+                from: msg.src,
+                corr,
+                payload,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, payload: Vec<u8>) -> AppMessage {
+        AppMessage {
+            src: HostId::new(src),
+            dst: HostId::new(99),
+            payload,
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let mut codec = RpcCodec::new();
+        let (corr, framed) = codec.encode_request(b"where is bob");
+        match RpcCodec::decode(&msg(3, framed)).unwrap() {
+            RpcMessage::Request {
+                from,
+                corr: c,
+                payload,
+            } => {
+                assert_eq!(from, HostId::new(3));
+                assert_eq!(c, corr);
+                assert_eq!(payload, b"where is bob");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut codec = RpcCodec::new();
+        let (corr, _) = codec.encode_request(b"q");
+        let framed = RpcCodec::encode_response(corr, b"room 42");
+        match RpcCodec::decode(&msg(1, framed)).unwrap() {
+            RpcMessage::Response { corr: c, payload, .. } => {
+                assert_eq!(c, corr);
+                assert_eq!(payload, b"room 42");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn correlation_ids_are_unique_per_codec() {
+        let mut codec = RpcCodec::new();
+        let (a, _) = codec.encode_request(b"");
+        let (b, _) = codec.encode_request(b"");
+        assert_ne!(a, b);
+        assert_eq!(b.value(), a.value() + 1);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert_eq!(RpcCodec::decode(&msg(0, vec![])), None);
+        assert_eq!(RpcCodec::decode(&msg(0, vec![7; 20])), None);
+        assert_eq!(RpcCodec::decode(&msg(0, vec![0; 5])), None);
+    }
+
+    #[test]
+    fn empty_payloads_are_legal() {
+        let mut codec = RpcCodec::new();
+        let (corr, framed) = codec.encode_request(b"");
+        match RpcCodec::decode(&msg(0, framed)).unwrap() {
+            RpcMessage::Request { corr: c, payload, .. } => {
+                assert_eq!(c, corr);
+                assert!(payload.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

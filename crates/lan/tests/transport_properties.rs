@@ -1,0 +1,128 @@
+//! Property tests for the reliable transport: in-order exactly-once
+//! delivery under arbitrary loss rates and traffic patterns.
+
+use bips_lan::network::{Lan, LanConfig, LanEvent};
+use bips_lan::transport::{AppMessage, Reliable, ReliableConfig, TransportEvent};
+use desim::compose::SubScheduler;
+use desim::{Context, Engine, SimTime, World};
+use proptest::prelude::*;
+
+enum Ev {
+    Lan(LanEvent),
+    Tr(TransportEvent),
+    Send(usize, usize, Vec<u8>),
+}
+
+struct Stack {
+    lan: Lan,
+    tr: Reliable,
+    got: Vec<AppMessage>,
+}
+
+struct Wrap<'a>(&'a mut Context<Ev>);
+impl<'a> SubScheduler<LanEvent> for Wrap<'a> {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+    fn schedule(&mut self, at: SimTime, e: LanEvent) -> desim::EventId {
+        self.0.schedule_at(at, Ev::Lan(e))
+    }
+    fn cancel(&mut self, id: desim::EventId) -> bool {
+        self.0.cancel(id)
+    }
+    fn rng(&mut self) -> &mut desim::SimRng {
+        self.0.rng()
+    }
+}
+
+impl World for Stack {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Context<Ev>, ev: Ev) {
+        match ev {
+            Ev::Lan(le) => {
+                self.lan.handle(&mut Wrap(ctx), le);
+                for d in self.lan.drain_deliveries() {
+                    self.tr.on_datagram(ctx, &mut self.lan, Ev::Lan, Ev::Tr, d);
+                }
+            }
+            Ev::Tr(te) => self.tr.handle(ctx, &mut self.lan, Ev::Lan, Ev::Tr, te),
+            Ev::Send(a, b, p) => self.tr.send(
+                ctx,
+                &mut self.lan,
+                Ev::Lan,
+                Ev::Tr,
+                bips_lan::HostId::new(a),
+                bips_lan::HostId::new(b),
+                p,
+            ),
+        }
+        self.got.extend(self.tr.drain_inbox());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under any loss rate up to 60 %, every message arrives exactly once
+    /// and in per-flow order.
+    #[test]
+    fn reliable_in_order_exactly_once(
+        loss in 0.0f64..0.6,
+        sends in proptest::collection::vec((0usize..3, 0usize..3, 0u64..5_000), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut lan = Lan::new(LanConfig { loss, ..LanConfig::default() });
+        for _ in 0..3 {
+            lan.attach();
+        }
+        let mut e = Engine::new(
+            Stack { lan, tr: Reliable::new(ReliableConfig { max_attempts: 100, ..ReliableConfig::default() }), got: vec![] },
+            seed,
+        );
+        let mut expected: std::collections::HashMap<(usize, usize), Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut k = 0u64;
+        for &(a, b, t) in &sends {
+            if a == b {
+                continue;
+            }
+            k += 1;
+            e.schedule(SimTime::from_micros(t), Ev::Send(a, b, k.to_le_bytes().to_vec()));
+            // Queue order per flow follows schedule order only within the
+            // same instant; track by (time, insertion).
+            expected.entry((a, b)).or_default().push(k);
+        }
+        // (Scheduling at equal times preserves FIFO, and transport sends
+        // are enqueued in handling order, so per-flow expectation must be
+        // sorted by schedule time with ties in insertion order. Our sends
+        // vector is already in insertion order; stable-sort by time.)
+        let mut order: Vec<(u64, usize, usize, u64)> = Vec::new();
+        let mut k2 = 0u64;
+        for &(a, b, t) in &sends {
+            if a == b {
+                continue;
+            }
+            k2 += 1;
+            order.push((t, a, b, k2));
+        }
+        order.sort_by_key(|&(t, _, _, _)| t);
+        let mut expected_sorted: std::collections::HashMap<(usize, usize), Vec<u64>> =
+            std::collections::HashMap::new();
+        for &(_, a, b, id) in &order {
+            expected_sorted.entry((a, b)).or_default().push(id);
+        }
+
+        e.run();
+        let mut got: std::collections::HashMap<(usize, usize), Vec<u64>> =
+            std::collections::HashMap::new();
+        for m in &e.world().got {
+            let id = u64::from_le_bytes(m.payload.clone().try_into().expect("8 bytes"));
+            got.entry((m.src.index(), m.dst.index())).or_default().push(id);
+        }
+        for (flow, exp) in &expected_sorted {
+            let g = got.get(flow).cloned().unwrap_or_default();
+            prop_assert_eq!(&g, exp, "flow {:?}", flow);
+        }
+        prop_assert_eq!(e.world().tr.stats().failed, 0);
+    }
+}

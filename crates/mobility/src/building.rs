@@ -1,0 +1,408 @@
+//! The physical building: rooms, doors, coverage zones.
+//!
+//! A [`Building`] is the geometric twin of the BIPS workstation graph
+//! (paper §2): one node per significant room, an edge where a physical
+//! path connects two rooms, and a circular Bluetooth coverage zone
+//! (~10 m radius) around each workstation. `bips-core` derives its
+//! weighted shortest-path graph from exactly this structure.
+
+use crate::geometry::Point;
+
+/// Default coverage radius of a BIPS workstation (paper: "circles with a
+/// radius of 10 meter").
+pub const DEFAULT_COVERAGE_RADIUS_M: f64 = 10.0;
+
+/// Identifies a room within one [`Building`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoomId(usize);
+
+impl RoomId {
+    /// Creates an id from a raw index (as returned by
+    /// [`Building::add_room`]).
+    pub fn new(index: usize) -> RoomId {
+        RoomId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A circular radio coverage zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellZone {
+    /// The room whose workstation provides this cell.
+    pub room: RoomId,
+    /// Center of coverage (the workstation position).
+    pub center: Point,
+    /// Coverage radius in meters.
+    pub radius: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Room {
+    name: String,
+    position: Point,
+    coverage_radius: f64,
+    neighbors: Vec<(RoomId, f64)>,
+}
+
+/// A building floor plan: named rooms with positions, coverage radii and
+/// door connections.
+///
+/// # Example
+///
+/// ```
+/// use bips_mobility::{Building, Point};
+/// let mut b = Building::new();
+/// let lobby = b.add_room("lobby", Point::new(0.0, 0.0));
+/// let lab = b.add_room("lab", Point::new(18.0, 0.0));
+/// b.connect(lobby, lab);
+/// assert_eq!(b.distance(lobby, lab), Some(18.0));
+/// assert_eq!(b.neighbors(lobby), vec![lab]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Building {
+    rooms: Vec<Room>,
+}
+
+impl Building {
+    /// An empty building.
+    pub fn new() -> Building {
+        Building::default()
+    }
+
+    /// Adds a room with the default 10 m coverage radius.
+    pub fn add_room(&mut self, name: impl Into<String>, position: Point) -> RoomId {
+        self.add_room_with_radius(name, position, DEFAULT_COVERAGE_RADIUS_M)
+    }
+
+    /// Adds a room with an explicit coverage radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn add_room_with_radius(
+        &mut self,
+        name: impl Into<String>,
+        position: Point,
+        radius: f64,
+    ) -> RoomId {
+        assert!(radius > 0.0 && radius.is_finite(), "bad radius {radius}");
+        let id = RoomId(self.rooms.len());
+        self.rooms.push(Room {
+            name: name.into(),
+            position,
+            coverage_radius: radius,
+            neighbors: Vec::new(),
+        });
+        id
+    }
+
+    /// Connects two rooms with a door/corridor whose length is the
+    /// Euclidean distance between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is invalid, `a == b`, or they are already
+    /// connected.
+    pub fn connect(&mut self, a: RoomId, b: RoomId) {
+        let d = self.position(a).distance(self.position(b));
+        self.connect_with_distance(a, b, d);
+    }
+
+    /// Connects two rooms with an explicit walking distance (e.g. around a
+    /// corner, longer than the straight line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is invalid, `a == b`, the rooms are already
+    /// connected, or `distance` is not positive and finite.
+    pub fn connect_with_distance(&mut self, a: RoomId, b: RoomId, distance: f64) {
+        assert!(a.0 < self.rooms.len(), "invalid room {a:?}");
+        assert!(b.0 < self.rooms.len(), "invalid room {b:?}");
+        assert!(a != b, "cannot connect a room to itself");
+        assert!(
+            distance > 0.0 && distance.is_finite(),
+            "bad distance {distance}"
+        );
+        assert!(
+            !self.rooms[a.0].neighbors.iter().any(|&(n, _)| n == b),
+            "rooms already connected"
+        );
+        self.rooms[a.0].neighbors.push((b, distance));
+        self.rooms[b.0].neighbors.push((a, distance));
+    }
+
+    /// Number of rooms.
+    pub fn num_rooms(&self) -> usize {
+        self.rooms.len()
+    }
+
+    /// All room ids.
+    pub fn rooms(&self) -> impl Iterator<Item = RoomId> + '_ {
+        (0..self.rooms.len()).map(RoomId)
+    }
+
+    /// A room's display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn name(&self, r: RoomId) -> &str {
+        &self.rooms[r.0].name
+    }
+
+    /// A room's workstation position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn position(&self, r: RoomId) -> Point {
+        self.rooms[r.0].position
+    }
+
+    /// A room's coverage zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn cell(&self, r: RoomId) -> CellZone {
+        let room = &self.rooms[r.0];
+        CellZone {
+            room: r,
+            center: room.position,
+            radius: room.coverage_radius,
+        }
+    }
+
+    /// All coverage zones.
+    pub fn cells(&self) -> Vec<CellZone> {
+        self.rooms().map(|r| self.cell(r)).collect()
+    }
+
+    /// Rooms adjacent to `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn neighbors(&self, r: RoomId) -> Vec<RoomId> {
+        self.rooms[r.0].neighbors.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// Weighted adjacency of `r`: `(neighbor, walking distance)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn edges(&self, r: RoomId) -> &[(RoomId, f64)] {
+        &self.rooms[r.0].neighbors
+    }
+
+    /// Walking distance of the direct connection `a – b`, if connected.
+    pub fn distance(&self, a: RoomId, b: RoomId) -> Option<f64> {
+        self.rooms
+            .get(a.0)?
+            .neighbors
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, d)| d)
+    }
+
+    /// Looks a room up by name (first match).
+    pub fn room_by_name(&self, name: &str) -> Option<RoomId> {
+        self.rooms
+            .iter()
+            .position(|r| r.name == name)
+            .map(RoomId)
+    }
+
+    /// A ready-made academic-department floor plan: nine rooms along two
+    /// corridors, as in the paper's motivating scenario. Useful for
+    /// examples and tests.
+    pub fn academic_department() -> Building {
+        let mut b = Building::new();
+        // Two corridors of offices 18 m apart, lobby at the west end.
+        let lobby = b.add_room("lobby", Point::new(0.0, 9.0));
+        let north: Vec<RoomId> = (0..4)
+            .map(|i| {
+                b.add_room(
+                    format!("office-n{}", i + 1),
+                    Point::new(15.0 + 18.0 * i as f64, 18.0),
+                )
+            })
+            .collect();
+        let south: Vec<RoomId> = (0..4)
+            .map(|i| {
+                b.add_room(
+                    format!("office-s{}", i + 1),
+                    Point::new(15.0 + 18.0 * i as f64, 0.0),
+                )
+            })
+            .collect();
+        b.connect(lobby, north[0]);
+        b.connect(lobby, south[0]);
+        for w in north.windows(2) {
+            b.connect(w[0], w[1]);
+        }
+        for w in south.windows(2) {
+            b.connect(w[0], w[1]);
+        }
+        // A stairwell links the corridor ends.
+        b.connect_with_distance(north[3], south[3], 22.0);
+        b
+    }
+
+    /// A multi-floor office: `floors` copies of a six-room floor plan,
+    /// linked by a stairwell room per floor (stair flights count 15 m of
+    /// walking). Positions offset each floor by 100 m in y so coverage
+    /// circles never span floors — the geometric stand-in for RF not
+    /// penetrating slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floors` is zero.
+    pub fn multi_floor_office(floors: usize) -> Building {
+        assert!(floors > 0, "at least one floor");
+        let mut b = Building::new();
+        let mut stairs: Vec<RoomId> = Vec::new();
+        for f in 0..floors {
+            let y0 = 100.0 * f as f64;
+            let stair = b.add_room(format!("stair-f{f}"), Point::new(0.0, y0));
+            let rooms: Vec<RoomId> = (0..5)
+                .map(|i| {
+                    b.add_room(
+                        format!("room-f{f}-{i}"),
+                        Point::new(16.0 + 16.0 * i as f64, y0),
+                    )
+                })
+                .collect();
+            b.connect(stair, rooms[0]);
+            for w in rooms.windows(2) {
+                b.connect(w[0], w[1]);
+            }
+            if let Some(&below) = stairs.last() {
+                b.connect_with_distance(below, stair, 15.0);
+            }
+            stairs.push(stair);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rooms_and_edges() {
+        let mut b = Building::new();
+        let a = b.add_room("a", Point::new(0.0, 0.0));
+        let c = b.add_room("c", Point::new(6.0, 8.0));
+        b.connect(a, c);
+        assert_eq!(b.num_rooms(), 2);
+        assert_eq!(b.distance(a, c), Some(10.0));
+        assert_eq!(b.distance(c, a), Some(10.0));
+        assert_eq!(b.name(c), "c");
+        assert_eq!(b.room_by_name("a"), Some(a));
+        assert_eq!(b.room_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn explicit_distance_overrides_euclidean() {
+        let mut b = Building::new();
+        let a = b.add_room("a", Point::new(0.0, 0.0));
+        let c = b.add_room("c", Point::new(1.0, 0.0));
+        b.connect_with_distance(a, c, 25.0);
+        assert_eq!(b.distance(a, c), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_rejected() {
+        let mut b = Building::new();
+        let a = b.add_room("a", Point::new(0.0, 0.0));
+        let c = b.add_room("c", Point::new(1.0, 0.0));
+        b.connect(a, c);
+        b.connect(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_loop_rejected() {
+        let mut b = Building::new();
+        let a = b.add_room("a", Point::new(0.0, 0.0));
+        b.connect(a, a);
+    }
+
+    #[test]
+    fn default_cell_radius_matches_paper() {
+        let mut b = Building::new();
+        let a = b.add_room("a", Point::new(3.0, 4.0));
+        let cell = b.cell(a);
+        assert_eq!(cell.radius, 10.0);
+        assert_eq!(cell.center, Point::new(3.0, 4.0));
+        assert_eq!(cell.room, a);
+    }
+
+    #[test]
+    fn multi_floor_office_has_isolated_floor_coverage() {
+        let b = Building::multi_floor_office(3);
+        assert_eq!(b.num_rooms(), 18);
+        // Coverage circles never overlap across floors.
+        for a in b.rooms() {
+            for c in b.rooms() {
+                if a == c {
+                    continue;
+                }
+                let (pa, pc) = (b.position(a), b.position(c));
+                let same_floor = (pa.y - pc.y).abs() < 1.0;
+                if !same_floor {
+                    assert!(
+                        pa.distance(pc) > b.cell(a).radius + b.cell(c).radius,
+                        "cross-floor coverage overlap {a:?}/{c:?}"
+                    );
+                }
+            }
+        }
+        // Still one connected building via the stairwells.
+        let mut seen = vec![false; b.num_rooms()];
+        let mut stack = vec![RoomId::new(0)];
+        seen[0] = true;
+        while let Some(r) = stack.pop() {
+            for n in b.neighbors(r) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn academic_department_is_connected() {
+        let b = Building::academic_department();
+        assert_eq!(b.num_rooms(), 9);
+        // BFS from room 0 reaches everything.
+        let mut seen = vec![false; b.num_rooms()];
+        let mut stack = vec![RoomId::new(0)];
+        seen[0] = true;
+        while let Some(r) = stack.pop() {
+            for n in b.neighbors(r) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "disconnected building");
+        // Every room is coverable: neighbors within a sane walking range.
+        for r in b.rooms() {
+            for (n, d) in b.edges(r) {
+                assert!(*d > 0.0 && *d < 50.0, "edge {r:?}-{n:?} = {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Planar geometry in meters.
+//!
+//! Everything BIPS needs is 2-D: room positions, straight walking legs,
+//! and circular radio coverage. The one non-trivial computation is
+//! [`segment_circle_crossings`]: given a walking leg and a coverage
+//! circle, find the parameter interval during which the walker is inside
+//! — that interval, scaled by walking speed, is exactly the *dwell time*
+//! the paper's §5 reasons about.
+
+/// A point (or vector) in the floor plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East coordinate, meters.
+    pub x: f64,
+    /// North coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// A point at `(x, y)` meters.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+    fn sub(self, o: Point) -> Point {
+        Point::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+    fn add(self, o: Point) -> Point {
+        Point::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// The fraction interval `[t_in, t_out] ⊆ [0, 1]` of the segment
+/// `a → b` lying strictly inside the circle `(center, radius)`, or `None`
+/// if the segment never enters it.
+///
+/// Degenerate segments (`a == b`) are inside iff `a` is.
+pub fn segment_circle_crossings(
+    a: Point,
+    b: Point,
+    center: Point,
+    radius: f64,
+) -> Option<(f64, f64)> {
+    debug_assert!(radius > 0.0);
+    let d = b - a;
+    let f = a - center;
+    let aa = d.x * d.x + d.y * d.y;
+    if aa == 0.0 {
+        return if a.distance(center) <= radius {
+            Some((0.0, 1.0))
+        } else {
+            None
+        };
+    }
+    let bb = 2.0 * (f.x * d.x + f.y * d.y);
+    let cc = f.x * f.x + f.y * f.y - radius * radius;
+    let disc = bb * bb - 4.0 * aa * cc;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let t1 = (-bb - sq) / (2.0 * aa);
+    let t2 = (-bb + sq) / (2.0 * aa);
+    let t_in = t1.max(0.0);
+    let t_out = t2.min(1.0);
+    if t_in >= t_out {
+        // Touches at a point or misses within [0,1].
+        return None;
+    }
+    Some((t_in, t_out))
+}
+
+/// True if `p` is inside (or on) the circle.
+pub fn inside_circle(p: Point, center: Point, radius: f64) -> bool {
+    p.distance(center) <= radius
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Point::new(1.5, 2.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn full_diameter_crossing() {
+        // Walk straight through the center of a 10 m-radius cell.
+        let got = segment_circle_crossings(
+            Point::new(-20.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(0.0, 0.0),
+            10.0,
+        )
+        .unwrap();
+        assert!((got.0 - 0.25).abs() < 1e-12);
+        assert!((got.1 - 0.75).abs() < 1e-12);
+        // Inside length = 0.5 × 40 m = 20 m = the diameter.
+    }
+
+    #[test]
+    fn chord_crossing_is_shorter() {
+        let (t_in, t_out) = segment_circle_crossings(
+            Point::new(-20.0, 6.0),
+            Point::new(20.0, 6.0),
+            Point::new(0.0, 0.0),
+            10.0,
+        )
+        .unwrap();
+        let chord = (t_out - t_in) * 40.0;
+        assert!((chord - 16.0).abs() < 1e-9, "2·√(100−36) = 16, got {chord}");
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        assert_eq!(
+            segment_circle_crossings(
+                Point::new(-20.0, 11.0),
+                Point::new(20.0, 11.0),
+                Point::new(0.0, 0.0),
+                10.0
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn tangent_returns_none() {
+        assert_eq!(
+            segment_circle_crossings(
+                Point::new(-20.0, 10.0),
+                Point::new(20.0, 10.0),
+                Point::new(0.0, 0.0),
+                10.0
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn segment_starting_inside() {
+        let (t_in, t_out) = segment_circle_crossings(
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(0.0, 0.0),
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(t_in, 0.0);
+        assert!((t_out - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_entirely_inside() {
+        let (t_in, t_out) = segment_circle_crossings(
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 0.0),
+            10.0,
+        )
+        .unwrap();
+        assert_eq!((t_in, t_out), (0.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let inside = segment_circle_crossings(
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+            10.0,
+        );
+        assert_eq!(inside, Some((0.0, 1.0)));
+        let outside = segment_circle_crossings(
+            Point::new(50.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(0.0, 0.0),
+            10.0,
+        );
+        assert_eq!(outside, None);
+    }
+
+    #[test]
+    fn inside_circle_boundary() {
+        let c = Point::new(0.0, 0.0);
+        assert!(inside_circle(Point::new(10.0, 0.0), c, 10.0));
+        assert!(!inside_circle(Point::new(10.01, 0.0), c, 10.0));
+    }
+}

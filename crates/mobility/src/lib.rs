@@ -1,0 +1,38 @@
+//! # bips-mobility — buildings, coverage cells and walking users
+//!
+//! The paper sizes BIPS around pedestrian motion: users walk at speeds in
+//! `[0, 1.5] m/s` through rooms whose Bluetooth coverage is a circle of
+//! ~10 m radius, so an average walker spends ≈15.4 s inside a cell
+//! (20 m / 1.3 m/s, §5) — which in turn fixes the master's operational
+//! cycle. This crate provides that world:
+//!
+//! * [`geometry`] — points, segments, and the segment/circle intersection
+//!   that turns continuous motion into *cell enter/exit instants*;
+//! * [`building`] — rooms, doors and coverage zones (the physical side of
+//!   the BIPS workstation graph);
+//! * [`walker`] — waypoint and random-walk pedestrians on the
+//!   [`desim`] engine, emitting [`CellEntered`](model::MobNotification)
+//!   / [`CellExited`](model::MobNotification) notifications;
+//! * [`dwell`] — the paper's §5 dwell-time arithmetic, analytic and
+//!   Monte-Carlo.
+//!
+//! ```
+//! use bips_mobility::dwell;
+//! // The paper's own numbers: a 20 m cell at the 1.3 m/s mean walking
+//! // speed is crossed in ≈15.4 s.
+//! let t = dwell::crossing_time(20.0, 1.3);
+//! assert!((t - 15.38).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod building;
+pub mod dwell;
+pub mod geometry;
+pub mod model;
+pub mod walker;
+
+pub use building::{Building, CellZone, RoomId};
+pub use geometry::Point;
+pub use model::{MobEvent, MobNotification, MobilityModel, WalkerId};

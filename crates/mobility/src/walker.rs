@@ -1,0 +1,158 @@
+//! Walker configuration: who walks where, how fast.
+//!
+//! The paper's users are students, visitors, professors and staff moving
+//! through a department at up to 1.5 m/s. Three movement modes cover the
+//! experiments: a fixed [route](WalkMode::Route) (visitor crossing the
+//! building), an endless [random walk](WalkMode::RandomWalk) over the room
+//! graph (ambient population), and [standing still](WalkMode::Stationary)
+//! (the paper's "standing or walking" users).
+
+use crate::building::RoomId;
+use desim::SimDuration;
+
+/// Lowest speed a *walking* leg may draw: redrawing below this models the
+/// paper's observation that a "walking user" averages ≈1.3 m/s even
+/// though the population range starts at 0.
+pub const DEFAULT_MIN_LEG_SPEED_M_S: f64 = 0.3;
+
+/// How a walker chooses its next destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalkMode {
+    /// Visit the listed rooms in order (each consecutive pair must be
+    /// connected), then stop.
+    Route(Vec<RoomId>),
+    /// Cycle through the listed rooms forever (the list's last room must
+    /// connect back to the first).
+    Loop(Vec<RoomId>),
+    /// Pick a uniformly random neighbor each leg, pausing in each room
+    /// for a uniform time in the given range.
+    RandomWalk {
+        /// Pause range between legs.
+        pause: (SimDuration, SimDuration),
+    },
+    /// Never move.
+    Stationary,
+}
+
+/// Configuration of one pedestrian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkerConfig {
+    /// The room the walker starts in.
+    pub start: RoomId,
+    /// Per-leg speed draw range, m/s (paper: `[0, 1.5]`).
+    speed_range: (f64, f64),
+    /// Draws below this are rejected so legs terminate.
+    min_leg_speed: f64,
+    /// Movement mode.
+    pub mode: WalkMode,
+}
+
+impl WalkerConfig {
+    /// A walker starting in `start` with paper-default speeds and a
+    /// random-walk mode pausing 5–30 s per room.
+    pub fn new(start: RoomId) -> WalkerConfig {
+        WalkerConfig {
+            start,
+            speed_range: (0.0, 1.5),
+            min_leg_speed: DEFAULT_MIN_LEG_SPEED_M_S,
+            mode: WalkMode::RandomWalk {
+                pause: (SimDuration::from_secs(5), SimDuration::from_secs(30)),
+            },
+        }
+    }
+
+    /// Sets the movement mode.
+    pub fn mode(mut self, mode: WalkMode) -> WalkerConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the speed draw range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, negative, or has a non-positive
+    /// upper bound.
+    pub fn speed_range(mut self, lo: f64, hi: f64) -> WalkerConfig {
+        assert!(lo >= 0.0 && hi >= lo && hi > 0.0, "bad speed range [{lo}, {hi}]");
+        self.speed_range = (lo, hi);
+        self
+    }
+
+    /// Sets the minimum accepted leg speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not strictly positive or exceeds the range's
+    /// upper bound.
+    pub fn min_leg_speed(mut self, min: f64) -> WalkerConfig {
+        assert!(min > 0.0 && min <= self.speed_range.1, "bad min speed {min}");
+        self.min_leg_speed = min;
+        self
+    }
+
+    /// Draws a leg speed: uniform in the range, redrawn until it clears
+    /// the minimum.
+    pub fn draw_speed(&self, rng: &mut desim::SimRng) -> f64 {
+        let (lo, hi) = self.speed_range;
+        if hi <= self.min_leg_speed {
+            return hi;
+        }
+        loop {
+            let v = rng.uniform(lo, hi);
+            if v >= self.min_leg_speed {
+                return v;
+            }
+        }
+    }
+
+    /// The configured speed range.
+    pub fn speeds(&self) -> (f64, f64) {
+        self.speed_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = WalkerConfig::new(RoomId::new(0));
+        assert_eq!(c.speeds(), (0.0, 1.5));
+        assert!(matches!(c.mode, WalkMode::RandomWalk { .. }));
+    }
+
+    #[test]
+    fn draw_speed_respects_floor_and_range() {
+        let c = WalkerConfig::new(RoomId::new(0)).speed_range(0.0, 1.5);
+        let mut rng = desim::SimRng::seed_from(1);
+        for _ in 0..500 {
+            let v = c.draw_speed(&mut rng);
+            assert!((DEFAULT_MIN_LEG_SPEED_M_S..=1.5).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_range_returns_upper_bound() {
+        let c = WalkerConfig::new(RoomId::new(0))
+            .speed_range(0.1, 0.2)
+            .min_leg_speed(0.2);
+        let mut rng = desim::SimRng::seed_from(2);
+        assert_eq!(c.draw_speed(&mut rng), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad speed range")]
+    fn invalid_range_rejected() {
+        let _ = WalkerConfig::new(RoomId::new(0)).speed_range(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad min speed")]
+    fn invalid_floor_rejected() {
+        let _ = WalkerConfig::new(RoomId::new(0))
+            .speed_range(0.0, 1.0)
+            .min_leg_speed(2.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for mobility: containment consistency and speed bounds.
+
+use bips_mobility::building::Building;
+use bips_mobility::geometry::{inside_circle, Point};
+use bips_mobility::model::{MobEvent, MobNotification, MobilityModel, WalkerId};
+use bips_mobility::walker::{WalkMode, WalkerConfig};
+use desim::{Context, Engine, SimDuration, SimTime, World};
+use proptest::prelude::*;
+
+struct Mob {
+    model: MobilityModel,
+    notes: Vec<MobNotification>,
+}
+
+impl World for Mob {
+    type Event = MobEvent;
+    fn handle(&mut self, ctx: &mut Context<MobEvent>, ev: MobEvent) {
+        self.model.handle(ctx, ev);
+        self.notes.extend(self.model.drain_notifications());
+    }
+}
+
+fn random_building(rooms: usize, seed: u64) -> Building {
+    let mut rng = desim::SimRng::seed_from(seed);
+    let mut b = Building::new();
+    let ids: Vec<_> = (0..rooms)
+        .map(|i| {
+            b.add_room(
+                format!("r{i}"),
+                Point::new(rng.uniform(0.0, 120.0), rng.uniform(0.0, 120.0)),
+            )
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.connect(w[0], w[1]);
+    }
+    // a few chords
+    for _ in 0..rooms / 2 {
+        let a = ids[rng.below(rooms as u64) as usize];
+        let c = ids[rng.below(rooms as u64) as usize];
+        if a != c && b.distance(a, c).is_none() {
+            b.connect(a, c);
+        }
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At every sampled instant, the model's claimed cell set matches the
+    /// geometric ground truth of the walker's interpolated position.
+    #[test]
+    fn containment_matches_geometry(rooms in 2usize..8, seed in any::<u64>(), horizon_s in 30u64..200) {
+        let b = random_building(rooms, seed);
+        let cells = b.cells();
+        let mut model = MobilityModel::new(b);
+        let w = model.add_walker(WalkerConfig::new(bips_mobility::RoomId::new(0)).mode(
+            WalkMode::RandomWalk {
+                pause: (SimDuration::from_secs(1), SimDuration::from_secs(4)),
+            },
+        ));
+        let mut e = Engine::new(Mob { model, notes: vec![] }, seed);
+        e.schedule(SimTime::ZERO, MobEvent::start());
+        for step in 1..=horizon_s {
+            let t = SimTime::from_secs(step);
+            e.run_until(t);
+            let pos = e.world().model.position(w, t);
+            let claimed: std::collections::HashSet<usize> =
+                e.world().model.cells_of(w).iter().map(|r| r.index()).collect();
+            for cell in &cells {
+                let truly_inside = inside_circle(pos, cell.center, cell.radius * (1.0 - 1e-9));
+                let truly_outside = !inside_circle(pos, cell.center, cell.radius * (1.0 + 1e-9));
+                // Exactly-on-boundary instants are allowed to disagree.
+                if truly_inside {
+                    prop_assert!(
+                        claimed.contains(&cell.room.index()),
+                        "t={t}: inside {:?} but not claimed (pos {pos})",
+                        cell.room
+                    );
+                }
+                if truly_outside {
+                    prop_assert!(
+                        !claimed.contains(&cell.room.index()),
+                        "t={t}: outside {:?} but claimed (pos {pos})",
+                        cell.room
+                    );
+                }
+            }
+        }
+    }
+
+    /// Leg durations respect the configured speed range: distance/duration
+    /// never exceeds the maximum speed.
+    #[test]
+    fn arrivals_respect_speed_bounds(seed in any::<u64>()) {
+        let mut b = Building::new();
+        let a = b.add_room("a", Point::new(0.0, 0.0));
+        let c = b.add_room("c", Point::new(40.0, 0.0));
+        b.connect(a, c);
+        let mut model = MobilityModel::new(b);
+        let _ = model.add_walker(
+            WalkerConfig::new(a)
+                .mode(WalkMode::Loop(vec![c, a]))
+                .speed_range(0.5, 1.5),
+        );
+        let mut e = Engine::new(Mob { model, notes: vec![] }, seed);
+        e.schedule(SimTime::ZERO, MobEvent::start());
+        e.run_until(SimTime::from_secs(600));
+        let arrivals: Vec<SimTime> = e
+            .world()
+            .notes
+            .iter()
+            .filter_map(|n| match n {
+                MobNotification::Arrived { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(arrivals.len() >= 2);
+        let mut prev = SimTime::ZERO;
+        for at in arrivals {
+            let leg = (at - prev).as_secs_f64();
+            // 40 m at 1.5 m/s takes ≥ 26.7 s; at 0.5 m/s ≤ 80 s.
+            prop_assert!(leg >= 40.0 / 1.5 - 1e-6, "leg too fast: {leg}s");
+            prop_assert!(leg <= 40.0 / 0.5 + 1e-6, "leg too slow: {leg}s");
+            prev = at;
+        }
+        let _ = WalkerId::new(0);
+    }
+}

@@ -1,0 +1,300 @@
+//! `bips-sim` — run a BIPS deployment scenario from the command line.
+//!
+//! ```console
+//! $ bips-sim --building department --users 6 --duration 900 --seed 42
+//! $ bips-sim --building office:3 --users 10 --inquiry 3.84 --cycle 15.4
+//! $ bips-sim --building corridor:5 --users 2 --query alice:bob
+//! $ bips-sim --file examples/department.bips
+//! ```
+//!
+//! With `--file`, the scenario text format (see [`bips::scenario`]) defines
+//! everything and the other flags are ignored. Every run is deterministic
+//! in its seed.
+
+use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
+use bips::mobility::{Building, Point, RoomId};
+use bips::sim::{SimDuration, SimTime};
+
+struct Args {
+    building: String,
+    users: usize,
+    duration_s: u64,
+    seed: u64,
+    inquiry_s: f64,
+    cycle_s: f64,
+    batch: bool,
+    query: Option<(String, String)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bips-sim [--building department|office:<floors>|corridor:<rooms>]\n\
+         \x20               [--users N] [--duration SECONDS] [--seed SEED]\n\
+         \x20               [--inquiry SECS] [--cycle SECS] [--batch]\n\
+         \x20               [--query USER:TARGET]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        building: "department".into(),
+        users: 6,
+        duration_s: 900,
+        seed: 42,
+        inquiry_s: 3.84,
+        cycle_s: 15.4,
+        batch: false,
+        query: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--building" => args.building = val("--building"),
+            "--users" => args.users = val("--users").parse().unwrap_or_else(|_| usage()),
+            "--duration" => args.duration_s = val("--duration").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--inquiry" => args.inquiry_s = val("--inquiry").parse().unwrap_or_else(|_| usage()),
+            "--cycle" => args.cycle_s = val("--cycle").parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = true,
+            "--query" => {
+                let v = val("--query");
+                let Some((a, b)) = v.split_once(':') else { usage() };
+                args.query = Some((a.to_string(), b.to_string()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.users == 0 || args.inquiry_s <= 0.0 || args.cycle_s < args.inquiry_s {
+        usage();
+    }
+    args
+}
+
+fn build_building(spec: &str) -> Building {
+    if spec == "department" {
+        return Building::academic_department();
+    }
+    if let Some(floors) = spec.strip_prefix("office:") {
+        let floors: usize = floors.parse().unwrap_or_else(|_| usage());
+        return Building::multi_floor_office(floors.max(1));
+    }
+    if let Some(rooms) = spec.strip_prefix("corridor:") {
+        let rooms: usize = rooms.parse().unwrap_or_else(|_| usage());
+        let rooms = rooms.max(2);
+        let mut b = Building::new();
+        let ids: Vec<RoomId> = (0..rooms)
+            .map(|i| b.add_room(format!("room-{i}"), Point::new(18.0 * i as f64, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.connect(w[0], w[1]);
+        }
+        return b;
+    }
+    usage()
+}
+
+fn run_scenario_file(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let scenario = bips::scenario::Scenario::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}:{e}");
+        std::process::exit(1);
+    });
+    let building = scenario.config.building.clone();
+    let names: Vec<String> = scenario.users.iter().map(|u| u.name.clone()).collect();
+    let duration = scenario.duration;
+    println!(
+        "bips-sim: scenario {path} ({} rooms, {} users, {}s, seed {})",
+        building.num_rooms(),
+        names.len(),
+        duration.as_secs_f64(),
+        scenario.seed
+    );
+    let mut engine = scenario.into_engine();
+    let end = SimTime::ZERO + duration;
+    engine.run_until(end);
+    report(engine.world(), &building, &names, end, true);
+}
+
+fn report(
+    sys: &BipsSystem,
+    building: &bips::mobility::Building,
+    names: &[String],
+    end: SimTime,
+    show_queries: bool,
+) {
+    let st = sys.stats();
+    println!("
+== results ==");
+    println!(
+        "logins completed: {} ({} users)   accuracy now: {:.0}%",
+        st.logins_completed,
+        names.len(),
+        sys.tracking_accuracy() * 100.0
+    );
+    println!(
+        "presence: {} changes in {} LAN messages (+{} heartbeats; naive: {})",
+        st.presence_updates_sent,
+        st.presence_messages_sent,
+        st.heartbeats_sent,
+        st.naive_announcements
+    );
+    let lat = sys.detection_latency();
+    if !lat.is_empty() {
+        println!(
+            "detection latency: {:.1}s mean over {} samples ({} visits missed)",
+            lat.mean(),
+            lat.len(),
+            st.missed_detections
+        );
+    }
+    println!("
+where is everyone?");
+    for name in names {
+        let loc = sys
+            .db_cell_of(name)
+            .map(|c| building.name(RoomId::new(c)).to_string())
+            .unwrap_or_else(|| "out of coverage".to_string());
+        println!("  {name:<12} {loc}");
+    }
+    if show_queries && !sys.queries().is_empty() {
+        println!("
+queries:");
+        for q in sys.queries() {
+            let verdict = match (&q.outcome, &q.history_outcome) {
+                (Some(o), _) => format!("{o:?}"),
+                (_, Some(h)) => format!("{h:?}"),
+                _ => "(pending)".into(),
+            };
+            println!("  {}→{} at {}: {}", q.user, q.target, q.issued_at, verdict);
+        }
+    }
+    println!("
+occupancy (time-weighted devices per cell):");
+    for (room, avg) in sys.cell_occupancy(end).iter().enumerate() {
+        if *avg > 0.005 {
+            println!("  {:<12} {avg:.2}", building.name(RoomId::new(room)));
+        }
+    }
+}
+
+fn main() {
+    // --file mode takes over entirely.
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(pos) = argv.iter().position(|a| a == "--file") {
+        match argv.get(pos + 1) {
+            Some(path) => return run_scenario_file(path),
+            None => usage(),
+        }
+    }
+    let args = parse_args();
+    let building = build_building(&args.building);
+    let n_rooms = building.num_rooms();
+    let config = SystemConfig {
+        building: building.clone(),
+        duty: bips::baseband::params::DutyCycle::periodic(
+            SimDuration::from_secs_f64(args.inquiry_s),
+            SimDuration::from_secs_f64(args.cycle_s),
+        ),
+        sweep_interval: SimDuration::from_secs_f64(args.cycle_s),
+        absence_timeout: SimDuration::from_secs_f64(2.0 * args.cycle_s),
+        batch_updates: args.batch,
+        ..SystemConfig::default()
+    };
+
+    println!(
+        "bips-sim: {} ({} rooms), {} users, {}s, seed {}, inquiry {:.2}s / cycle {:.2}s{}",
+        args.building,
+        n_rooms,
+        args.users,
+        args.duration_s,
+        args.seed,
+        args.inquiry_s,
+        args.cycle_s,
+        if args.batch { ", batched updates" } else { "" }
+    );
+
+    let mut builder = BipsSystem::builder(config);
+    let mut names = Vec::new();
+    for i in 0..args.users {
+        let name = match &args.query {
+            Some((a, _)) if i == 0 => a.clone(),
+            Some((_, b)) if i == 1 => b.clone(),
+            _ => format!("user{i}"),
+        };
+        names.push(name.clone());
+        builder = builder.user(UserSpec::new(name, i % n_rooms));
+    }
+    let mut engine = builder.into_engine(args.seed);
+
+    // Optional periodic query between the named pair.
+    if let Some((from, to)) = &args.query {
+        let mut t = 120u64;
+        while t < args.duration_s {
+            engine.schedule(SimTime::from_secs(t), SysEvent::locate(from.clone(), to.clone()));
+            t += 120;
+        }
+    }
+
+    let end = SimTime::from_secs(args.duration_s);
+    engine.run_until(end);
+
+    let sys = engine.world();
+    let st = sys.stats();
+    println!("\n== results ==");
+    println!(
+        "logins: {}/{}   accuracy now: {:.0}%",
+        st.logins_completed,
+        args.users,
+        sys.tracking_accuracy() * 100.0
+    );
+    println!(
+        "presence: {} changes in {} LAN messages (naive: {})",
+        st.presence_updates_sent, st.presence_messages_sent, st.naive_announcements
+    );
+    let lat = sys.detection_latency();
+    if !lat.is_empty() {
+        println!(
+            "detection latency: {:.1}s mean over {} samples ({} visits missed)",
+            lat.mean(),
+            lat.len(),
+            st.missed_detections
+        );
+    }
+    println!("\nwhere is everyone?");
+    for name in &names {
+        let loc = sys
+            .db_cell_of(name)
+            .map(|c| building.name(RoomId::new(c)).to_string())
+            .unwrap_or_else(|| "out of coverage".to_string());
+        println!("  {name:<12} {loc}");
+    }
+    if args.query.is_some() {
+        println!("\nqueries:");
+        for q in sys.queries() {
+            println!(
+                "  {}→{} at {}: {:?}",
+                q.user, q.target, q.issued_at, q.outcome
+            );
+        }
+    }
+    println!("\noccupancy (time-weighted devices per cell):");
+    for (room, avg) in sys.cell_occupancy(end).iter().enumerate() {
+        if *avg > 0.005 {
+            println!("  {:<12} {avg:.2}", building.name(RoomId::new(room)));
+        }
+    }
+}

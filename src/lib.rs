@@ -1,0 +1,54 @@
+//! # bips — an indoor Bluetooth-based positioning service
+//!
+//! A from-scratch Rust reproduction of *“Experimenting an Indoor
+//! Bluetooth-based Positioning Service”* (Anastasi, Bandelloni, Conti,
+//! Delmastro, Gregori, Mainetto — ICDCS Workshops 2003): a building-scale
+//! service that tracks mobile users through Bluetooth cells and answers
+//! *“what is the shortest path to user X?”*.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`sim`] — the deterministic discrete-event engine ([`desim`]);
+//! * [`baseband`] — the slot-accurate Bluetooth 1.1 radio model
+//!   ([`bt_baseband`]): inquiry trains, scan windows, response backoff,
+//!   FHS collisions, paging, links;
+//! * [`lan`] — the simulated Ethernet segment with a reliable transport
+//!   and RPC framing ([`bips_lan`]);
+//! * [`mobility`] — buildings, coverage cells and walkers
+//!   ([`bips_mobility`]);
+//! * [`core`] — BIPS itself ([`bips_core`]): registry, location database,
+//!   workstation tracking, the central server, and the full-system
+//!   simulation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bips::core::system::{BipsSystem, SystemConfig, UserSpec};
+//! use bips::mobility::walker::WalkMode;
+//! use bips::sim::SimTime;
+//!
+//! // A department building, two users, the paper's duty cycle.
+//! let mut engine = BipsSystem::builder(SystemConfig::default())
+//!     .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+//!     .user(UserSpec::new("bob", 4).mode(WalkMode::Stationary))
+//!     .into_engine(42);
+//!
+//! // Run five virtual minutes: discovery → login → presence tracking.
+//! engine.run_until(SimTime::from_secs(300));
+//! assert!(engine.world().is_logged_in("alice"));
+//! assert_eq!(engine.world().db_cell_of("bob"), Some(4));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+pub use bips_core as core;
+pub use bips_lan as lan;
+pub use bips_mobility as mobility;
+pub use bt_baseband as baseband;
+pub use desim as sim;

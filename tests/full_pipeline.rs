@@ -1,0 +1,351 @@
+//! End-to-end integration: the complete BIPS stack driven through the
+//! umbrella crate, exercising discovery → paging → login → tracking →
+//! queries across crate boundaries.
+
+use bips::core::protocol::LocateOutcome;
+use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
+use bips::core::registry::AccessRights;
+use bips::mobility::walker::WalkMode;
+use bips::mobility::{Building, Point, RoomId};
+use bips::sim::{SimDuration, SimTime};
+
+fn corridor(rooms: usize, spacing: f64) -> Building {
+    let mut b = Building::new();
+    let ids: Vec<RoomId> = (0..rooms)
+        .map(|i| b.add_room(format!("r{i}"), Point::new(spacing * i as f64, 0.0)))
+        .collect();
+    for w in ids.windows(2) {
+        b.connect(w[0], w[1]);
+    }
+    b
+}
+
+fn fast_config(building: Building) -> SystemConfig {
+    SystemConfig {
+        building,
+        duty: bips::baseband::params::DutyCycle::periodic(
+            SimDuration::from_secs(4),
+            SimDuration::from_secs(8),
+        ),
+        sweep_interval: SimDuration::from_secs(4),
+        absence_timeout: SimDuration::from_secs(16),
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn three_room_corridor_tracks_a_commuter() {
+    let mut e = BipsSystem::builder(fast_config(corridor(3, 25.0)))
+        .user(UserSpec::new("commuter", 0).mode(WalkMode::Loop(vec![
+            RoomId::new(1),
+            RoomId::new(2),
+            RoomId::new(1),
+            RoomId::new(0),
+        ])))
+        .into_engine(11);
+    let mut seen = std::collections::HashSet::new();
+    let mut acc = 0.0;
+    for step in 1..=60 {
+        e.run_until(SimTime::from_secs(step * 10));
+        if let Some(c) = e.world().db_cell_of("commuter") {
+            seen.insert(c);
+        }
+        acc += e.world().tracking_accuracy();
+    }
+    assert!(e.world().is_logged_in("commuter"));
+    assert_eq!(seen.len(), 3, "commuter seen in cells {seen:?}");
+    // The DB was right for a decent share of the sampled instants (a
+    // constantly walking user is the worst case for a 4 s sweep).
+    assert!(acc / 60.0 > 0.3, "mean sampled accuracy {}", acc / 60.0);
+}
+
+#[test]
+fn queries_respect_access_rights_end_to_end() {
+    let mut e = BipsSystem::builder(fast_config(corridor(2, 30.0)))
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .user(
+            UserSpec::new("director", 1)
+                .mode(WalkMode::Stationary)
+                .rights(AccessRights::invisible()),
+        )
+        .into_engine(12);
+    e.run_until(SimTime::from_secs(120));
+    assert!(e.world().is_logged_in("alice"));
+    assert!(e.world().is_logged_in("director"));
+    // Alice cannot locate the invisible director; the director can locate
+    // alice.
+    e.schedule(SimTime::from_secs(120), SysEvent::locate("alice", "director"));
+    e.schedule(SimTime::from_secs(121), SysEvent::locate("director", "alice"));
+    e.run_until(SimTime::from_secs(300));
+    let queries = e.world().queries();
+    assert_eq!(queries.len(), 2);
+    let alice_q = queries.iter().find(|q| q.user == "alice").unwrap();
+    assert_eq!(alice_q.outcome, Some(LocateOutcome::Denied));
+    let dir_q = queries.iter().find(|q| q.user == "director").unwrap();
+    assert!(
+        matches!(dir_q.outcome, Some(LocateOutcome::Found { cell: 0, .. })),
+        "{dir_q:?}"
+    );
+}
+
+#[test]
+fn unknown_target_and_not_logged_in_outcomes() {
+    let mut e = BipsSystem::builder(fast_config(corridor(2, 30.0)))
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .user(
+            UserSpec::new("sleeper", 1)
+                .mode(WalkMode::Stationary)
+                .auto_login(false),
+        )
+        .into_engine(13);
+    e.run_until(SimTime::from_secs(120));
+    assert!(!e.world().is_logged_in("sleeper"));
+    e.schedule(SimTime::from_secs(130), SysEvent::locate("alice", "ghost"));
+    e.schedule(SimTime::from_secs(131), SysEvent::locate("alice", "sleeper"));
+    e.run_until(SimTime::from_secs(300));
+    let queries = e.world().queries();
+    let ghost = queries.iter().find(|q| q.target == "ghost").unwrap();
+    assert_eq!(ghost.outcome, Some(LocateOutcome::NoSuchUser));
+    let sleeper = queries.iter().find(|q| q.target == "sleeper").unwrap();
+    assert_eq!(sleeper.outcome, Some(LocateOutcome::NotLoggedIn));
+    // A scripted login brings the sleeper online after all.
+    e.schedule(SimTime::from_secs(300), SysEvent::login("sleeper"));
+    e.run_until(SimTime::from_secs(420));
+    assert!(e.world().is_logged_in("sleeper"));
+}
+
+#[test]
+fn user_walking_out_of_coverage_goes_absent() {
+    // Two rooms 60 m apart: between them, nobody covers the walker.
+    let mut b = Building::new();
+    let a = b.add_room("a", Point::new(0.0, 0.0));
+    let z = b.add_room("z", Point::new(60.0, 0.0));
+    b.connect(a, z);
+    let mut e = BipsSystem::builder(fast_config(b))
+        .user(UserSpec::new("walker", 0).mode(WalkMode::Route(vec![RoomId::new(1)])))
+        .into_engine(14);
+    // After the walk completes the user must be present in z only.
+    e.run_until(SimTime::from_secs(400));
+    assert_eq!(e.world().db_cell_of("walker"), Some(1));
+    let db = e.world().server().db();
+    let addr = bips::baseband::BdAddr::new(0x0010_0000_0000);
+    assert_eq!(db.cells_of(addr), vec![1], "stale presence in cell 0");
+}
+
+#[test]
+fn same_seed_same_world_different_seed_diverges() {
+    let run = |seed| {
+        let mut e = BipsSystem::builder(fast_config(corridor(3, 25.0)))
+            .user(UserSpec::new("u0", 0))
+            .user(UserSpec::new("u1", 1))
+            .user(UserSpec::new("u2", 2))
+            .into_engine(seed);
+        e.run_until(SimTime::from_secs(200));
+        (
+            e.world().stats(),
+            e.world().db_cell_of("u0"),
+            e.world().db_cell_of("u1"),
+            e.world().db_cell_of("u2"),
+        )
+    };
+    assert_eq!(run(77), run(77), "determinism violated");
+    let a = run(77);
+    let b = run(78);
+    assert!(a != b, "different seeds should explore different worlds");
+}
+
+#[test]
+fn lossy_lan_still_converges() {
+    // 20 % frame loss on the LAN: the stop-and-wait transport must mask
+    // it completely — logins and presence still converge.
+    let mut cfg = fast_config(corridor(2, 30.0));
+    cfg.lan = bips::lan::LanConfig {
+        loss: 0.2,
+        ..bips::lan::LanConfig::default()
+    };
+    let mut e = BipsSystem::builder(cfg)
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("bob", 1).mode(WalkMode::Stationary))
+        .into_engine(21);
+    e.run_until(SimTime::from_secs(180));
+    assert!(e.world().is_logged_in("alice"));
+    assert!(e.world().is_logged_in("bob"));
+    assert_eq!(e.world().db_cell_of("alice"), Some(0));
+    assert_eq!(e.world().db_cell_of("bob"), Some(1));
+    // And a query survives the lossy wire too.
+    e.schedule(SimTime::from_secs(180), SysEvent::locate("alice", "bob"));
+    e.run_until(SimTime::from_secs(360));
+    let q = &e.world().queries()[0];
+    assert!(
+        matches!(q.outcome, Some(LocateOutcome::Found { .. })),
+        "{q:?}"
+    );
+}
+
+#[test]
+fn multi_floor_building_tracks_between_floors() {
+    // Two-floor office; a user takes the stairs. Coverage never spans
+    // floors, so the DB must show the floor transition.
+    let building = Building::multi_floor_office(2);
+    let stair0 = building.room_by_name("stair-f0").unwrap();
+    let r00 = building.room_by_name("room-f0-0").unwrap();
+    let r01 = building.room_by_name("room-f0-1").unwrap();
+    let stair1 = building.room_by_name("stair-f1").unwrap();
+    let room1 = building.room_by_name("room-f1-0").unwrap();
+    // Wander floor 0 long enough to be enrolled there, then climb.
+    let route = WalkMode::Route(vec![r00, r01, r00, stair0, stair1, room1]);
+    let mut e = BipsSystem::builder(fast_config(building))
+        .user(UserSpec::new("climber", stair0.index()).mode(route))
+        .into_engine(22);
+    let mut floors_seen = std::collections::HashSet::new();
+    for step in 1..=80 {
+        e.run_until(SimTime::from_secs(step * 10));
+        if let Some(c) = e.world().db_cell_of("climber") {
+            floors_seen.insert(if c < 6 { 0 } else { 1 });
+        }
+    }
+    assert!(
+        floors_seen.contains(&0) && floors_seen.contains(&1),
+        "only saw floors {floors_seen:?}"
+    );
+    assert_eq!(e.world().db_cell_of("climber"), Some(room1.index()));
+}
+
+#[test]
+fn detection_latency_is_bounded_by_cycle_plus_sweep() {
+    // With a 4 s inquiry / 8 s cycle and 4 s sweeps, detecting a
+    // stationary user takes at most a few cycles.
+    let mut e = BipsSystem::builder(fast_config(corridor(2, 30.0)))
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .into_engine(23);
+    e.run_until(SimTime::from_secs(300));
+    let lat = e.world().detection_latency();
+    assert!(!lat.is_empty(), "no detection samples");
+    assert!(
+        lat.mean() < 30.0,
+        "detection latency {:.1}s too slow for a 8 s cycle",
+        lat.mean()
+    );
+    assert_eq!(e.world().stats().missed_detections, 0);
+}
+
+#[test]
+fn eight_users_in_one_cell_all_enroll_through_the_page_queue() {
+    // More users than the 7-slave piconet cap, all camped in one room:
+    // the page queue must serialize logins and everyone still enrolls
+    // (links are released after the login exchange).
+    let mut e = BipsSystem::builder(fast_config(corridor(2, 30.0)))
+        .user(UserSpec::new("u0", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u1", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u2", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u3", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u4", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u5", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u6", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("u7", 0).mode(WalkMode::Stationary))
+        .into_engine(24);
+    e.run_until(SimTime::from_secs(600));
+    for i in 0..8 {
+        assert!(
+            e.world().is_logged_in(&format!("u{i}")),
+            "u{i} never logged in"
+        );
+        assert_eq!(e.world().db_cell_of(&format!("u{i}")), Some(0));
+    }
+}
+
+#[test]
+fn slot_accurate_paging_works_through_the_full_system() {
+    let mut cfg = fast_config(corridor(2, 30.0));
+    cfg.medium.page_model = bips::baseband::params::PageModel::SlotAccurate;
+    let mut e = BipsSystem::builder(cfg)
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("bob", 1).mode(WalkMode::Stationary))
+        .into_engine(25);
+    e.run_until(SimTime::from_secs(180));
+    assert!(e.world().is_logged_in("alice"));
+    assert!(e.world().is_logged_in("bob"));
+    e.schedule(SimTime::from_secs(180), SysEvent::locate("alice", "bob"));
+    e.run_until(SimTime::from_secs(360));
+    let q = &e.world().queries()[0];
+    assert!(
+        matches!(q.outcome, Some(LocateOutcome::Found { .. })),
+        "{q:?}"
+    );
+}
+
+#[test]
+fn server_restart_recovers_via_epoch_resync() {
+    let mut e = BipsSystem::builder(fast_config(corridor(2, 30.0)))
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("bob", 1).mode(WalkMode::Stationary))
+        .into_engine(26);
+    e.run_until(SimTime::from_secs(120));
+    assert!(e.world().is_logged_in("alice") && e.world().is_logged_in("bob"));
+    assert_eq!(e.world().db_cell_of("alice"), Some(0));
+    let updates_before = e.world().stats().presence_updates_sent;
+    let logins_before = e.world().stats().logins_completed;
+
+    // Crash the central server: sessions and presence evaporate.
+    e.schedule(SimTime::from_secs(120), SysEvent::restart_server());
+    e.run_until(SimTime::from_secs(121));
+    assert_eq!(e.world().server().epoch(), 1);
+    assert_eq!(
+        e.world().server().locate_by_name("alice"),
+        None,
+        "server RAM state must be lost"
+    );
+
+    // Within a few cycles the epoch bump propagates: workstations
+    // re-announce, handhelds re-login, the DB converges again.
+    e.run_until(SimTime::from_secs(400));
+    assert!(e.world().is_logged_in("alice"), "alice never re-logged-in");
+    assert!(e.world().is_logged_in("bob"), "bob never re-logged-in");
+    assert_eq!(e.world().db_cell_of("alice"), Some(0));
+    assert_eq!(e.world().db_cell_of("bob"), Some(1));
+    let st = e.world().stats();
+    assert!(st.presence_updates_sent > updates_before, "no re-announcement");
+    assert!(st.logins_completed > logins_before, "no re-authentication");
+    assert_eq!(e.world().tracking_accuracy(), 1.0);
+}
+
+#[test]
+fn history_query_traces_movement_end_to_end() {
+    let mut e = BipsSystem::builder(fast_config(corridor(3, 25.0)))
+        .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
+        .user(UserSpec::new("walker", 0).mode(WalkMode::Route(vec![
+            RoomId::new(1),
+            RoomId::new(2),
+        ])))
+        .into_engine(27);
+    // Let the walker complete its route and the DB record the journey.
+    e.run_until(SimTime::from_secs(300));
+    assert!(e.world().is_logged_in("alice") && e.world().is_logged_in("walker"));
+    // Alice asks where the walker was during the whole run.
+    e.schedule(
+        SimTime::from_secs(300),
+        SysEvent::history("alice", "walker", 0, 300),
+    );
+    e.run_until(SimTime::from_secs(500));
+    let q = e
+        .world()
+        .queries()
+        .into_iter()
+        .find(|q| matches!(q.kind, bips::core::system::QueryKind::History { .. }))
+        .expect("history query recorded");
+    assert!(q.answered_at.is_some(), "history never answered: {q:?}");
+    let Some(bips::core::protocol::HistoryOutcome::Trace(steps)) = &q.history_outcome else {
+        panic!("unexpected outcome {:?}", q.history_outcome);
+    };
+    // The trace must include presence transitions in at least two
+    // different cells along the walk.
+    let cells: std::collections::HashSet<u32> = steps.iter().map(|s| s.cell).collect();
+    assert!(
+        cells.len() >= 2,
+        "trace covered only cells {cells:?}: {steps:?}"
+    );
+    // Chronological, with sensible transitions.
+    for w in steps.windows(2) {
+        assert!(w[1].at_us >= w[0].at_us, "trace out of order");
+    }
+}

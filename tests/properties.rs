@@ -1,0 +1,236 @@
+//! Property-based invariants across the workspace (proptest).
+
+use bips::baseband::BdAddr;
+use bips::core::graph::{random_connected_graph, WsGraph};
+use bips::core::locationdb::LocationDb;
+use bips::core::protocol::{LocateOutcome, Request, Response};
+use bips::mobility::geometry::{inside_circle, segment_circle_crossings, Point};
+use bips::sim::stats::{EmpiricalCdf, OnlineStats};
+use bips::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Dijkstra agrees with the Bellman–Ford reference on arbitrary
+    /// connected weighted graphs.
+    #[test]
+    fn dijkstra_equals_bellman_ford(n in 2usize..40, extra in 0usize..60, seed in any::<u64>()) {
+        let g = random_connected_graph(n, extra, seed);
+        let (d1, _) = g.dijkstra(0);
+        let d2 = g.bellman_ford(0);
+        for v in 0..n {
+            prop_assert!((d1[v] - d2[v]).abs() < 1e-9, "node {}: {} vs {}", v, d1[v], d2[v]);
+        }
+    }
+
+    /// Every APSP path is a real walk with the claimed total length, and
+    /// distances obey the triangle inequality.
+    #[test]
+    fn apsp_paths_are_valid_walks(n in 2usize..25, extra in 0usize..40, seed in any::<u64>()) {
+        let g = random_connected_graph(n, extra, seed);
+        let apsp = g.precompute_all_pairs();
+        for a in 0..n {
+            for b in 0..n {
+                let (path, total) = apsp.path(a, b).expect("connected");
+                prop_assert_eq!(path[0], a);
+                prop_assert_eq!(*path.last().unwrap(), b);
+                let mut sum = 0.0;
+                for w in path.windows(2) {
+                    let weight = g.edges(w[0]).iter().find(|&&(v, _)| v == w[1]).map(|&(_, x)| x);
+                    prop_assert!(weight.is_some(), "path uses non-edge {:?}", w);
+                    sum += weight.unwrap();
+                }
+                prop_assert!((sum - total).abs() < 1e-6);
+                // Triangle inequality through a random midpoint.
+                let m = (a + b) % n;
+                let via = apsp.distance(a, m).unwrap() + apsp.distance(m, b).unwrap();
+                prop_assert!(total <= via + 1e-9);
+            }
+        }
+    }
+
+    /// The BIPS protocol codec round-trips arbitrary field contents.
+    #[test]
+    fn protocol_round_trips(
+        raw_addr in 0u64..(1 << 48),
+        cell in any::<u32>(),
+        present in any::<bool>(),
+        user in "[a-zA-Z0-9 _\\-]{0,40}",
+        password in "\\PC{0,40}",
+    ) {
+        let addr = BdAddr::new(raw_addr);
+        for req in [
+            Request::Presence { cell, addr, present },
+            Request::Login { addr, user: user.clone(), password: password.clone() },
+            Request::Logout { addr },
+            Request::Locate { from: addr, target: user.clone(), from_cell: cell },
+        ] {
+            let buf = req.encode();
+            prop_assert_eq!(Request::decode(&buf), Ok(req));
+        }
+        let resp = Response::LocateResult(LocateOutcome::Found {
+            cell,
+            path: vec![cell, cell.wrapping_add(1)],
+            distance: (cell as f64) * 0.5,
+        });
+        let buf = resp.encode();
+        prop_assert_eq!(Response::decode(&buf), Ok(resp));
+    }
+
+    /// Decoding never panics on arbitrary bytes (errors only).
+    #[test]
+    fn protocol_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Empirical CDFs are monotone, bounded, and hit 1 at the max sample.
+    #[test]
+    fn cdf_is_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut cdf: EmpiricalCdf = samples.iter().copied().collect();
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(cdf.probability_at(max), 1.0);
+        let mut last = 0.0;
+        for i in 0..20 {
+            let x = max * (i as f64) / 19.0;
+            let p = cdf.probability_at(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= last - 1e-12);
+            last = p;
+        }
+    }
+
+    /// Welford statistics match the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * var.abs().max(1.0));
+    }
+
+    /// Time arithmetic: (t + a) + b == (t + b) + a and subtraction undoes
+    /// addition.
+    #[test]
+    fn sim_time_arithmetic(t in 0u64..1_000_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t0 = SimTime::from_micros(t);
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!((t0 + da) + db, (t0 + db) + da);
+        prop_assert_eq!((t0 + da) - da, t0);
+        prop_assert_eq!((t0 + da) - t0, da);
+    }
+
+    /// BD_ADDR text form round-trips for all 48-bit values.
+    #[test]
+    fn bd_addr_round_trips(raw in 0u64..(1 << 48)) {
+        let a = BdAddr::new(raw);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BdAddr>(), Ok(a));
+        prop_assert_eq!(u64::from(a), raw);
+    }
+
+    /// The location DB's current cell is always one of the claimed cells,
+    /// under arbitrary update sequences.
+    #[test]
+    fn locationdb_latest_is_among_cells(
+        ops in proptest::collection::vec((0u64..4, 0usize..5, any::<bool>()), 1..120)
+    ) {
+        let mut db = LocationDb::new();
+        for (i, (dev, cell, present)) in ops.iter().enumerate() {
+            db.apply(BdAddr::new(*dev), *cell, *present, SimTime::from_secs(i as u64));
+        }
+        for dev in 0..4u64 {
+            let addr = BdAddr::new(dev);
+            let cells = db.cells_of(addr);
+            match db.current_cell(addr) {
+                Some(c) => prop_assert!(cells.contains(&c), "latest {} not in {:?}", c, cells),
+                None => prop_assert!(cells.is_empty()),
+            }
+        }
+        let st = db.stats();
+        prop_assert_eq!(st.applied as usize, db.history().len());
+    }
+
+    /// Segment/circle intersection returns a sane sub-interval consistent
+    /// with point-inside tests at its midpoint.
+    #[test]
+    fn segment_circle_interval_is_consistent(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        cx in -50.0f64..50.0, cy in -50.0f64..50.0,
+        r in 0.5f64..30.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        if let Some((t_in, t_out)) = segment_circle_crossings(a, b, c, r) {
+            prop_assert!((0.0..=1.0).contains(&t_in));
+            prop_assert!((0.0..=1.0).contains(&t_out));
+            prop_assert!(t_in < t_out);
+            let mid = a.lerp(b, (t_in + t_out) / 2.0);
+            prop_assert!(inside_circle(mid, c, r * (1.0 + 1e-9)));
+        } else if a.distance(b) > 1e-9 {
+            // No interval: the midpoint of the segment must not be
+            // strictly inside unless the whole thing grazes the rim.
+            let mid = a.lerp(b, 0.5);
+            prop_assert!(!inside_circle(mid, c, r * (1.0 - 1e-9)) || a.distance(b) < 1e-6);
+        }
+    }
+
+    /// Graph construction from arbitrary buildings produces matching
+    /// node/edge counts.
+    #[test]
+    fn graph_mirrors_building(rooms in 2usize..12, seed in any::<u64>()) {
+        let mut b = bips::mobility::Building::new();
+        let mut rng = bips::sim::SimRng::seed_from(seed);
+        let ids: Vec<_> = (0..rooms)
+            .map(|i| b.add_room(format!("r{i}"), Point::new(rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0))))
+            .collect();
+        for w in ids.windows(2) {
+            b.connect_with_distance(w[0], w[1], rng.uniform(1.0, 30.0));
+        }
+        let g = WsGraph::from_building(&b);
+        prop_assert_eq!(g.num_nodes(), rooms);
+        prop_assert_eq!(g.num_edges(), rooms - 1);
+        prop_assert!(g.is_connected());
+    }
+}
+
+proptest! {
+    /// The scenario parser never panics, whatever the input.
+    #[test]
+    fn scenario_parser_is_total(text in "\\PC{0,400}") {
+        let _ = bips::scenario::Scenario::parse(&text);
+    }
+
+    /// Structured-ish random scenario lines: still no panics, and errors
+    /// always carry a line number within the input.
+    #[test]
+    fn scenario_errors_point_into_the_input(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "building department",
+                "building corridor:3",
+                "room a 0 0",
+                "room b 5 5",
+                "door a b",
+                "duty 4 8",
+                "duty 8 4",
+                "seed 1",
+                "duration 10",
+                "user u a stationary",
+                "user u room-0",
+                "locate 5 u u",
+                "restart 3",
+                "garbage here",
+            ]),
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Err(e) = bips::scenario::Scenario::parse(&text) {
+            prop_assert!(e.line >= 1 && e.line <= lines.len().max(1));
+        }
+    }
+}

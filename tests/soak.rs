@@ -1,0 +1,70 @@
+//! Long-run stability: a busy department simulated for a virtual hour.
+//!
+//! Guards against slow state leaks (pending maps, event-queue growth,
+//! stuck handhelds) that short tests cannot see.
+
+use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
+use bips::mobility::walker::WalkMode;
+use bips::sim::{SimDuration, SimTime};
+
+#[test]
+fn one_virtual_hour_with_ten_users_stays_healthy() {
+    let mut builder = BipsSystem::builder(SystemConfig::default());
+    for i in 0..10 {
+        builder = builder.user(UserSpec::new(format!("u{i}"), i % 9).mode(
+            WalkMode::RandomWalk {
+                pause: (SimDuration::from_secs(5), SimDuration::from_secs(45)),
+            },
+        ));
+    }
+    let mut e = builder.into_engine(3600);
+
+    // Queries fire continuously, and the server is restarted twice
+    // mid-run to exercise recovery under load.
+    let mut t = 180u64;
+    while t < 3600 {
+        let a = (t / 180) % 10;
+        let b = (a + 3) % 10;
+        e.schedule(SimTime::from_secs(t), SysEvent::locate(format!("u{a}"), format!("u{b}")));
+        t += 180;
+    }
+    e.schedule(SimTime::from_secs(1200), SysEvent::restart_server());
+    e.schedule(SimTime::from_secs(2400), SysEvent::restart_server());
+
+    let mut accuracy_sum = 0.0;
+    let mut samples = 0u32;
+    for step in 1..=36 {
+        e.run_until(SimTime::from_secs(step * 100));
+        accuracy_sum += e.world().tracking_accuracy();
+        samples += 1;
+        // The calendar must not grow without bound.
+        let pending = e.context_mut().pending();
+        assert!(
+            pending < 5_000,
+            "event-queue leak at t={}s: {pending} pending",
+            step * 100
+        );
+    }
+
+    let sys = e.world();
+    let st = sys.stats();
+    // Everyone is (re-)logged-in at the end despite two server crashes.
+    for i in 0..10 {
+        assert!(sys.is_logged_in(&format!("u{i}")), "u{i} lost forever");
+    }
+    // At least the original logins plus re-logins after both restarts.
+    assert!(st.logins_completed >= 20, "logins: {}", st.logins_completed);
+    // Tracking keeps working on average.
+    let mean_acc = accuracy_sum / samples as f64;
+    assert!(mean_acc > 0.5, "mean accuracy {mean_acc}");
+    // Queries flow throughout.
+    assert!(st.queries_issued >= 18);
+    assert!(
+        st.queries_answered * 10 >= st.queries_issued * 7,
+        "answered only {} of {}",
+        st.queries_answered,
+        st.queries_issued
+    );
+    // Update-on-change still beats naive reporting over the long run.
+    assert!(st.naive_announcements > st.presence_updates_sent);
+}
