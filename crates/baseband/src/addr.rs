@@ -183,15 +183,28 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        for bad in ["", "00:11:22:33:44", "00:11:22:33:44:55:66", "0:1:2:3:4:5", "GG:00:00:00:00:00"] {
-            assert_eq!(bad.parse::<BdAddr>(), Err(ParseBdAddrError::Malformed), "{bad}");
+        for bad in [
+            "",
+            "00:11:22:33:44",
+            "00:11:22:33:44:55:66",
+            "0:1:2:3:4:5",
+            "GG:00:00:00:00:00",
+        ] {
+            assert_eq!(
+                bad.parse::<BdAddr>(),
+                Err(ParseBdAddrError::Malformed),
+                "{bad}"
+            );
         }
     }
 
     #[test]
     fn try_from_bounds() {
         assert!(BdAddr::try_from((1u64 << 48) - 1).is_ok());
-        assert_eq!(BdAddr::try_from(1u64 << 48), Err(ParseBdAddrError::TooLarge));
+        assert_eq!(
+            BdAddr::try_from(1u64 << 48),
+            Err(ParseBdAddrError::TooLarge)
+        );
     }
 
     #[test]

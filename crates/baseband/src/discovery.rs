@@ -80,6 +80,33 @@ impl DiscoveryScenario {
     /// (clock phases, scan phases, start trains, backoffs) derives from
     /// it.
     pub fn run(&self, seed: u64) -> DiscoveryOutcome {
+        self.run_trial(seed, None)
+    }
+
+    /// Like [`run`](DiscoveryScenario::run), but additionally exports the
+    /// medium's counters into `metrics` after the trial (merged with
+    /// whatever is already there, so calling this across replications
+    /// accumulates totals). The instrumentation reads state only after
+    /// the run — outcomes are bit-identical to the plain variant.
+    pub fn run_with_metrics(&self, seed: u64, metrics: &mut desim::MetricSet) -> DiscoveryOutcome {
+        self.run_trial(seed, Some(metrics))
+    }
+
+    /// Runs `n` independent replications, accumulating medium counters
+    /// from every trial into `metrics`.
+    pub fn run_replications_with_metrics(
+        &self,
+        master_seed: u64,
+        n: u64,
+        metrics: &mut desim::MetricSet,
+    ) -> Vec<DiscoveryOutcome> {
+        let deriver = desim::SeedDeriver::new(master_seed);
+        (0..n)
+            .map(|i| self.run_with_metrics(deriver.derive(i), metrics))
+            .collect()
+    }
+
+    fn run_trial(&self, seed: u64, metrics: Option<&mut desim::MetricSet>) -> DiscoveryOutcome {
         let mut builder = BasebandWorld::builder()
             .medium(self.medium)
             .master(self.master);
@@ -90,6 +117,11 @@ impl DiscoveryScenario {
         engine.run_until(SimTime::ZERO + self.horizon);
 
         let bb = engine.world().baseband();
+        if let Some(metrics) = metrics {
+            let mut trial = desim::MetricSet::new();
+            bb.export_metrics(&mut trial);
+            metrics.merge(&trial);
+        }
         let m = MasterId::new(0);
         let mut times: Vec<Option<SimDuration>> = vec![None; self.slaves.len()];
         for d in bb.discoveries() {
@@ -236,6 +268,26 @@ mod tests {
         let full = out.fraction_discovered_by(SimDuration::from_secs(14));
         assert!(one_sec > 0.5, "first-second discovery too low: {one_sec}");
         assert!(full >= one_sec);
+    }
+
+    #[test]
+    fn metrics_variant_matches_plain_run_and_accumulates() {
+        let s = table1_scenario();
+        let mut metrics = desim::MetricSet::new();
+        let a = s.run_with_metrics(11, &mut metrics);
+        assert_eq!(a, s.run(11), "instrumentation changed the outcome");
+        let after_one = metrics
+            .counter_value("baseband.inquiry.ids_transmitted")
+            .unwrap();
+        assert!(after_one > 0);
+        let _ = s.run_with_metrics(12, &mut metrics);
+        assert!(
+            metrics
+                .counter_value("baseband.inquiry.ids_transmitted")
+                .unwrap()
+                > after_one,
+            "second trial should accumulate"
+        );
     }
 
     #[test]

@@ -132,7 +132,9 @@ mod tests {
             assert!(!adv.train_switched);
         }
         assert_eq!(seen.len(), 16);
-        assert!(seen.iter().all(|&f| Train::A.contains(crate::hop::InquiryFreq::new(f))));
+        assert!(seen
+            .iter()
+            .all(|&f| Train::A.contains(crate::hop::InquiryFreq::new(f))));
     }
 
     #[test]

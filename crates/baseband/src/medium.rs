@@ -23,7 +23,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use desim::compose::SubScheduler;
-use desim::{SimDuration, SimTime, SimRng};
+use desim::{SimDuration, SimRng, SimTime};
 
 use crate::addr::BdAddr;
 use crate::clock::{NativeClock, SLOT_PAIR, TICK};
@@ -31,7 +31,9 @@ use crate::hop::{InquiryFreq, Train, NUM_INQUIRY_FREQS};
 use crate::inquiry::InquiryState;
 use crate::link::Link;
 use crate::page::{completion_time, PageAttempt};
-use crate::params::{MasterConfig, MediumConfig, PageModel, ScanFreqModel, SlaveConfig, StartTrain};
+use crate::params::{
+    MasterConfig, MediumConfig, PageModel, ScanFreqModel, SlaveConfig, StartTrain,
+};
 use crate::scan::{ScanAction, ScanMachine, WindowSchedule};
 use crate::schedule::{Phase, PhasePlan};
 
@@ -97,7 +99,11 @@ enum Ev {
     /// Master duty-cycle boundary.
     PhaseBoundary { master: usize, epoch: u32 },
     /// Slave regular scan-window open (index = which window).
-    WindowOpen { slave: usize, epoch: u32, index: u64 },
+    WindowOpen {
+        slave: usize,
+        epoch: u32,
+        index: u64,
+    },
     /// Slave scan-window close.
     WindowClose { slave: usize, epoch: u32 },
     /// Slave response backoff finished.
@@ -106,7 +112,11 @@ enum Ev {
     FhsRx { master: usize, key: u64 },
     /// An in-flight page attempt reaches a decision instant (analytic
     /// model).
-    PageResolve { master: usize, slave: usize, attempt: u32 },
+    PageResolve {
+        master: usize,
+        slave: usize,
+        attempt: u32,
+    },
     /// Slot-accurate paging: the master's next page-ID transmission.
     PageTx { master: usize, attempt: u32 },
     /// A data message finishes its transfer.
@@ -666,6 +676,29 @@ impl Baseband {
         self.stats
     }
 
+    /// Exports the medium's counters into `metrics` under the
+    /// `baseband.*` prefix (see `docs/OBSERVABILITY.md` for the catalog).
+    pub fn export_metrics(&self, metrics: &mut desim::MetricSet) {
+        let s = &self.stats;
+        metrics.set_counter("baseband.inquiry.ids_transmitted", s.ids_transmitted);
+        metrics.set_counter("baseband.inquiry.ids_heard", s.ids_heard);
+        metrics.set_counter("baseband.inquiry.backoffs", s.backoffs);
+        metrics.set_counter("baseband.inquiry.fhs_transmitted", s.fhs_transmitted);
+        metrics.set_counter("baseband.inquiry.fhs_received", s.fhs_received);
+        metrics.set_counter("baseband.inquiry.fhs_collisions", s.fhs_collided);
+        metrics.set_counter("baseband.inquiry.fhs_missed_phase", s.fhs_missed_phase);
+        metrics.set_counter(
+            "baseband.inquiry.discoveries",
+            self.discoveries.len() as u64,
+        );
+        metrics.set_counter("baseband.page.started", s.pages_started);
+        metrics.set_counter("baseband.page.completed", s.pages_completed);
+        metrics.set_counter("baseband.page.failed", s.pages_failed);
+        metrics.set_counter("baseband.link.lost", s.links_lost);
+        metrics.gauge("baseband.link.active", self.links.len() as f64);
+        metrics.set_counter("baseband.data.delivered", s.data_delivered);
+    }
+
     /// Drains accumulated notifications, oldest first.
     pub fn drain_notifications(&mut self) -> Vec<BbNotification> {
         std::mem::take(&mut self.notifications)
@@ -701,7 +734,11 @@ impl Baseband {
                     self.enter_phase(s, master);
                 }
             }
-            Ev::WindowOpen { slave, epoch, index } => self.on_window_open(s, slave, epoch, index),
+            Ev::WindowOpen {
+                slave,
+                epoch,
+                index,
+            } => self.on_window_open(s, slave, epoch, index),
             Ev::WindowClose { slave, epoch } => {
                 let dev = &mut self.slaves[slave];
                 if dev.epoch == epoch {
@@ -842,7 +879,10 @@ impl Baseband {
                     self.stats.backoffs += 1;
                     s.schedule(until, BbEvent(Ev::BackoffEnd { slave: sl, epoch }));
                 }
-                ScanAction::Respond { at: tx, backoff_until } => {
+                ScanAction::Respond {
+                    at: tx,
+                    backoff_until,
+                } => {
                     self.stats.fhs_transmitted += 1;
                     let key = tx.elapsed().div_duration(SimDuration::from_units_0125us(1));
                     let bucket = self.fhs_buckets.entry((m, key)).or_default();
@@ -934,7 +974,13 @@ impl Baseband {
                 // Transmit page IDs from the next even slot; also arm the
                 // timeout via a resolve at the deadline.
                 let first = self.masters[m].clock.next_even_slot(now);
-                s.schedule(first, BbEvent(Ev::PageTx { master: m, attempt: seq }));
+                s.schedule(
+                    first,
+                    BbEvent(Ev::PageTx {
+                        master: m,
+                        attempt: seq,
+                    }),
+                );
                 s.schedule(
                     attempt.deadline,
                     BbEvent(Ev::PageResolve {
@@ -968,7 +1014,10 @@ impl Baseband {
             if let Some((t, _)) = self.masters[m].plan.next_boundary(now) {
                 s.schedule(
                     t.min(attempt.deadline),
-                    BbEvent(Ev::PageTx { master: m, attempt: seq }),
+                    BbEvent(Ev::PageTx {
+                        master: m,
+                        attempt: seq,
+                    }),
                 );
             }
             return;
@@ -998,7 +1047,10 @@ impl Baseband {
         // Keep paging every even slot.
         s.schedule(
             (now + SLOT_PAIR).min(attempt.deadline),
-            BbEvent(Ev::PageTx { master: m, attempt: seq }),
+            BbEvent(Ev::PageTx {
+                master: m,
+                attempt: seq,
+            }),
         );
     }
 
@@ -1012,7 +1064,11 @@ impl Baseband {
     ) {
         let (attempt, _) = self.masters[m].paging.expect("paging in progress");
         let done = completion_time(from, &self.slaves[sl].windows);
-        let at = if done == SimTime::MAX { attempt.deadline } else { done.min(attempt.deadline) };
+        let at = if done == SimTime::MAX {
+            attempt.deadline
+        } else {
+            done.min(attempt.deadline)
+        };
         // The resolve instant may coincide with `from`; events at the
         // current instant run after the current handler, which is fine.
         let at = at.max(s.now());
@@ -1060,7 +1116,8 @@ impl Baseband {
         } else if reachable {
             self.masters[m].paging = None;
             self.stats.pages_completed += 1;
-            self.links.insert((m, sl), Link::new(MasterId(m), SlaveId(sl), now));
+            self.links
+                .insert((m, sl), Link::new(MasterId(m), SlaveId(sl), now));
             let dev = &mut self.slaves[sl];
             dev.connected_to = Some(MasterId(m));
             dev.epoch += 1; // kill pending scan events
@@ -1094,7 +1151,10 @@ impl Baseband {
                     // failed the reachability re-check).
                     s.schedule(
                         (now + SLOT_PAIR).min(attempt.deadline),
-                        BbEvent(Ev::PageTx { master: m, attempt: seq }),
+                        BbEvent(Ev::PageTx {
+                            master: m,
+                            attempt: seq,
+                        }),
                     );
                 }
             }
@@ -1250,11 +1310,7 @@ mod tests {
         assert_eq!(d.len(), 1, "one slave, one discovery");
         // Continuous scan + always-inquiry: both trains are covered within
         // 2×2.56 s, so discovery lands well within 6 s.
-        assert!(
-            d[0].at < SimTime::from_secs(6),
-            "discovery at {}",
-            d[0].at
-        );
+        assert!(d[0].at < SimTime::from_secs(6), "discovery at {}", d[0].at);
     }
 
     #[test]
@@ -1378,7 +1434,10 @@ mod tests {
         );
         assert_eq!(e.world().bb.slave_connection(s), Some(m));
         assert_eq!(e.world().bb.connected_slaves(m), vec![s]);
-        e.schedule(SimTime::from_secs(40), BbEvent::send_data(m, s, vec![9u8; 64], 7));
+        e.schedule(
+            SimTime::from_secs(40),
+            BbEvent::send_data(m, s, vec![9u8; 64], 7),
+        );
         e.run_until(SimTime::from_secs(41));
         let notes = e.world_mut().bb.drain_notifications();
         assert!(notes.iter().any(
@@ -1405,7 +1464,9 @@ mod tests {
         e.run_until(SimTime::from_secs(40));
         let notes = e.world_mut().bb.drain_notifications();
         assert!(
-            notes.iter().any(|n| matches!(n, BbNotification::LinkLost { .. })),
+            notes
+                .iter()
+                .any(|n| matches!(n, BbNotification::LinkLost { .. })),
             "{notes:?}"
         );
         assert_eq!(e.world().bb.slave_connection(s), None);
@@ -1413,7 +1474,11 @@ mod tests {
         e.schedule(SimTime::from_secs(40), BbEvent::set_in_range(m, s, true));
         e.world_mut().bb.reset_discoveries();
         e.run_until(SimTime::from_secs(70));
-        assert_eq!(e.world().bb.discoveries().len(), 1, "rediscovered after return");
+        assert_eq!(
+            e.world().bb.discoveries().len(),
+            1,
+            "rediscovered after return"
+        );
     }
 
     #[test]
@@ -1421,11 +1486,17 @@ mod tests {
         let mcfg = MasterConfig::new(BdAddr::new(1));
         let mut e = setup(19, mcfg, vec![continuous_slave(1)], MediumConfig::default());
         all_in_range(&mut e);
-        e.schedule(SimTime::ZERO, BbEvent::set_slave_active(SlaveId::new(0), false));
+        e.schedule(
+            SimTime::ZERO,
+            BbEvent::set_slave_active(SlaveId::new(0), false),
+        );
         e.run_until(SimTime::from_secs(12));
         assert!(e.world().bb.discoveries().is_empty());
         // Reactivate: discovered on the continuing inquiry.
-        e.schedule(SimTime::from_secs(12), BbEvent::set_slave_active(SlaveId::new(0), true));
+        e.schedule(
+            SimTime::from_secs(12),
+            BbEvent::set_slave_active(SlaveId::new(0), true),
+        );
         e.run_until(SimTime::from_secs(25));
         assert_eq!(e.world().bb.discoveries().len(), 1);
     }
@@ -1773,7 +1844,9 @@ mod range_flap_tests {
         );
         let notes = e.world_mut().bb.drain_notifications();
         assert!(
-            !notes.iter().any(|n| matches!(n, BbNotification::LinkLost { .. })),
+            !notes
+                .iter()
+                .any(|n| matches!(n, BbNotification::LinkLost { .. })),
             "{notes:?}"
         );
     }
@@ -1785,7 +1858,10 @@ mod range_flap_tests {
         for k in 0..6u64 {
             let t0 = SimTime::from_secs(15 + 3 * k);
             e.schedule(t0, BbEvent::set_in_range(m, s, false));
-            e.schedule(t0 + SimDuration::from_millis(1500), BbEvent::set_in_range(m, s, true));
+            e.schedule(
+                t0 + SimDuration::from_millis(1500),
+                BbEvent::set_in_range(m, s, true),
+            );
         }
         e.run_until(SimTime::from_secs(40));
         assert_eq!(e.world().bb.slave_connection(s), Some(m));

@@ -129,7 +129,9 @@ pub enum TrainPolicy {
 impl TrainPolicy {
     /// The spec default: alternate every [`N_INQUIRY`] repetitions.
     pub fn spec() -> TrainPolicy {
-        TrainPolicy::Alternate { n_inquiry: N_INQUIRY }
+        TrainPolicy::Alternate {
+            n_inquiry: N_INQUIRY,
+        }
     }
 }
 
@@ -187,7 +189,11 @@ impl ScanPattern {
     /// # Panics
     ///
     /// Panics if `window` is zero or longer than `interval`.
-    pub fn custom(interval: SimDuration, window: SimDuration, interleave_page_scan: bool) -> ScanPattern {
+    pub fn custom(
+        interval: SimDuration,
+        window: SimDuration,
+        interleave_page_scan: bool,
+    ) -> ScanPattern {
         assert!(!window.is_zero(), "zero scan window");
         assert!(window <= interval, "scan window longer than interval");
         ScanPattern {
@@ -457,7 +463,10 @@ mod tests {
         // 16 slots of 625 µs = one 10 ms train.
         assert_eq!(TRAIN_DURATION.as_micros(), 16 * 625);
         // 256 repetitions of 10 ms = 2.56 s.
-        assert_eq!(TRAIN_REPEAT.as_micros(), N_INQUIRY as u64 * TRAIN_DURATION.as_micros());
+        assert_eq!(
+            TRAIN_REPEAT.as_micros(),
+            N_INQUIRY as u64 * TRAIN_DURATION.as_micros()
+        );
         // Four train periods = 10.24 s.
         assert_eq!(MAX_INQUIRY, TRAIN_REPEAT * 4);
         assert_eq!(TW_SCAN.as_secs_f64(), 11.25e-3);
@@ -525,7 +534,10 @@ mod tests {
     #[test]
     fn builders_chain() {
         let m = MasterConfig::new(BdAddr::new(1))
-            .duty(DutyCycle::periodic(SimDuration::from_secs(1), SimDuration::from_secs(5)))
+            .duty(DutyCycle::periodic(
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(5),
+            ))
             .trains(TrainPolicy::Single)
             .start_train(StartTrain::Fixed(Train::A));
         assert_eq!(m.train_policy(), TrainPolicy::Single);

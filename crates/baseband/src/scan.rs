@@ -261,11 +261,7 @@ impl WindowSchedule {
             return WindowSchedule::new(pattern, SimTime::ZERO, 0);
         }
         let us = rng.below(pattern.interval().as_micros().max(1));
-        WindowSchedule::new(
-            pattern,
-            SimTime::from_micros(us),
-            rng.below(2),
-        )
+        WindowSchedule::new(pattern, SimTime::from_micros(us), rng.below(2))
     }
 
     /// The pattern this timetable executes.
@@ -319,7 +315,10 @@ impl WindowSchedule {
         let n = since.div_duration(interval);
         let into = since % interval;
         if into < self.pattern.window() {
-            Some((self.window_kind(n), self.window_start(n) + self.pattern.window()))
+            Some((
+                self.window_kind(n),
+                self.window_start(n) + self.pattern.window(),
+            ))
         } else {
             None
         }
@@ -478,14 +477,20 @@ mod tests {
     fn next_window_of_kind_respects_parity() {
         let ws = WindowSchedule::new(ScanPattern::alternating(), SimTime::ZERO, 0);
         // Window 0 is Inquiry, window 1 is Page.
-        assert_eq!(ws.next_window_of_kind(SimTime::ZERO, ScanKind::Inquiry), SimTime::ZERO);
+        assert_eq!(
+            ws.next_window_of_kind(SimTime::ZERO, ScanKind::Inquiry),
+            SimTime::ZERO
+        );
         assert_eq!(
             ws.next_window_of_kind(SimTime::from_millis(1), ScanKind::Page),
             SimTime::from_millis(1280)
         );
         // A pure-inquiry slave is never page-reachable.
         let pure = WindowSchedule::new(ScanPattern::continuous_inquiry(), SimTime::ZERO, 0);
-        assert_eq!(pure.next_window_of_kind(SimTime::ZERO, ScanKind::Page), SimTime::MAX);
+        assert_eq!(
+            pure.next_window_of_kind(SimTime::ZERO, ScanKind::Page),
+            SimTime::MAX
+        );
     }
 
     #[test]

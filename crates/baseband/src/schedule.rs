@@ -42,7 +42,11 @@ impl PhasePlan {
     /// `Service`: the master hasn't started inquiring yet).
     pub fn phase_at(&self, t: SimTime) -> Phase {
         if self.duty.is_always_inquiry() {
-            return if t >= self.origin { Phase::Inquiry } else { Phase::Service };
+            return if t >= self.origin {
+                Phase::Inquiry
+            } else {
+                Phase::Service
+            };
         }
         match t.checked_sub(self.origin) {
             None => Phase::Service,
@@ -178,7 +182,10 @@ mod tests {
             p.inquiry_remaining(SimTime::from_millis(250)),
             SimDuration::from_millis(750)
         );
-        assert_eq!(p.inquiry_remaining(SimTime::from_secs(3)), SimDuration::ZERO);
+        assert_eq!(
+            p.inquiry_remaining(SimTime::from_secs(3)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

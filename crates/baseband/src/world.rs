@@ -41,7 +41,9 @@ impl BasebandWorld {
     /// Panics if called before [`into_engine`](BasebandWorld::into_engine)
     /// has resolved the devices.
     pub fn baseband(&self) -> &Baseband {
-        self.bb.as_ref().expect("world not started; call into_engine")
+        self.bb
+            .as_ref()
+            .expect("world not started; call into_engine")
     }
 
     /// Mutable access to the medium (e.g. to drain notifications or reset
@@ -51,7 +53,9 @@ impl BasebandWorld {
     ///
     /// Panics if called before [`into_engine`](BasebandWorld::into_engine).
     pub fn baseband_mut(&mut self) -> &mut Baseband {
-        self.bb.as_mut().expect("world not started; call into_engine")
+        self.bb
+            .as_mut()
+            .expect("world not started; call into_engine")
     }
 
     /// The id of the `i`-th configured master.
@@ -157,7 +161,10 @@ impl BasebandWorldBuilder {
     ///
     /// Panics if no master was configured.
     pub fn build(self) -> BasebandWorld {
-        assert!(!self.masters.is_empty(), "a world needs at least one master");
+        assert!(
+            !self.masters.is_empty(),
+            "a world needs at least one master"
+        );
         BasebandWorld {
             medium_cfg: self.medium_cfg,
             masters: self.masters,

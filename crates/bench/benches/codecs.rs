@@ -16,7 +16,9 @@ fn bench_codecs(c: &mut Criterion) {
         present: true,
     };
     let presence_buf = presence.encode();
-    g.bench_function("encode_presence", |b| b.iter(|| black_box(&presence).encode()));
+    g.bench_function("encode_presence", |b| {
+        b.iter(|| black_box(&presence).encode())
+    });
     g.bench_function("decode_presence", |b| {
         b.iter(|| Request::decode(black_box(&presence_buf)).unwrap())
     });
@@ -26,7 +28,9 @@ fn bench_codecs(c: &mut Criterion) {
         items: (0..20).map(|i| (BdAddr::new(i), i % 2 == 0)).collect(),
     };
     let batch_buf = batch.encode();
-    g.bench_function("encode_presence_batch_20", |b| b.iter(|| black_box(&batch).encode()));
+    g.bench_function("encode_presence_batch_20", |b| {
+        b.iter(|| black_box(&batch).encode())
+    });
     g.bench_function("decode_presence_batch_20", |b| {
         b.iter(|| Request::decode(black_box(&batch_buf)).unwrap())
     });
@@ -37,7 +41,9 @@ fn bench_codecs(c: &mut Criterion) {
         distance: 71.5,
     });
     let locate_buf = locate_resp.encode();
-    g.bench_function("encode_locate_result", |b| b.iter(|| black_box(&locate_resp).encode()));
+    g.bench_function("encode_locate_result", |b| {
+        b.iter(|| black_box(&locate_resp).encode())
+    });
     g.bench_function("decode_locate_result", |b| {
         b.iter(|| Response::decode(black_box(&locate_buf)).unwrap())
     });
@@ -47,7 +53,9 @@ fn bench_codecs(c: &mut Criterion) {
         password: "correct horse battery".into(),
     };
     let login_buf = login.encode();
-    g.bench_function("encode_handheld_login", |b| b.iter(|| black_box(&login).encode()));
+    g.bench_function("encode_handheld_login", |b| {
+        b.iter(|| black_box(&login).encode())
+    });
     g.bench_function("decode_handheld_login", |b| {
         b.iter(|| HandheldMsg::decode(black_box(&login_buf)).unwrap())
     });

@@ -19,15 +19,15 @@ fn bench_paths(c: &mut Criterion) {
             b.iter(|| gr.precompute_all_pairs())
         });
         let apsp = graph.precompute_all_pairs();
-        g.bench_with_input(
-            BenchmarkId::new("online_path_lookup", n),
-            &apsp,
-            |b, t| b.iter(|| t.path(0, n - 1)),
-        );
+        g.bench_with_input(BenchmarkId::new("online_path_lookup", n), &apsp, |b, t| {
+            b.iter(|| t.path(0, n - 1))
+        });
     }
     // The building actually used by BIPS.
     let dept = WsGraph::from_building(&bips_mobility::Building::academic_department());
-    g.bench_function("department_apsp", |b| b.iter(|| dept.precompute_all_pairs()));
+    g.bench_function("department_apsp", |b| {
+        b.iter(|| dept.precompute_all_pairs())
+    });
     g.finish();
 }
 

@@ -8,11 +8,9 @@
 //! * **scan-frequency model** (shared BlueHoc sequence vs per-device);
 //! * **slave scan interval** (the 1.28 s default vs sparser scanning).
 
-use bt_baseband::params::{
-    MediumConfig, ScanFreqModel, ScanPattern, StartFreq, TrainPolicy,
-};
 use bt_baseband::hop::Train;
 use bt_baseband::params::{DutyCycle, StartTrain};
+use bt_baseband::params::{MediumConfig, ScanFreqModel, ScanPattern, StartFreq, TrainPolicy};
 use bt_baseband::{BdAddr, DiscoveryScenario, MasterConfig, SlaveConfig};
 use desim::SimDuration;
 
@@ -71,7 +69,12 @@ fn fig2_like_scenario_with_errors(
     DiscoveryScenario::new(master, slave_cfgs, SimDuration::from_secs(14)).medium(medium)
 }
 
-fn measure(sc: &DiscoveryScenario, seed: u64, reps: u64, label: impl Into<String>) -> AblationPoint {
+fn measure(
+    sc: &DiscoveryScenario,
+    seed: u64,
+    reps: u64,
+    label: impl Into<String>,
+) -> AblationPoint {
     let outs = sc.run_replications(seed, reps);
     let first: f64 = outs
         .iter()
@@ -216,11 +219,7 @@ pub fn render(title: &str, points: &[AblationPoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(
-        out,
-        "  {:<42} {:>10} {:>10}",
-        "variant", "≤1s", "≤14s"
-    );
+    let _ = writeln!(out, "  {:<42} {:>10} {:>10}", "variant", "≤1s", "≤14s");
     for p in points {
         let _ = writeln!(
             out,

@@ -1,11 +1,17 @@
 //! Runs the ablation suite (design-choice sensitivity).
 //!
-//! Usage: `cargo run -p bips-bench --bin ablations --release [replications] [seed]`
+//! Usage: `cargo run -p bips-bench --bin ablations --release [replications] [seed] [--json PATH]`
+//!
+//! With `--json PATH`, a structured run report (one section per ablation)
+//! is written to `PATH`.
 
 use bips_bench::ablations;
+use bips_bench::telemetry;
+use desim::{Json, RunReport};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let mut args = args.into_iter();
     let reps: u64 = args
         .next()
         .map(|r| r.parse().expect("replications must be an integer"))
@@ -14,43 +20,62 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("seed must be an integer"))
         .unwrap_or(7);
-    print!(
-        "{}",
-        ablations::render(
+
+    let suite = [
+        (
+            "a1_collision_handling",
             "A1 — FHS collision handling (20 slaves)",
-            &ablations::collision_handling(reps, seed)
-        )
-    );
-    println!();
-    print!(
-        "{}",
-        ablations::render(
+            ablations::collision_handling(reps, seed),
+        ),
+        (
+            "a2_backoff_bound",
             "A2 — response backoff bound (20 slaves)",
-            &ablations::backoff_bound(reps, seed)
-        )
-    );
-    println!();
-    print!(
-        "{}",
-        ablations::render(
+            ablations::backoff_bound(reps, seed),
+        ),
+        (
+            "a3_scan_freq_model",
             "A3 — scan-frequency model (10 slaves)",
-            &ablations::scan_freq_model(reps, seed)
-        )
-    );
-    println!();
-    print!(
-        "{}",
-        ablations::render(
+            ablations::scan_freq_model(reps, seed),
+        ),
+        (
+            "a4_scan_duty",
             "A4 — slave scan duty (10 slaves)",
-            &ablations::scan_duty(reps, seed)
-        )
-    );
-    println!();
-    print!(
-        "{}",
-        ablations::render(
+            ablations::scan_duty(reps, seed),
+        ),
+        (
+            "a5_channel_errors",
             "A5 — channel errors (10 slaves; paper assumes error-free)",
-            &ablations::channel_errors(reps, seed)
-        )
-    );
+            ablations::channel_errors(reps, seed),
+        ),
+    ];
+
+    let mut first = true;
+    for (_, title, points) in &suite {
+        if !first {
+            println!();
+        }
+        first = false;
+        print!("{}", ablations::render(title, points));
+    }
+
+    if let Some(path) = json_path {
+        let mut report = RunReport::new("ablations", seed);
+        report.config("replications", reps);
+        for (key, _, points) in &suite {
+            let mut rows = Vec::new();
+            for p in points {
+                let mut row = Json::object();
+                row.set("label", p.label.as_str())
+                    .set("in_first_phase", p.in_first_phase)
+                    .set("in_horizon", p.in_horizon);
+                rows.push(row);
+            }
+            report.section(key, Json::from(rows));
+        }
+        report.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
 }

@@ -1,11 +1,19 @@
 //! Regenerates the paper's §4.2/§5 sizing numbers (experiment S5).
 //!
-//! Usage: `cargo run -p bips-bench --bin duty_cycle --release [replications] [seed]`
+//! Usage: `cargo run -p bips-bench --bin duty_cycle --release [replications] [seed] [--json PATH]`
+//!
+//! With `--json PATH`, a structured run report (config, seed, sweep and
+//! trade-off series) is written to `PATH`.
 
-use bips_bench::duty::{render_tradeoff, run_dwell, run_sweep, run_tradeoff, DutySweepConfig, TradeoffConfig};
+use bips_bench::duty::{
+    render_tradeoff, run_dwell, run_sweep, run_tradeoff, DutySweepConfig, TradeoffConfig,
+};
+use bips_bench::telemetry;
+use desim::{Json, RunReport};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let mut args = args.into_iter();
     let mut cfg = DutySweepConfig::default();
     if let Some(r) = args.next() {
         cfg.replications = r.parse().expect("replications must be an integer");
@@ -16,8 +24,41 @@ fn main() {
     let sweep = run_sweep(&cfg);
     print!("{}", sweep.render(cfg.slaves));
     println!();
-    print!("{}", run_dwell(cfg.seed).render());
+    let dwell = run_dwell(cfg.seed);
+    print!("{}", dwell.render());
     println!();
     let tradeoff = run_tradeoff(&TradeoffConfig::default());
     print!("{}", render_tradeoff(&tradeoff));
+
+    if let Some(path) = json_path {
+        let mut report = RunReport::new("duty_cycle", cfg.seed);
+        report
+            .config("replications", cfg.replications)
+            .config("slaves", cfg.slaves);
+        report
+            .artifact("dwell.paper_estimate_s", dwell.paper_estimate_s)
+            .artifact("dwell.monte_carlo_s", dwell.monte_carlo_s)
+            .artifact("dwell.tracking_load", dwell.tracking_load);
+        let mut sweep_json = Json::object();
+        for p in &sweep.points {
+            sweep_json.set(&format!("{:.2}s", p.inquiry_s), p.discovered);
+        }
+        report.section("sweep_discovered", sweep_json);
+        let mut trade = Vec::new();
+        for p in &tradeoff {
+            let mut row = Json::object();
+            row.set("inquiry_s", p.inquiry_s)
+                .set("load", p.load)
+                .set("detection_latency_s", p.detection_latency_s)
+                .set("samples", p.samples)
+                .set("missed", p.missed);
+            trade.push(row);
+        }
+        report.section("tradeoff", Json::from(trade));
+        report.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
 }

@@ -2,14 +2,19 @@
 //!
 //! Prints a summary table and the full CSV series.
 //!
-//! Usage: `cargo run -p bips-bench --bin figure2 --release [replications] [seed] [svg-path]`
+//! Usage: `cargo run -p bips-bench --bin figure2 --release [replications] [seed] [svg-path] [--json PATH]`
 //!
 //! When an `svg-path` is given, the figure is also written as an SVG plot.
+//! With `--json PATH`, a structured run report (config, seed, curve
+//! readings + series, full metric snapshot) is written to `PATH`; see
+//! `docs/OBSERVABILITY.md`.
 
-use bips_bench::figure2::{run, Figure2Config};
+use bips_bench::figure2::{run_with_metrics, Figure2Config};
+use bips_bench::telemetry::{self, SnapshotConfig};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let mut args = args.into_iter();
     let mut cfg = Figure2Config::default();
     if let Some(r) = args.next() {
         cfg.replications = r.parse().expect("replications must be an integer");
@@ -18,12 +23,31 @@ fn main() {
         cfg.seed = s.parse().expect("seed must be an integer");
     }
     let svg_path = args.next();
-    let result = run(&cfg);
+    let (result, mut metrics) = run_with_metrics(&cfg);
     print!("{}", result.render_summary());
     println!();
     print!("{}", result.render_csv());
+    println!("\n— telemetry (accumulated over all curves) —");
+    print!("{metrics}");
     if let Some(path) = svg_path {
         std::fs::write(&path, result.render_svg()).expect("write svg");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = json_path {
+        // Fold in a small full-deployment run so the report carries the
+        // complete metric catalog (lan.*, mobility.*, core.*, engine.*).
+        let snapshot = telemetry::system_snapshot(&SnapshotConfig {
+            seed: cfg.seed,
+            ..SnapshotConfig::default()
+        });
+        metrics.merge(&snapshot);
+        let mut report = result.to_report(&cfg);
+        report.metrics(&metrics);
+        report.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
         eprintln!("wrote {path}");
     }
 }

@@ -1,11 +1,16 @@
 //! Regenerates the paper's §4.1 table (experiment T1).
 //!
-//! Usage: `cargo run -p bips-bench --bin table1 --release [trials] [seed]`
+//! Usage: `cargo run -p bips-bench --bin table1 --release [trials] [seed] [--json PATH]`
+//!
+//! With `--json PATH`, a structured run report (config, seed, table rows,
+//! full metric snapshot) is written to `PATH`; see `docs/OBSERVABILITY.md`.
 
-use bips_bench::table1::{run, Table1Config};
+use bips_bench::table1::{run_with_metrics, Table1Config};
+use bips_bench::telemetry::{self, SnapshotConfig};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let mut args = args.into_iter();
     let mut cfg = Table1Config::default();
     if let Some(t) = args.next() {
         cfg.trials = t.parse().expect("trials must be an integer");
@@ -13,6 +18,26 @@ fn main() {
     if let Some(s) = args.next() {
         cfg.seed = s.parse().expect("seed must be an integer");
     }
-    let result = run(&cfg);
+    let (result, mut metrics) = run_with_metrics(&cfg);
     print!("{}", result.render());
+    println!("\n— telemetry (accumulated over {} trials) —", cfg.trials);
+    print!("{metrics}");
+
+    if let Some(path) = json_path {
+        // The discovery experiment only exercises the baseband; fold in a
+        // small full-deployment run so the report carries the complete
+        // metric catalog (lan.*, mobility.*, core.*, engine.*).
+        let snapshot = telemetry::system_snapshot(&SnapshotConfig {
+            seed: cfg.seed,
+            ..SnapshotConfig::default()
+        });
+        metrics.merge(&snapshot);
+        let mut report = result.to_report(&cfg);
+        report.metrics(&metrics);
+        report.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
 }

@@ -1,12 +1,17 @@
 //! Runs the full BIPS deployment end to end (experiment E2E).
 //!
-//! Usage: `cargo run -p bips-bench --bin tracking_e2e --release [users] [seconds] [seed]`
+//! Usage: `cargo run -p bips-bench --bin tracking_e2e --release [users] [seconds] [seed] [--json PATH]`
+//!
+//! With `--json PATH`, a structured run report (config, seed, pipeline
+//! numbers, full metric snapshot) is written to `PATH`.
 
-use bips_bench::e2e::{run, E2eConfig};
+use bips_bench::e2e::{run_with_metrics, E2eConfig};
+use bips_bench::telemetry;
 use desim::SimDuration;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let mut args = args.into_iter();
     let mut cfg = E2eConfig::default();
     if let Some(u) = args.next() {
         cfg.users = u.parse().expect("users must be an integer");
@@ -17,6 +22,18 @@ fn main() {
     if let Some(s) = args.next() {
         cfg.seed = s.parse().expect("seed must be an integer");
     }
-    let result = run(&cfg);
+    let (result, metrics) = run_with_metrics(&cfg);
     print!("{}", result.render());
+    println!("\n— telemetry —");
+    print!("{metrics}");
+
+    if let Some(path) = json_path {
+        let mut report = result.to_report(&cfg);
+        report.metrics(&metrics);
+        report.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
 }

@@ -385,7 +385,10 @@ mod tradeoff_tests {
             seed: 3,
         });
         assert_eq!(pts.len(), 2);
-        assert!(pts[0].samples > 0 && pts[1].samples > 0, "no detections sampled");
+        assert!(
+            pts[0].samples > 0 && pts[1].samples > 0,
+            "no detections sampled"
+        );
         // 7.68 s of inquiry per cycle must not be slower to detect than
         // 1.28 s (allow small noise).
         assert!(

@@ -66,14 +66,20 @@ pub struct E2eResult {
 
 /// Runs the experiment.
 pub fn run(cfg: &E2eConfig) -> E2eResult {
+    run_with_metrics(cfg).0
+}
+
+/// Runs the experiment, also exporting the deployment's full metric
+/// snapshot (every substrate) at the end of the run.
+pub fn run_with_metrics(cfg: &E2eConfig) -> (E2eResult, desim::MetricSet) {
     let sys_cfg = SystemConfig::default();
     let mut builder = BipsSystem::builder(sys_cfg);
     for i in 0..cfg.users {
-        builder = builder.user(
-            UserSpec::new(format!("user{i}"), i % 9).mode(WalkMode::RandomWalk {
+        builder = builder.user(UserSpec::new(format!("user{i}"), i % 9).mode(
+            WalkMode::RandomWalk {
                 pause: (SimDuration::from_secs(10), SimDuration::from_secs(60)),
-            }),
-        );
+            },
+        ));
     }
     let mut engine = builder.into_engine(cfg.seed);
 
@@ -120,16 +126,22 @@ pub fn run(cfg: &E2eConfig) -> E2eResult {
         .filter(|i| sys.is_logged_in(&format!("user{i}")))
         .count();
 
-    E2eResult {
-        logged_in,
-        users: cfg.users,
-        accuracy,
-        updates_sent: stats.presence_updates_sent,
-        naive_updates: stats.naive_announcements,
-        query_latency,
-        queries_found,
-        queries_issued: stats.queries_issued,
-    }
+    let mut metrics = desim::MetricSet::new();
+    sys.export_metrics(&mut metrics, end);
+
+    (
+        E2eResult {
+            logged_in,
+            users: cfg.users,
+            accuracy,
+            updates_sent: stats.presence_updates_sent,
+            naive_updates: stats.naive_announcements,
+            query_latency,
+            queries_found,
+            queries_issued: stats.queries_issued,
+        },
+        metrics,
+    )
 }
 
 impl E2eResult {
@@ -138,7 +150,11 @@ impl E2eResult {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "E2E — full BIPS tracking pipeline");
-        let _ = writeln!(out, "  users logged in:         {}/{}", self.logged_in, self.users);
+        let _ = writeln!(
+            out,
+            "  users logged in:         {}/{}",
+            self.logged_in, self.users
+        );
         let _ = writeln!(
             out,
             "  tracking accuracy:       {} (mean over samples)",
@@ -173,6 +189,24 @@ impl E2eResult {
             );
         }
         out
+    }
+
+    /// Builds the structured run report (without metrics — the binary
+    /// attaches those).
+    pub fn to_report(&self, cfg: &E2eConfig) -> desim::RunReport {
+        let mut report = desim::RunReport::new("tracking_e2e", cfg.seed);
+        report
+            .config("users", cfg.users)
+            .config("duration_s", cfg.duration.as_secs_f64());
+        report
+            .artifact("logged_in", self.logged_in)
+            .artifact("tracking_accuracy_mean", self.accuracy.mean())
+            .artifact("presence_updates_sent", self.updates_sent)
+            .artifact("naive_updates", self.naive_updates)
+            .artifact("queries_found", self.queries_found)
+            .artifact("queries_issued", self.queries_issued)
+            .artifact("query_latency_mean_s", self.query_latency.mean());
+        report
     }
 }
 

@@ -116,13 +116,24 @@ pub fn scenario(n: usize, cfg: &Figure2Config) -> DiscoveryScenario {
 
 /// Runs the full figure.
 pub fn run(cfg: &Figure2Config) -> Figure2Result {
+    run_with_metrics(cfg).0
+}
+
+/// Runs the full figure, also accumulating the medium's counters across
+/// every replication of every curve (for the JSON run report).
+pub fn run_with_metrics(cfg: &Figure2Config) -> (Figure2Result, desim::MetricSet) {
+    let mut metrics = desim::MetricSet::new();
     let horizon = cfg.horizon.as_secs_f64();
     let curves = cfg
         .slave_counts
         .iter()
         .map(|&n| {
             let sc = scenario(n, cfg);
-            let outs = sc.run_replications(cfg.seed ^ (n as u64) << 32, cfg.replications);
+            let outs = sc.run_replications_with_metrics(
+                cfg.seed ^ (n as u64) << 32,
+                cfg.replications,
+                &mut metrics,
+            );
             let mut cdf = EmpiricalCdf::new();
             for o in &outs {
                 for t in &o.times {
@@ -138,7 +149,7 @@ pub fn run(cfg: &Figure2Config) -> Figure2Result {
             }
         })
         .collect();
-    Figure2Result { curves }
+    (Figure2Result { curves }, metrics)
 }
 
 impl Figure2Result {
@@ -193,6 +204,36 @@ impl Figure2Result {
         );
         let _ = writeln!(out, "       15–20 slaves all discovered within 2 cycles.");
         out
+    }
+
+    /// Builds the structured run report (without metrics — the binary
+    /// attaches those). The full curve series rides along as a section,
+    /// so the JSON artifact can regenerate the plot.
+    pub fn to_report(&self, cfg: &Figure2Config) -> desim::RunReport {
+        let mut report = desim::RunReport::new("figure2", cfg.seed);
+        report
+            .config("replications", cfg.replications)
+            .config("horizon_s", cfg.horizon.as_secs_f64())
+            .config("inquiry_s", cfg.inquiry.as_secs_f64())
+            .config("period_s", cfg.period.as_secs_f64())
+            .config("collisions", cfg.collisions);
+        for c in &self.curves {
+            let n = c.slaves;
+            report
+                .artifact(&format!("p_1s.{n}_slaves"), c.probability_at(1.0))
+                .artifact(&format!("p_6s.{n}_slaves"), c.probability_at(6.0))
+                .artifact(&format!("p_14s.{n}_slaves"), c.probability_at(14.0));
+        }
+        let mut series = desim::Json::object();
+        for c in &self.curves {
+            let mut points = Vec::with_capacity(c.points.len());
+            for &(t, p) in &c.points {
+                points.push(desim::Json::from(vec![t, p]));
+            }
+            series.set(&format!("{}_slaves", c.slaves), points);
+        }
+        report.section("series", series);
+        report
     }
 }
 

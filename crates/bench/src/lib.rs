@@ -20,6 +20,7 @@ pub mod duty;
 pub mod e2e;
 pub mod figure2;
 pub mod table1;
+pub mod telemetry;
 
 /// Formats a probability in the paper's percent style.
 pub fn pct(p: f64) -> String {

@@ -74,8 +74,15 @@ pub fn scenario(horizon: SimDuration) -> DiscoveryScenario {
 
 /// Runs the experiment.
 pub fn run(cfg: &Table1Config) -> Table1Result {
+    run_with_metrics(cfg).0
+}
+
+/// Runs the experiment, also accumulating the medium's counters across
+/// every trial (for the JSON run report; see `docs/OBSERVABILITY.md`).
+pub fn run_with_metrics(cfg: &Table1Config) -> (Table1Result, desim::MetricSet) {
+    let mut metrics = desim::MetricSet::new();
     let sc = scenario(cfg.horizon);
-    let outs = sc.run_replications(cfg.seed, cfg.trials);
+    let outs = sc.run_replications_with_metrics(cfg.seed, cfg.trials, &mut metrics);
 
     let mut same = OnlineStats::new();
     let mut diff = OnlineStats::new();
@@ -133,7 +140,7 @@ pub fn run(cfg: &Table1Config) -> Table1Result {
             median_secs: median(&mut all_v),
         },
     ];
-    Table1Result { rows, undiscovered }
+    (Table1Result { rows, undiscovered }, metrics)
 }
 
 impl Table1Result {
@@ -141,7 +148,10 @@ impl Table1Result {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Table 1 — average device-discovery time by starting train");
+        let _ = writeln!(
+            out,
+            "Table 1 — average device-discovery time by starting train"
+        );
         let _ = writeln!(
             out,
             "{:<10} {:>6} {:>12} {:>9} {:>10}   {:>12}",
@@ -159,6 +169,27 @@ impl Table1Result {
             let _ = writeln!(out, "undiscovered within horizon: {}", self.undiscovered);
         }
         out
+    }
+
+    /// Builds the structured run report (without metrics — the binary
+    /// attaches those).
+    pub fn to_report(&self, cfg: &Table1Config) -> desim::RunReport {
+        let mut report = desim::RunReport::new("table1", cfg.seed);
+        report
+            .config("trials", cfg.trials)
+            .config("horizon_s", cfg.horizon.as_secs_f64());
+        let paper = [1.6028, 4.1320, 2.865];
+        for (row, paper_s) in self.rows.iter().zip(paper) {
+            let key = row.class.to_ascii_lowercase();
+            report
+                .artifact(&format!("{key}.cases"), row.cases)
+                .artifact(&format!("{key}.mean_secs"), row.mean_secs)
+                .artifact(&format!("{key}.ci95_secs"), row.ci95)
+                .artifact(&format!("{key}.median_secs"), row.median_secs)
+                .artifact(&format!("{key}.paper_secs"), paper_s);
+        }
+        report.artifact("undiscovered", self.undiscovered);
+        report
     }
 }
 

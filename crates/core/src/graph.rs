@@ -94,7 +94,10 @@ impl WsGraph {
         let mut prev: Vec<Option<NodeId>> = vec![None; n];
         let mut heap = std::collections::BinaryHeap::new();
         dist[src] = 0.0;
-        heap.push(HeapEntry { dist: 0.0, node: src });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: src,
+        });
         while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
             if d > dist[u] {
                 continue; // stale entry

@@ -78,7 +78,10 @@ impl HandheldMsg {
                 from_us,
                 to_us,
             } => {
-                w.u8(TAG_HISTORY_UP).string(target).u64(*from_us).u64(*to_us);
+                w.u8(TAG_HISTORY_UP)
+                    .string(target)
+                    .u64(*from_us)
+                    .u64(*to_us);
             }
             HandheldMsg::HistoryDown(out) => {
                 use crate::protocol::HistoryOutcome;
@@ -109,7 +112,10 @@ impl HandheldMsg {
                         path,
                         distance,
                     } => {
-                        w.u8(OUT_FOUND).u32(*cell).f64(*distance).u32(path.len() as u32);
+                        w.u8(OUT_FOUND)
+                            .u32(*cell)
+                            .f64(*distance)
+                            .u32(path.len() as u32);
                         for c in path {
                             w.u32(*c);
                         }
@@ -148,7 +154,9 @@ impl HandheldMsg {
                 password: r.string()?,
             },
             TAG_LOGIN_DOWN => HandheldMsg::LoginDown { ok: r.bool()? },
-            TAG_QUERY_UP => HandheldMsg::QueryUp { target: r.string()? },
+            TAG_QUERY_UP => HandheldMsg::QueryUp {
+                target: r.string()?,
+            },
             TAG_HISTORY_UP => HandheldMsg::HistoryUp {
                 target: r.string()?,
                 from_us: r.u64()?,

@@ -228,7 +228,10 @@ impl Request {
                 user,
                 password,
             } => {
-                w.u8(TAG_LOGIN).u64(addr.raw()).string(user).string(password);
+                w.u8(TAG_LOGIN)
+                    .u64(addr.raw())
+                    .string(user)
+                    .string(password);
             }
             Request::Logout { addr } => {
                 w.u8(TAG_LOGOUT).u64(addr.raw());
@@ -238,7 +241,10 @@ impl Request {
                 target,
                 from_cell,
             } => {
-                w.u8(TAG_LOCATE).u64(from.raw()).string(target).u32(*from_cell);
+                w.u8(TAG_LOCATE)
+                    .u64(from.raw())
+                    .string(target)
+                    .u32(*from_cell);
             }
             Request::PresenceBatch { cell, items } => {
                 w.u8(TAG_PRESENCE_BATCH).u32(*cell).u32(items.len() as u32);
@@ -349,7 +355,10 @@ impl Response {
                         path,
                         distance,
                     } => {
-                        w.u8(OUTCOME_FOUND).u32(*cell).f64(*distance).u32(path.len() as u32);
+                        w.u8(OUTCOME_FOUND)
+                            .u32(*cell)
+                            .f64(*distance)
+                            .u32(path.len() as u32);
                         for c in path {
                             w.u32(*c);
                         }

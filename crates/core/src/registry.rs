@@ -236,7 +236,12 @@ impl Registry {
     ///
     /// Fails on unknown user, wrong password, an address already bound,
     /// or a user already logged in elsewhere.
-    pub fn login(&mut self, name: &str, password: &str, addr: BdAddr) -> Result<UserId, RegistryError> {
+    pub fn login(
+        &mut self,
+        name: &str,
+        password: &str,
+        addr: BdAddr,
+    ) -> Result<UserId, RegistryError> {
         let &idx = self.by_name.get(name).ok_or(RegistryError::NoSuchUser)?;
         let rec = &self.users[idx];
         if digest(rec.salt, password) != rec.digest {

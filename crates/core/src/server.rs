@@ -11,7 +11,9 @@ use desim::SimTime;
 
 use crate::graph::{Apsp, WsGraph};
 use crate::locationdb::LocationDb;
-use crate::protocol::{HistoryOutcome, HistoryStep, LocateOutcome, LoginFailure, Request, Response};
+use crate::protocol::{
+    HistoryOutcome, HistoryStep, LocateOutcome, LoginFailure, Request, Response,
+};
 use crate::registry::{Registry, RegistryError};
 
 /// The central server: registry + location database + offline paths.
@@ -226,7 +228,8 @@ mod tests {
         let mut reg = Registry::new();
         reg.register("alice", "pa", AccessRights::open()).unwrap();
         reg.register("bob", "pb", AccessRights::open()).unwrap();
-        reg.register("ghost", "pg", AccessRights::invisible()).unwrap();
+        reg.register("ghost", "pg", AccessRights::invisible())
+            .unwrap();
         BipsServer::new(reg, &g)
     }
 
@@ -247,8 +250,14 @@ mod tests {
     #[test]
     fn full_query_flow() {
         let mut s = server();
-        assert_eq!(login(&mut s, "alice", "pa", A), Response::LoginResult { result: Ok(()) });
-        assert_eq!(login(&mut s, "bob", "pb", B), Response::LoginResult { result: Ok(()) });
+        assert_eq!(
+            login(&mut s, "alice", "pa", A),
+            Response::LoginResult { result: Ok(()) }
+        );
+        assert_eq!(
+            login(&mut s, "bob", "pb", B),
+            Response::LoginResult { result: Ok(()) }
+        );
         // bob is seen in cell 2; alice queries from cell 0.
         s.handle(
             Request::Presence {
@@ -450,7 +459,8 @@ mod history_tests {
         let mut reg = Registry::new();
         reg.register("alice", "pa", AccessRights::open()).unwrap();
         reg.register("bob", "pb", AccessRights::open()).unwrap();
-        reg.register("ghost", "pg", AccessRights::invisible()).unwrap();
+        reg.register("ghost", "pg", AccessRights::invisible())
+            .unwrap();
         BipsServer::new(reg, &g)
     }
 
@@ -577,9 +587,6 @@ mod history_tests {
             },
             t(0),
         );
-        assert_eq!(
-            r,
-            Response::HistoryResult(HistoryOutcome::Trace(vec![]))
-        );
+        assert_eq!(r, Response::HistoryResult(HistoryOutcome::Trace(vec![])));
     }
 }

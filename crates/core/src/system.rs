@@ -291,6 +291,8 @@ pub struct SystemStats {
     /// Cell entries that left coverage again before the server learned of
     /// them (missed detections).
     pub missed_detections: u64,
+    /// Workstation↔server RPCs completed (request matched by response).
+    pub rpc_round_trips: u64,
 }
 
 /// Data-message tags on Bluetooth links.
@@ -335,6 +337,9 @@ struct HandheldRt {
     login_in_flight: bool,
     /// Query ids waiting for this handheld to get a link.
     queued_queries: Vec<usize>,
+    /// First sighting that found this handheld wanting a login; cleared
+    /// when the login completes (enrollment-latency measurement).
+    first_seen: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -377,6 +382,8 @@ pub struct BipsSystem {
     absence_latency: desim::stats::OnlineStats,
     /// Ground-truth cell exits awaiting server-side absence.
     pending_absence: HashMap<(BdAddr, usize), SimTime>,
+    /// First-sighting → login-complete latencies, seconds.
+    enrollment_latency: desim::stats::OnlineStats,
 }
 
 impl BipsSystem {
@@ -462,17 +469,80 @@ impl BipsSystem {
         self.absence_latency
     }
 
+    /// First-sighting → login-complete latency samples (seconds): how
+    /// long a user who walked in wanting service waited to be enrolled.
+    pub fn enrollment_latency(&self) -> desim::stats::OnlineStats {
+        self.enrollment_latency
+    }
+
+    /// Exports counters from every substrate — baseband, LAN, transport,
+    /// mobility — plus the core system/tracking/database/latency metrics
+    /// into `metrics` (see `docs/OBSERVABILITY.md` for the catalog).
+    ///
+    /// `now` bounds the time-weighted aggregates (cell occupancy).
+    pub fn export_metrics(&self, metrics: &mut desim::MetricSet, now: SimTime) {
+        self.bb.export_metrics(metrics);
+        self.lan.export_metrics(metrics);
+        self.tr.export_metrics(metrics);
+        self.mob.export_metrics(metrics);
+
+        let s = self.stats;
+        metrics.set_counter("core.system.logins_completed", s.logins_completed);
+        metrics.set_counter("core.system.presence_updates_sent", s.presence_updates_sent);
+        metrics.set_counter(
+            "core.system.presence_messages_sent",
+            s.presence_messages_sent,
+        );
+        metrics.set_counter("core.system.naive_announcements", s.naive_announcements);
+        metrics.set_counter("core.system.queries_issued", s.queries_issued);
+        metrics.set_counter("core.system.queries_answered", s.queries_answered);
+        metrics.set_counter("core.system.heartbeats_sent", s.heartbeats_sent);
+        metrics.set_counter("core.system.missed_detections", s.missed_detections);
+        metrics.set_counter("core.system.rpc_round_trips", s.rpc_round_trips);
+
+        let mut sightings = 0u64;
+        let mut changes = 0u64;
+        let mut naive = 0u64;
+        for ws in &self.workstations {
+            let ts = ws.tracker.stats();
+            sightings += ts.sightings;
+            changes += ts.changes_emitted;
+            naive += ts.naive_announcements;
+        }
+        metrics.set_counter("core.tracking.sightings", sightings);
+        metrics.set_counter("core.tracking.changes_emitted", changes);
+        metrics.set_counter("core.tracking.naive_announcements", naive);
+        metrics.gauge("core.tracking.accuracy", self.tracking_accuracy());
+
+        let db = self.server.db().stats();
+        metrics.set_counter("core.db.applied", db.applied);
+        metrics.set_counter("core.db.redundant", db.redundant);
+
+        metrics.observe_stats("core.latency.detection_secs", &self.detection_latency);
+        metrics.observe_stats("core.latency.absence_secs", &self.absence_latency);
+        metrics.observe_stats("core.latency.enrollment_secs", &self.enrollment_latency);
+
+        let occ = self.cell_occupancy(now);
+        let mean_occ = if occ.is_empty() {
+            0.0
+        } else {
+            occ.iter().sum::<f64>() / occ.len() as f64
+        };
+        metrics.gauge("core.occupancy.mean_devices_per_cell", mean_occ);
+    }
+
     /// Time-weighted average number of devices the server believed were
     /// in each cell, over `[0, until)` — piconet utilization per room.
     pub fn cell_occupancy(&self, until: SimTime) -> Vec<f64> {
-        self.occupancy.iter().map(|t| t.average_until(until)).collect()
+        self.occupancy
+            .iter()
+            .map(|t| t.average_until(until))
+            .collect()
     }
 
     /// Whether `user` has completed login.
     pub fn is_logged_in(&self, user: &str) -> bool {
-        self.handhelds
-            .iter()
-            .any(|h| h.name == user && h.logged_in)
+        self.handhelds.iter().any(|h| h.name == user && h.logged_in)
     }
 
     // ----- event plumbing ------------------------------------------------
@@ -485,13 +555,14 @@ impl BipsSystem {
             match n {
                 BbNotification::FhsSeen { master, slave, at } => {
                     let addr = self.bb.slave_addr(slave);
-                    self.workstations[master.index()]
-                        .tracker
-                        .sighting(addr, at);
+                    self.workstations[master.index()].tracker.sighting(addr, at);
                     let h = slave.index();
                     let needs_login = self.handhelds[h].wants_login
                         && !self.handhelds[h].logged_in
                         && !self.handhelds[h].login_in_flight;
+                    if needs_login && self.handhelds[h].first_seen.is_none() {
+                        self.handhelds[h].first_seen = Some(at);
+                    }
                     let has_queries = !self.handhelds[h].queued_queries.is_empty();
                     if needs_login || has_queries {
                         self.bb.request_page(
@@ -622,14 +693,11 @@ impl BipsSystem {
                 self.send_rpc(ctx, ws, req, PendingRpc::History { query });
             }
             TAG_HISTORY_DOWN => {
-                let Ok(HandheldMsg::HistoryDown(delivered)) = HandheldMsg::decode(payload)
-                else {
+                let Ok(HandheldMsg::HistoryDown(delivered)) = HandheldMsg::decode(payload) else {
                     return;
                 };
                 if let Some(q) = self.queries.iter_mut().find(|q| {
-                    q.handheld == h
-                        && q.record.answered_at.is_none()
-                        && q.history_ready.is_some()
+                    q.handheld == h && q.record.answered_at.is_none() && q.history_ready.is_some()
                 }) {
                     q.record.answered_at = Some(at);
                     q.history_ready = None;
@@ -649,9 +717,7 @@ impl BipsSystem {
                     return;
                 };
                 if let Some(q) = self.queries.iter_mut().find(|q| {
-                    q.handheld == h
-                        && q.record.answered_at.is_none()
-                        && q.outcome_ready.is_some()
+                    q.handheld == h && q.record.answered_at.is_none() && q.outcome_ready.is_some()
                 }) {
                     q.record.answered_at = Some(at);
                     q.outcome_ready = None;
@@ -736,8 +802,15 @@ impl BipsSystem {
         }
         let src = self.workstations[ws].host;
         let dst = self.server_host;
-        self.tr
-            .send(ctx, &mut self.lan, SysEvent::Lan, SysEvent::Tr, src, dst, framed);
+        self.tr.send(
+            ctx,
+            &mut self.lan,
+            SysEvent::Lan,
+            SysEvent::Tr,
+            src,
+            dst,
+            framed,
+        );
     }
 
     fn on_lan(&mut self, ctx: &mut Context<SysEvent>, ev: LanEvent) {
@@ -753,28 +826,31 @@ impl BipsSystem {
         }
     }
 
-    fn on_app_message(
-        &mut self,
-        ctx: &mut Context<SysEvent>,
-        m: bips_lan::transport::AppMessage,
-    ) {
+    fn on_app_message(&mut self, ctx: &mut Context<SysEvent>, m: bips_lan::transport::AppMessage) {
         let Some(rpc) = RpcCodec::decode(&m) else {
             return;
         };
         match rpc {
-            RpcMessage::Request { from, corr, payload } => {
+            RpcMessage::Request {
+                from,
+                corr,
+                payload,
+            } => {
                 debug_assert_eq!(m.dst, self.server_host, "requests go to the server");
                 let Ok(req) = Request::decode(&payload) else {
                     return;
                 };
                 let presence_items: Vec<(BdAddr, usize, bool)> = match &req {
-                    Request::Presence { cell, addr, present } => {
+                    Request::Presence {
+                        cell,
+                        addr,
+                        present,
+                    } => {
                         vec![(*addr, *cell as usize, *present)]
                     }
-                    Request::PresenceBatch { cell, items } => items
-                        .iter()
-                        .map(|&(a, p)| (a, *cell as usize, p))
-                        .collect(),
+                    Request::PresenceBatch { cell, items } => {
+                        items.iter().map(|&(a, p)| (a, *cell as usize, p)).collect()
+                    }
                     _ => Vec::new(),
                 };
                 let resp = self.server.handle(req, ctx.now());
@@ -789,15 +865,11 @@ impl BipsSystem {
                         // Latency samples: pendings exist only for true
                         // transitions, so redundant items are no-ops here.
                         if *present {
-                            if let Some(entered) =
-                                self.pending_detection.remove(&(*addr, *cell))
-                            {
+                            if let Some(entered) = self.pending_detection.remove(&(*addr, *cell)) {
                                 self.detection_latency
                                     .push(now.saturating_since(entered).as_secs_f64());
                             }
-                        } else if let Some(exited) =
-                            self.pending_absence.remove(&(*addr, *cell))
-                        {
+                        } else if let Some(exited) = self.pending_absence.remove(&(*addr, *cell)) {
                             self.absence_latency
                                 .push(now.saturating_since(exited).as_secs_f64());
                         }
@@ -839,6 +911,7 @@ impl BipsSystem {
                 let Some(pending) = self.workstations[ws].pending.remove(&corr) else {
                     return;
                 };
+                self.stats.rpc_round_trips += 1;
                 let mut r = crate::wire::Reader::new(&payload);
                 let Ok(epoch) = r.u32() else {
                     return;
@@ -878,6 +951,10 @@ impl BipsSystem {
                 );
                 if effectively_ok {
                     self.handhelds[handheld].logged_in = true;
+                    if let Some(seen) = self.handhelds[handheld].first_seen.take() {
+                        self.enrollment_latency
+                            .push(ctx.now().saturating_since(seen).as_secs_f64());
+                    }
                 }
                 // Tell the handheld (if the link survived).
                 let slave = self.handhelds[handheld].slave;
@@ -949,7 +1026,9 @@ impl BipsSystem {
                     let master = self.workstations[room.index()].master;
                     let slave = self.handhelds[walker.index()].slave;
                     let addr = self.handhelds[walker.index()].addr;
-                    self.pending_detection.entry((addr, room.index())).or_insert(at);
+                    self.pending_detection
+                        .entry((addr, room.index()))
+                        .or_insert(at);
                     self.pending_absence.remove(&(addr, room.index()));
                     self.bb.set_in_range(
                         &mut MappedContext::new(ctx, SysEvent::Bb),
@@ -962,11 +1041,17 @@ impl BipsSystem {
                     let master = self.workstations[room.index()].master;
                     let slave = self.handhelds[walker.index()].slave;
                     let addr = self.handhelds[walker.index()].addr;
-                    if self.pending_detection.remove(&(addr, room.index())).is_some() {
+                    if self
+                        .pending_detection
+                        .remove(&(addr, room.index()))
+                        .is_some()
+                    {
                         // Left before the server ever learned of the visit.
                         self.stats.missed_detections += 1;
                     } else if self.server.db().cells_of(addr).contains(&room.index()) {
-                        self.pending_absence.entry((addr, room.index())).or_insert(at);
+                        self.pending_absence
+                            .entry((addr, room.index()))
+                            .or_insert(at);
                     }
                     self.bb.set_in_range(
                         &mut MappedContext::new(ctx, SysEvent::Bb),
@@ -1225,6 +1310,7 @@ impl SystemBuilder {
                 wants_login: u.auto_login,
                 login_in_flight: false,
                 queued_queries: Vec::new(),
+                first_seen: None,
             });
         }
 
@@ -1253,6 +1339,7 @@ impl SystemBuilder {
             detection_latency: desim::stats::OnlineStats::new(),
             absence_latency: desim::stats::OnlineStats::new(),
             pending_absence: HashMap::new(),
+            enrollment_latency: desim::stats::OnlineStats::new(),
         };
 
         let n_ws = system.workstations.len();

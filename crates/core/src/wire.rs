@@ -140,12 +140,16 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a bool byte (any nonzero is `true`).
@@ -255,6 +259,9 @@ mod tests {
     #[test]
     fn error_display_is_stable() {
         assert_eq!(DecodeError::Truncated.to_string(), "truncated message");
-        assert_eq!(DecodeError::BadTag(0xAB).to_string(), "unknown tag byte 0xab");
+        assert_eq!(
+            DecodeError::BadTag(0xAB).to_string(),
+            "unknown tag byte 0xab"
+        );
     }
 }

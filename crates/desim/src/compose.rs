@@ -234,7 +234,8 @@ mod tests {
             type Event = Outer;
             fn handle(&mut self, ctx: &mut Context<Outer>, ev: Outer) {
                 if let Outer::C(f) = ev {
-                    self.counter.handle(&mut MappedContext::new(ctx, Outer::C), f);
+                    self.counter
+                        .handle(&mut MappedContext::new(ctx, Outer::C), f);
                 }
             }
         }

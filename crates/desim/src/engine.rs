@@ -37,6 +37,33 @@ pub trait World {
     fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
 }
 
+/// A passive probe notified around every event the engine executes.
+///
+/// Observers see each event immediately before it is handed to
+/// [`World::handle`] and are told the resulting calendar state right
+/// after. They receive **no** access to the [`Context`] — they cannot
+/// schedule, cancel, or draw randomness — so by construction an attached
+/// observer cannot perturb the simulation: a run with an observer is
+/// bit-identical to the same run without one. (The determinism test in
+/// `tests/observability.rs` checks this end to end.)
+///
+/// Attach with [`Engine::attach_observer`]; when no observer is attached
+/// the engine's hot loop does not pay for the hooks beyond one `Option`
+/// check per event.
+pub trait Observer<E> {
+    /// Called after the clock has advanced to `at`, immediately before the
+    /// event is handled (the event is consumed by the world, so this is
+    /// the only chance to inspect it).
+    fn on_event_dispatched(&mut self, at: SimTime, event: &E);
+
+    /// Called right after the event was handled. `queue_depth` is the
+    /// number of events then pending and `steps` the total executed so
+    /// far. The default does nothing.
+    fn on_event_handled(&mut self, at: SimTime, queue_depth: usize, steps: u64) {
+        let _ = (at, queue_depth, steps);
+    }
+}
+
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
@@ -105,7 +132,11 @@ impl<E> Context<E> {
     /// Panics if `at` is earlier than [`now`](Context::now) — the calendar
     /// cannot rewind.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
@@ -210,6 +241,7 @@ pub struct Engine<W: World> {
     world: W,
     ctx: Context<W::Event>,
     steps: u64,
+    observer: Option<Box<dyn Observer<W::Event>>>,
 }
 
 impl<E> std::fmt::Debug for Context<E> {
@@ -224,6 +256,7 @@ impl<W: World + std::fmt::Debug> std::fmt::Debug for Engine<W> {
             .field("world", &self.world)
             .field("ctx", &self.ctx)
             .field("steps", &self.steps)
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -236,7 +269,28 @@ impl<W: World> Engine<W> {
             world,
             ctx: Context::new(SimRng::seed_from(seed)),
             steps: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a passive [`Observer`], replacing and returning any
+    /// previous one. Observers cannot influence the run (see the trait
+    /// docs); attach and detach at any point between events.
+    pub fn attach_observer(
+        &mut self,
+        observer: Box<dyn Observer<W::Event>>,
+    ) -> Option<Box<dyn Observer<W::Event>>> {
+        self.observer.replace(observer)
+    }
+
+    /// Removes and returns the attached observer, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn Observer<W::Event>>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is currently attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// Current virtual time (time of the last executed event).
@@ -282,8 +336,14 @@ impl<W: World> Engine<W> {
             Some((at, event)) => {
                 debug_assert!(at >= self.ctx.now);
                 self.ctx.now = at;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event_dispatched(at, &event);
+                }
                 self.world.handle(&mut self.ctx, event);
                 self.steps += 1;
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_event_handled(at, self.ctx.pending(), self.steps);
+                }
                 true
             }
             None => false,
@@ -468,11 +528,77 @@ mod tests {
 
     #[test]
     fn run_steps_bounds_execution() {
-        let mut e = Engine::new(Chainer { depth: 0, max: u32::MAX }, 0);
+        let mut e = Engine::new(
+            Chainer {
+                depth: 0,
+                max: u32::MAX,
+            },
+            0,
+        );
         e.schedule(SimTime::ZERO, ());
         let n = e.run_steps(1000);
         assert_eq!(n, 1000);
         assert_eq!(e.world().depth, 1000);
+    }
+
+    #[test]
+    fn observer_sees_every_event_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Spy {
+            log: Rc<RefCell<Vec<(SimTime, u32, usize)>>>,
+        }
+        impl Observer<u32> for Spy {
+            fn on_event_dispatched(&mut self, at: SimTime, event: &u32) {
+                self.log.borrow_mut().push((at, *event, usize::MAX));
+            }
+            fn on_event_handled(&mut self, _at: SimTime, queue_depth: usize, _steps: u64) {
+                self.log
+                    .borrow_mut()
+                    .last_mut()
+                    .expect("dispatched first")
+                    .2 = queue_depth;
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut e = recorder();
+        e.attach_observer(Box::new(Spy {
+            log: Rc::clone(&log),
+        }));
+        e.schedule(SimTime::from_micros(10), 1);
+        e.schedule(SimTime::from_micros(20), 2);
+        e.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (SimTime::from_micros(10), 1, 1),
+                (SimTime::from_micros(20), 2, 0)
+            ]
+        );
+        assert!(e.detach_observer().is_some());
+        assert!(!e.has_observer());
+    }
+
+    #[test]
+    fn observer_does_not_change_the_run() {
+        struct Noisy;
+        impl Observer<u32> for Noisy {
+            fn on_event_dispatched(&mut self, _at: SimTime, _event: &u32) {}
+        }
+        fn run(observed: bool) -> (Vec<(SimTime, u32)>, Vec<u64>) {
+            let mut e = recorder();
+            if observed {
+                e.attach_observer(Box::new(Noisy));
+            }
+            e.schedule(SimTime::from_micros(5), 7);
+            e.schedule(SimTime::from_micros(5), 8);
+            e.run();
+            let draws = (0..8).map(|_| e.context_mut().rng().next_u64()).collect();
+            (e.world().seen.clone(), draws)
+        }
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

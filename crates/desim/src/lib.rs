@@ -21,6 +21,12 @@
 //!   experiment in the paper: sample means with confidence intervals,
 //!   empirical CDFs (Figure 2 is an empirical discovery-time CDF), and
 //!   histograms.
+//! * **Telemetry** is layered on top, never inside, the engine: a
+//!   [`metrics`] registry of hierarchically-named counters, gauges and
+//!   distributions; a passive [`Observer`] hook (with the ready-made
+//!   [`probe::EngineProbe`]) that provably cannot perturb a run; and a
+//!   dependency-free JSON/JSONL [`report`] exporter for structured run
+//!   reports. See `docs/OBSERVABILITY.md`.
 //!
 //! # Example
 //!
@@ -54,11 +60,16 @@
 
 pub mod compose;
 pub mod engine;
+pub mod metrics;
+pub mod probe;
+pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Context, Engine, EventId, World};
+pub use engine::{Context, Engine, EventId, Observer, World};
+pub use metrics::{Metric, MetricSet};
+pub use report::{Json, RunReport};
 pub use rng::{SeedDeriver, SimRng};
 pub use time::{SimDuration, SimTime};

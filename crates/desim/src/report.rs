@@ -1,0 +1,479 @@
+//! Structured run reports: a dependency-free JSON/JSONL exporter.
+//!
+//! Experiment binaries dump a machine-readable [`RunReport`] next to their
+//! human-readable output so CI can archive results and downstream tooling
+//! can diff runs. The build environment is fully offline, so the JSON
+//! encoder is hand-rolled here rather than pulled from a crate: [`Json`]
+//! is a tiny document model with correct string escaping, `null` for
+//! non-finite floats, and both compact (JSONL) and pretty rendering.
+//!
+//! The report schema (`bips-run-report/v1`) is documented in
+//! `docs/OBSERVABILITY.md`:
+//!
+//! ```json
+//! {
+//!   "schema": "bips-run-report/v1",
+//!   "experiment": "table1",
+//!   "seed": 7,
+//!   "config": { ... },
+//!   "artifacts": { ... },
+//!   "metrics": { "name": {"kind": "counter", "value": 3}, ... }
+//! }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use desim::metrics::MetricSet;
+//! use desim::report::RunReport;
+//!
+//! let mut m = MetricSet::new();
+//! m.inc("baseband.inquiry.ids_transmitted");
+//! let mut r = RunReport::new("demo", 42);
+//! r.config("slaves", 3u64);
+//! r.artifact("mean_discovery_s", 2.5);
+//! r.metrics(&m);
+//! let line = r.to_json().render_compact();
+//! assert!(line.starts_with("{\"schema\":\"bips-run-report/v1\""));
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::metrics::{Metric, MetricSet};
+use crate::stats::{Histogram, OnlineStats};
+
+/// The schema identifier stamped into every report.
+pub const SCHEMA: &str = "bips-run-report/v1";
+
+/// A JSON document: the minimal model needed to emit reports.
+///
+/// Object keys keep their insertion order, so reports render with stable,
+/// human-chosen field ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; NaN and infinities render as `null` (JSON has no words
+    /// for them).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (replacing an existing key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders without any whitespace — one report per line (JSONL).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders indented, two spaces per level.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{}` prints the shortest digits that round-trip.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn stats_json(s: &OnlineStats) -> Json {
+    let mut o = Json::object();
+    o.set("n", s.len());
+    o.set("mean", s.mean());
+    o.set("stddev", s.stddev());
+    o.set("ci95", s.ci95_halfwidth());
+    o.set("min", s.min().map_or(Json::Null, Json::Num));
+    o.set("max", s.max().map_or(Json::Null, Json::Num));
+    o
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    let (lo, _) = h.bin_bounds(0);
+    let (_, hi) = h.bin_bounds(h.num_bins() - 1);
+    let mut o = Json::object();
+    o.set("lo", lo);
+    o.set("hi", hi);
+    o.set(
+        "counts",
+        Json::Arr((0..h.num_bins()).map(|i| Json::UInt(h.count(i))).collect()),
+    );
+    o.set("underflow", h.underflow());
+    o.set("overflow", h.overflow());
+    o.set("nans", h.nans());
+    o
+}
+
+/// Converts a metric registry into its JSON form: an object keyed by
+/// metric name, each value tagged with its `kind`.
+pub fn metrics_to_json(metrics: &MetricSet) -> Json {
+    let mut root = Json::object();
+    for (name, metric) in metrics.iter() {
+        let mut o = Json::object();
+        match metric {
+            Metric::Counter(v) => {
+                o.set("kind", "counter");
+                o.set("value", *v);
+            }
+            Metric::Gauge(v) => {
+                o.set("kind", "gauge");
+                o.set("value", *v);
+            }
+            Metric::Stats(s) => {
+                o.set("kind", "stats");
+                o.set("value", stats_json(s));
+            }
+            Metric::Hist(h) => {
+                o.set("kind", "histogram");
+                o.set("value", histogram_json(h));
+            }
+        }
+        root.set(name, o);
+    }
+    root
+}
+
+/// A structured description of one experiment run. See the
+/// [module docs](self) for the serialized shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    experiment: String,
+    seed: u64,
+    config: Json,
+    artifacts: Json,
+    metrics: Json,
+    extra: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// A report for `experiment` run under master seed `seed`.
+    pub fn new(experiment: &str, seed: u64) -> RunReport {
+        RunReport {
+            experiment: experiment.to_string(),
+            seed,
+            config: Json::object(),
+            artifacts: Json::object(),
+            metrics: Json::object(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Records one run-configuration field (replication counts, durations,
+    /// population sizes, …).
+    pub fn config(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.config.set(key, value);
+        self
+    }
+
+    /// Records one paper-artifact number (a Table 1 cell, a Figure 2
+    /// series, an end-to-end latency).
+    pub fn artifact(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.artifacts.set(key, value);
+        self
+    }
+
+    /// Attaches the run's metric snapshot.
+    pub fn metrics(&mut self, metrics: &MetricSet) -> &mut Self {
+        self.metrics = metrics_to_json(metrics);
+        self
+    }
+
+    /// Attaches an additional top-level section (e.g. `system_metrics`).
+    pub fn section(&mut self, key: &str, value: Json) -> &mut Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// The complete JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("schema", SCHEMA);
+        root.set("experiment", self.experiment.as_str());
+        root.set("seed", self.seed);
+        root.set("config", self.config.clone());
+        root.set("artifacts", self.artifacts.clone());
+        root.set("metrics", self.metrics.clone());
+        for (k, v) in &self.extra {
+            root.set(k, v.clone());
+        }
+        root
+    }
+
+    /// Writes the report pretty-printed to `path` (overwrites).
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+
+    /// Appends the report as one compact line to `path` (creates the file
+    /// if needed) — the JSONL accumulation format.
+    pub fn append_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        use io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json().render_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_is_single_line_json() {
+        let mut o = Json::object();
+        o.set("a", 1u64);
+        o.set("b", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(o.render_compact(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn strings_escape_correctly() {
+        let j = Json::from("quote \" slash \\ tab \t newline \n bell \u{7}");
+        assert_eq!(
+            j.render_compact(),
+            "\"quote \\\" slash \\\\ tab \\t newline \\n bell \\u0007\""
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render_compact(), "null");
+        assert_eq!(Json::Num(2.5).render_compact(), "2.5");
+    }
+
+    #[test]
+    fn set_replaces_existing_keys() {
+        let mut o = Json::object();
+        o.set("k", 1u64);
+        o.set("k", 2u64);
+        assert_eq!(o.render_compact(), r#"{"k":2}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let mut o = Json::object();
+        o.set("x", 1u64);
+        assert_eq!(o.render_pretty(), "{\n  \"x\": 1\n}\n");
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let mut m = MetricSet::new();
+        m.inc("a.count");
+        m.gauge("a.rate", 2.0);
+        m.observe("a.lat", 1.0);
+        m.histogram("a.h", 0.0, 1.0, 2).push(0.4);
+
+        let mut r = RunReport::new("unit", 9);
+        r.config("users", 3u64);
+        r.artifact("mean", 1.5);
+        r.metrics(&m);
+        let j = r.to_json();
+        assert_eq!(j.get("schema"), Some(&Json::from(SCHEMA)));
+        assert_eq!(j.get("experiment"), Some(&Json::from("unit")));
+        assert_eq!(j.get("seed"), Some(&Json::UInt(9)));
+        let metrics = j.get("metrics").unwrap();
+        let counter = metrics.get("a.count").unwrap();
+        assert_eq!(counter.get("kind"), Some(&Json::from("counter")));
+        assert_eq!(counter.get("value"), Some(&Json::UInt(1)));
+        let hist = metrics.get("a.h").unwrap().get("value").unwrap();
+        assert_eq!(hist.get("underflow"), Some(&Json::UInt(0)));
+    }
+
+    #[test]
+    fn jsonl_appends_one_line_per_report() {
+        let dir = std::env::temp_dir().join("desim-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("run-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let r = RunReport::new("jsonl", 1);
+        r.append_jsonl(&path).unwrap();
+        r.append_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

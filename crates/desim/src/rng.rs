@@ -6,15 +6,55 @@
 //! one component never shifts another component's stream when code is
 //! reordered — the classic reproducibility pitfall in network simulators.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng as _};
-
 /// SplitMix64 finalizer: a bijective mix with good avalanche behaviour.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// xoshiro256++ (Blackman & Vigna): the generator behind `rand`'s 64-bit
+/// `SmallRng`, implemented here directly so the workspace carries no
+/// external RNG dependency. Seeding fills the four state words with
+/// successive SplitMix64 outputs, exactly like `rand_core`'s
+/// `seed_from_u64`, so streams match what the `rand 0.8` façade produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // rand_core 0.6 seed_from_u64: raw SplitMix64 stream (state walks
+        // by the golden-gamma, each output finalized), little-endian words.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro256PlusPlus { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
 }
 
 /// Derives independent child seeds from a master seed.
@@ -63,35 +103,37 @@ impl SeedDeriver {
 
 /// The simulation RNG: a small, fast, seedable generator.
 ///
-/// Wraps [`rand::rngs::SmallRng`] behind a stable façade (so the algorithm
-/// can be pinned or swapped without touching call sites) and adds the
+/// A self-contained xoshiro256++ behind a stable façade (so the algorithm
+/// can be pinned or swapped without touching call sites), plus the
 /// handful of draw shapes the baseband and mobility models need.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
         }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)`, via Lemire's widening-multiply
+    /// rejection (the same scheme `rand 0.8` used, so streams are
+    /// preserved).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is empty");
-        self.inner.gen_range(0..n)
+        self.sample_below(n)
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
@@ -101,12 +143,17 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let range = hi.wrapping_sub(lo).wrapping_add(1);
+        if range == 0 {
+            // Full 64-bit range.
+            return self.inner.next_u64();
+        }
+        lo + self.sample_below(range)
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -115,11 +162,35 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.unit() * (hi - lo);
+        // Guard the upper bound against rounding on huge ranges.
+        if v >= hi {
+            hi.next_down()
+        } else {
+            v
+        }
+    }
+
+    /// Unbiased draw in `[0, n)` for `n > 0`.
+    fn sample_below(&mut self, n: u64) -> u64 {
+        // Accept v·n's high word when the low word clears the zone; the
+        // zone keeps every accepted value equally likely.
+        let zone = (n << n.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.inner.next_u64();
+            let wide = (v as u128) * (n as u128);
+            let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+            if lo <= zone {
+                return hi;
+            }
+        }
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).

@@ -124,8 +124,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -229,7 +228,8 @@ impl EmpiricalCdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             self.sorted = true;
         }
     }
@@ -321,6 +321,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nans: u64,
 }
 
 impl Histogram {
@@ -338,12 +339,17 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nans: 0,
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. NaN observations are counted separately (see
+    /// [`nans`](Histogram::nans)) rather than silently landing in bucket 0,
+    /// which is what the `(NaN as usize)` cast used to do.
     pub fn push(&mut self, x: f64) {
-        if x < self.lo {
+        if x.is_nan() {
+            self.nans += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -378,9 +384,39 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total observations, including under/overflow.
+    /// NaN observations (counted, never binned).
+    pub fn nans(&self) -> u64 {
+        self.nans
+    }
+
+    /// Total observations, including under/overflow and NaNs.
     pub fn total(&self) -> u64 {
-        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+        self.underflow + self.overflow + self.nans + self.bins.iter().sum::<u64>()
+    }
+
+    /// Merges another histogram with identical bounds and bin count into
+    /// this one (bin-wise sum, used when combining replications).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "incompatible histograms: [{}, {})×{} vs [{}, {})×{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.nans += other.nans;
     }
 
     /// The `[lo, hi)` bounds of bucket `i`.
@@ -519,6 +555,46 @@ mod tests {
     fn histogram_zero_bins_panics() {
         Histogram::new(0.0, 1.0, 0);
     }
+
+    /// Regression: NaN used to fall through both range guards and the
+    /// `as usize` cast saturated it into bucket 0, silently corrupting the
+    /// lowest bin. It must be counted apart from every bucket.
+    #[test]
+    fn histogram_nan_is_not_bin_zero() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(f64::NAN);
+        h.push(0.1);
+        assert_eq!(h.count(0), 1, "only the real observation lands in bin 0");
+        assert_eq!(h.nans(), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_sums_everything() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.push(0.1);
+        a.push(-1.0);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        b.push(0.9);
+        b.push(2.0);
+        b.push(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.nans(), 1);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible histograms")]
+    fn histogram_merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.merge(&Histogram::new(0.0, 1.0, 3));
+    }
 }
 
 /// A time-weighted average: integrates a piecewise-constant signal (queue
@@ -582,6 +658,11 @@ impl TimeWeighted {
     /// The current signal value.
     pub fn current(&self) -> f64 {
         self.current
+    }
+
+    /// The time of the most recent change (or the start, if unchanged).
+    pub fn last_change(&self) -> crate::SimTime {
+        self.last_change
     }
 
     /// The time-weighted average over `[start, until)`.

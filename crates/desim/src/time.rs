@@ -333,12 +333,18 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_since(SimTime::from_secs(5)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::from_secs(1).checked_sub(SimTime::from_secs(2)), None);
+        assert_eq!(
+            SimTime::from_secs(1).checked_sub(SimTime::from_secs(2)),
+            None
+        );
     }
 
     #[test]
@@ -367,6 +373,9 @@ mod tests {
     #[test]
     fn sum_of_durations() {
         let total: SimDuration = (0..4).map(|_| SimDuration::from_micros(625)).sum();
-        assert_eq!(total, SimDuration::from_millis(2) + SimDuration::from_micros(500));
+        assert_eq!(
+            total,
+            SimDuration::from_millis(2) + SimDuration::from_micros(500)
+        );
     }
 }

@@ -130,6 +130,37 @@ impl<R> Trace<R> {
     {
         self.iter().filter(|e| pred(&e.record)).collect()
     }
+
+    /// A one-line occupancy summary (retained / dropped / capacity), for
+    /// run reports and diagnostics.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            len: self.len(),
+            dropped: self.dropped,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Occupancy of a [`Trace`], as returned by [`Trace::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Records currently retained.
+    pub len: usize,
+    /// Records evicted by the capacity bound.
+    pub dropped: u64,
+    /// Maximum retained records.
+    pub capacity: usize,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records retained ({} dropped, capacity {})",
+            self.len, self.dropped, self.capacity
+        )
+    }
 }
 
 impl<R: fmt::Display> Trace<R> {
@@ -212,5 +243,16 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_panics() {
         let _ = Trace::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn summary_reports_occupancy() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..3u32 {
+            t.record(SimTime::from_micros(i as u64), i);
+        }
+        let s = t.summary();
+        assert_eq!((s.len, s.dropped, s.capacity), (2, 1, 2));
+        assert_eq!(s.to_string(), "2 records retained (1 dropped, capacity 2)");
     }
 }

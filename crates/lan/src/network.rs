@@ -135,6 +135,15 @@ impl Lan {
         self.stats
     }
 
+    /// Exports the segment's counters into `metrics` under the
+    /// `lan.frames.*` prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, metrics: &mut desim::MetricSet) {
+        metrics.set_counter("lan.frames.sent", self.stats.sent);
+        metrics.set_counter("lan.frames.delivered", self.stats.delivered);
+        metrics.set_counter("lan.frames.dropped", self.stats.dropped);
+        metrics.set_counter("lan.frames.bytes_delivered", self.stats.bytes_delivered);
+    }
+
     /// Sends `payload` from `src` to `dst`. The datagram is delivered
     /// after the sampled latency unless the loss model drops it.
     ///
@@ -264,10 +273,7 @@ mod tests {
         let (mut e, h) = engine(cfg, 2, 3);
         e.schedule(SimTime::from_millis(5), LanEvent::send(h[1], h[0], vec![9]));
         e.run();
-        assert_eq!(
-            e.world().got[0].0,
-            SimTime::from_millis(5) + cfg.latency
-        );
+        assert_eq!(e.world().got[0].0, SimTime::from_millis(5) + cfg.latency);
     }
 
     #[test]
@@ -286,10 +292,7 @@ mod tests {
     #[should_panic(expected = "unattached")]
     fn sending_to_unattached_host_panics() {
         let (mut e, h) = engine(LanConfig::default(), 1, 5);
-        e.schedule(
-            SimTime::ZERO,
-            LanEvent::send(h[0], HostId::new(9), vec![]),
-        );
+        e.schedule(SimTime::ZERO, LanEvent::send(h[0], HostId::new(9), vec![]));
         e.run();
     }
 

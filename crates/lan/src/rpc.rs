@@ -146,7 +146,9 @@ mod tests {
         let (corr, _) = codec.encode_request(b"q");
         let framed = RpcCodec::encode_response(corr, b"room 42");
         match RpcCodec::decode(&msg(1, framed)).unwrap() {
-            RpcMessage::Response { corr: c, payload, .. } => {
+            RpcMessage::Response {
+                corr: c, payload, ..
+            } => {
                 assert_eq!(c, corr);
                 assert_eq!(payload, b"room 42");
             }
@@ -175,7 +177,9 @@ mod tests {
         let mut codec = RpcCodec::new();
         let (corr, framed) = codec.encode_request(b"");
         match RpcCodec::decode(&msg(0, framed)).unwrap() {
-            RpcMessage::Request { corr: c, payload, .. } => {
+            RpcMessage::Request {
+                corr: c, payload, ..
+            } => {
                 assert_eq!(c, corr);
                 assert!(payload.is_empty());
             }

@@ -60,11 +60,7 @@ pub struct TransportEvent(Tev);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tev {
-    Retransmit {
-        src: usize,
-        dst: usize,
-        seq: u64,
-    },
+    Retransmit { src: usize, dst: usize, seq: u64 },
 }
 
 /// Transport counters.
@@ -134,6 +130,19 @@ impl Reliable {
     /// Counters.
     pub fn stats(&self) -> ReliableStats {
         self.stats
+    }
+
+    /// Exports the transport's counters into `metrics` under the
+    /// `lan.transport.*` prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, metrics: &mut desim::MetricSet) {
+        let s = &self.stats;
+        metrics.set_counter("lan.transport.accepted", s.accepted);
+        metrics.set_counter("lan.transport.data_segments", s.data_segments);
+        metrics.set_counter("lan.transport.retransmissions", s.retransmissions);
+        metrics.set_counter("lan.transport.acks", s.acks);
+        metrics.set_counter("lan.transport.delivered", s.delivered);
+        metrics.set_counter("lan.transport.duplicates", s.duplicates);
+        metrics.set_counter("lan.transport.failed", s.failed);
     }
 
     /// Queues `payload` for reliable, ordered delivery from `src` to
@@ -418,7 +427,10 @@ mod tests {
     fn lossless_delivery_in_order() {
         let (mut e, h) = stack(0.0, 2, 1);
         for i in 0..10u8 {
-            e.schedule(SimTime::from_micros(i as u64), Ev::Send(h[0], h[1], vec![i]));
+            e.schedule(
+                SimTime::from_micros(i as u64),
+                Ev::Send(h[0], h[1], vec![i]),
+            );
         }
         e.run();
         let got: Vec<u8> = e.world().got.iter().map(|m| m.payload[0]).collect();
@@ -430,7 +442,10 @@ mod tests {
     fn heavy_loss_still_delivers_everything_in_order() {
         let (mut e, h) = stack(0.4, 2, 2);
         for i in 0..50u8 {
-            e.schedule(SimTime::from_millis(i as u64), Ev::Send(h[0], h[1], vec![i]));
+            e.schedule(
+                SimTime::from_millis(i as u64),
+                Ev::Send(h[0], h[1], vec![i]),
+            );
         }
         e.run();
         let got: Vec<u8> = e.world().got.iter().map(|m| m.payload[0]).collect();
@@ -445,11 +460,17 @@ mod tests {
         // With loss on ACKs, data arrives twice; the app sees it once.
         let (mut e, h) = stack(0.3, 2, 3);
         for i in 0..30u8 {
-            e.schedule(SimTime::from_millis(i as u64 * 2), Ev::Send(h[0], h[1], vec![i]));
+            e.schedule(
+                SimTime::from_millis(i as u64 * 2),
+                Ev::Send(h[0], h[1], vec![i]),
+            );
         }
         e.run();
         assert_eq!(e.world().got.len(), 30);
-        assert!(e.world().tr.stats().duplicates > 0, "expected duplicate deliveries");
+        assert!(
+            e.world().tr.stats().duplicates > 0,
+            "expected duplicate deliveries"
+        );
     }
 
     #[test]

@@ -212,10 +212,7 @@ impl Building {
 
     /// Looks a room up by name (first match).
     pub fn room_by_name(&self, name: &str) -> Option<RoomId> {
-        self.rooms
-            .iter()
-            .position(|r| r.name == name)
-            .map(RoomId)
+        self.rooms.iter().position(|r| r.name == name).map(RoomId)
     }
 
     /// A ready-made academic-department floor plan: nine rooms along two

@@ -127,10 +127,7 @@ mod tests {
         // Fixed speed 1.3: dwell should approach mean chord / 1.3 ≈ 12.08 s.
         let mc = monte_carlo_dwell_secs(10.0, (1.3, 1.3), 0.0, 40_000, &mut rng);
         let expect = mean_chord_length(10.0) / 1.3;
-        assert!(
-            (mc - expect).abs() < 0.15,
-            "mc {mc} vs analytic {expect}"
-        );
+        assert!((mc - expect).abs() < 0.15, "mc {mc} vs analytic {expect}");
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod walker;
 
 pub use building::{Building, CellZone, RoomId};
 pub use geometry::Point;
-pub use model::{MobEvent, MobNotification, MobilityModel, WalkerId};
+pub use model::{MobEvent, MobNotification, MobStats, MobilityModel, WalkerId};

@@ -12,15 +12,16 @@
 //! Like the other substrates, the model is written against
 //! [`SubScheduler`] for embedding in the full-system simulation.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use desim::compose::SubScheduler;
+use desim::stats::OnlineStats;
 use desim::{SimDuration, SimTime};
 
 use crate::building::{Building, RoomId};
-use crate::geometry::{inside_circle, segment_circle_crossings, Point};
 #[allow(unused_imports)] // referenced by the module docs
 use crate::geometry::segment_circle_crossings as _doc_anchor;
+use crate::geometry::{inside_circle, segment_circle_crossings, Point};
 use crate::walker::{WalkMode, WalkerConfig};
 
 /// Identifies a walker within one [`MobilityModel`].
@@ -108,6 +109,23 @@ pub enum MobNotification {
     },
 }
 
+/// Mobility counters and dwell-time statistics, exposed for tests and
+/// experiment reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MobStats {
+    /// Cell (coverage-circle) entries.
+    pub cell_entries: u64,
+    /// Cell exits.
+    pub cell_exits: u64,
+    /// Room arrivals (leg ends).
+    pub arrivals: u64,
+    /// Completed `Route` itineraries.
+    pub routes_done: u64,
+    /// Per-visit cell dwell times in seconds (closed visits only: a
+    /// walker still inside a cell at the end of a run has no sample).
+    pub dwell_secs: OnlineStats,
+}
+
 #[derive(Debug, Clone)]
 struct Leg {
     from: Point,
@@ -136,6 +154,9 @@ pub struct MobilityModel {
     walkers: Vec<WalkerRt>,
     notifications: Vec<MobNotification>,
     started: bool,
+    stats: MobStats,
+    /// When each currently-open (walker, room) cell visit began.
+    dwell_since: HashMap<(usize, usize), SimTime>,
 }
 
 impl MobilityModel {
@@ -146,6 +167,8 @@ impl MobilityModel {
             walkers: Vec::new(),
             notifications: Vec::new(),
             started: false,
+            stats: MobStats::default(),
+            dwell_since: HashMap::new(),
         }
     }
 
@@ -210,8 +233,7 @@ impl MobilityModel {
         let rt = &self.walkers[w.0];
         match &rt.leg {
             Some(leg) => {
-                let t = now.saturating_since(leg.depart).as_secs_f64()
-                    / leg.duration.as_secs_f64();
+                let t = now.saturating_since(leg.depart).as_secs_f64() / leg.duration.as_secs_f64();
                 leg.from.lerp(leg.to, t.clamp(0.0, 1.0))
             }
             None => self.building.position(rt.at_room),
@@ -238,6 +260,23 @@ impl MobilityModel {
     /// Drains accumulated notifications, oldest first.
     pub fn drain_notifications(&mut self) -> Vec<MobNotification> {
         std::mem::take(&mut self.notifications)
+    }
+
+    /// Counters and dwell-time statistics.
+    pub fn stats(&self) -> &MobStats {
+        &self.stats
+    }
+
+    /// Exports the model's counters into `metrics` under the
+    /// `mobility.*` prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, metrics: &mut desim::MetricSet) {
+        let s = &self.stats;
+        metrics.set_counter("mobility.cell.entries", s.cell_entries);
+        metrics.set_counter("mobility.cell.exits", s.cell_exits);
+        metrics.set_counter("mobility.room.arrivals", s.arrivals);
+        metrics.set_counter("mobility.route.completed", s.routes_done);
+        metrics.observe_stats("mobility.cell.dwell_secs", &s.dwell_secs);
+        metrics.gauge("mobility.walkers", self.walkers.len() as f64);
     }
 
     /// Launches every walker. Usually driven by [`MobEvent::start`].
@@ -268,6 +307,7 @@ impl MobilityModel {
                     rt.at_room = leg.dest;
                     leg.dest
                 };
+                self.stats.arrivals += 1;
                 self.notifications.push(MobNotification::Arrived {
                     walker: WalkerId(walker),
                     room: dest,
@@ -309,6 +349,7 @@ impl MobilityModel {
             WalkMode::Route(route) => {
                 let pos = self.walkers[w].route_pos;
                 if pos >= route.len() {
+                    self.stats.routes_done += 1;
                     self.notifications.push(MobNotification::RouteDone {
                         walker: WalkerId(w),
                         at: s.now(),
@@ -338,10 +379,7 @@ impl MobilityModel {
                 if neighbors.is_empty() {
                     return; // isolated room: nowhere to go
                 }
-                let dest = *s
-                    .rng()
-                    .choose(&neighbors)
-                    .expect("non-empty neighbor list");
+                let dest = *s.rng().choose(&neighbors).expect("non-empty neighbor list");
                 self.start_leg(s, w, dest);
             }
         }
@@ -355,10 +393,7 @@ impl MobilityModel {
                 let hi = pause.1.as_micros().max(lo + 1);
                 let wait = SimDuration::from_micros(s.rng().range_inclusive(lo, hi));
                 let epoch = self.walkers[w].epoch;
-                s.schedule(
-                    s.now() + wait,
-                    MobEvent(Ev::PauseEnd { walker: w, epoch }),
-                );
+                s.schedule(s.now() + wait, MobEvent(Ev::PauseEnd { walker: w, epoch }));
             }
             _ => self.next_move(s, w),
         }
@@ -441,12 +476,18 @@ impl MobilityModel {
         };
         if changed {
             let n = if enter {
+                self.stats.cell_entries += 1;
+                self.dwell_since.insert((w, room), at);
                 MobNotification::CellEntered {
                     walker: WalkerId(w),
                     room: RoomId::new(room),
                     at,
                 }
             } else {
+                self.stats.cell_exits += 1;
+                if let Some(since) = self.dwell_since.remove(&(w, room)) {
+                    self.stats.dwell_secs.push((at - since).as_secs_f64());
+                }
                 MobNotification::CellExited {
                     walker: WalkerId(w),
                     room: RoomId::new(room),

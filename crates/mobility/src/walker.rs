@@ -74,7 +74,10 @@ impl WalkerConfig {
     /// Panics if the range is empty, negative, or has a non-positive
     /// upper bound.
     pub fn speed_range(mut self, lo: f64, hi: f64) -> WalkerConfig {
-        assert!(lo >= 0.0 && hi >= lo && hi > 0.0, "bad speed range [{lo}, {hi}]");
+        assert!(
+            lo >= 0.0 && hi >= lo && hi > 0.0,
+            "bad speed range [{lo}, {hi}]"
+        );
         self.speed_range = (lo, hi);
         self
     }
@@ -86,7 +89,10 @@ impl WalkerConfig {
     /// Panics if `min` is not strictly positive or exceeds the range's
     /// upper bound.
     pub fn min_leg_speed(mut self, min: f64) -> WalkerConfig {
-        assert!(min > 0.0 && min <= self.speed_range.1, "bad min speed {min}");
+        assert!(
+            min > 0.0 && min <= self.speed_range.1,
+            "bad min speed {min}"
+        );
         self.min_leg_speed = min;
         self
     }

@@ -15,7 +15,12 @@ fn main() {
 
     // The professor shuttles between an office and the far stairwell; the
     // visitor waits in the lobby.
-    let professor_route = WalkMode::Loop(vec![RoomId::new(4), RoomId::new(8), RoomId::new(4), RoomId::new(3)]);
+    let professor_route = WalkMode::Loop(vec![
+        RoomId::new(4),
+        RoomId::new(8),
+        RoomId::new(4),
+        RoomId::new(3),
+    ]);
     let mut engine = BipsSystem::builder(config)
         .user(UserSpec::new("visitor", 0).mode(WalkMode::Stationary))
         .user(UserSpec::new("prof", 3).mode(professor_route))
@@ -32,7 +37,11 @@ fn main() {
 
     for q in engine.world().queries() {
         match &q.outcome {
-            Some(LocateOutcome::Found { cell, path, distance }) => {
+            Some(LocateOutcome::Found {
+                cell,
+                path,
+                distance,
+            }) => {
                 let rooms: Vec<&str> = path
                     .iter()
                     .map(|&c| building.name(RoomId::new(c as usize)))

@@ -4,16 +4,22 @@
 //! $ bips-sim --building department --users 6 --duration 900 --seed 42
 //! $ bips-sim --building office:3 --users 10 --inquiry 3.84 --cycle 15.4
 //! $ bips-sim --building corridor:5 --users 2 --query alice:bob
-//! $ bips-sim --file examples/department.bips
+//! $ bips-sim --file examples/department.bips --json run.json
 //! ```
 //!
 //! With `--file`, the scenario text format (see [`bips::scenario`]) defines
-//! everything and the other flags are ignored. Every run is deterministic
-//! in its seed.
+//! everything and the other simulation flags are ignored. Every run is
+//! deterministic in its seed.
+//!
+//! `--json PATH` writes a structured run report (config, seed, headline
+//! numbers, full metric snapshot); `--jsonl PATH` appends the same report
+//! as one compact line, for accumulating sweeps. The JSON schema and the
+//! metric catalog are documented in `docs/OBSERVABILITY.md`.
 
 use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
 use bips::mobility::{Building, Point, RoomId};
-use bips::sim::{SimDuration, SimTime};
+use bips::sim::probe::{EngineProbe, ProbeHandle};
+use bips::sim::{MetricSet, RunReport, SimDuration, SimTime};
 
 struct Args {
     building: String,
@@ -24,6 +30,8 @@ struct Args {
     cycle_s: f64,
     batch: bool,
     query: Option<(String, String)>,
+    json: Option<String>,
+    jsonl: Option<String>,
 }
 
 fn usage() -> ! {
@@ -31,7 +39,8 @@ fn usage() -> ! {
         "usage: bips-sim [--building department|office:<floors>|corridor:<rooms>]\n\
          \x20               [--users N] [--duration SECONDS] [--seed SEED]\n\
          \x20               [--inquiry SECS] [--cycle SECS] [--batch]\n\
-         \x20               [--query USER:TARGET]"
+         \x20               [--query USER:TARGET]\n\
+         \x20               [--json PATH] [--jsonl PATH]"
     );
     std::process::exit(2);
 }
@@ -46,6 +55,8 @@ fn parse_args() -> Args {
         cycle_s: 15.4,
         batch: false,
         query: None,
+        json: None,
+        jsonl: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,9 +76,13 @@ fn parse_args() -> Args {
             "--batch" => args.batch = true,
             "--query" => {
                 let v = val("--query");
-                let Some((a, b)) = v.split_once(':') else { usage() };
+                let Some((a, b)) = v.split_once(':') else {
+                    usage()
+                };
                 args.query = Some((a.to_string(), b.to_string()));
             }
+            "--json" => args.json = Some(val("--json")),
+            "--jsonl" => args.jsonl = Some(val("--jsonl")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -104,7 +119,45 @@ fn build_building(spec: &str) -> Building {
     usage()
 }
 
-fn run_scenario_file(path: &str) {
+/// Event classification for the engine probe's per-type profiles.
+fn classify(ev: &SysEvent) -> &'static str {
+    match ev {
+        SysEvent::Bb(_) => "bb",
+        SysEvent::Lan(_) => "lan",
+        SysEvent::Tr(_) => "transport",
+        SysEvent::Mob(_) => "mobility",
+        SysEvent::Sweep { .. } => "sweep",
+        SysEvent::Cmd(_) => "cmd",
+    }
+}
+
+/// Collects the run's full metric snapshot (substrates + engine probe).
+fn snapshot(sys: &BipsSystem, probe: &ProbeHandle, end: SimTime) -> MetricSet {
+    let mut metrics = MetricSet::new();
+    sys.export_metrics(&mut metrics, end);
+    probe.borrow().export_into(&mut metrics, end);
+    metrics
+}
+
+/// Writes the structured report wherever the user asked for it.
+fn emit_report(report: &RunReport, json: Option<&str>, jsonl: Option<&str>) {
+    if let Some(path) = json {
+        report.write_json(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = jsonl {
+        report.append_jsonl(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("appended to {path}");
+    }
+}
+
+fn run_scenario_file(path: &str, json: Option<&str>, jsonl: Option<&str>) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
@@ -116,17 +169,49 @@ fn run_scenario_file(path: &str) {
     let building = scenario.config.building.clone();
     let names: Vec<String> = scenario.users.iter().map(|u| u.name.clone()).collect();
     let duration = scenario.duration;
+    let seed = scenario.seed;
     println!(
         "bips-sim: scenario {path} ({} rooms, {} users, {}s, seed {})",
         building.num_rooms(),
         names.len(),
         duration.as_secs_f64(),
-        scenario.seed
+        seed
     );
     let mut engine = scenario.into_engine();
+    let probe = EngineProbe::new(classify);
+    let handle = probe.handle();
+    engine.attach_observer(Box::new(probe));
     let end = SimTime::ZERO + duration;
     engine.run_until(end);
+    let metrics = snapshot(engine.world(), &handle, end);
     report(engine.world(), &building, &names, end, true);
+    println!("\n— telemetry —");
+    print!("{metrics}");
+
+    if json.is_some() || jsonl.is_some() {
+        let mut run = RunReport::new("bips-sim", seed);
+        run.config("scenario_file", path)
+            .config("users", names.len())
+            .config("duration_s", duration.as_secs_f64());
+        let sys = engine.world();
+        headline_artifacts(&mut run, sys, names.len());
+        run.metrics(&metrics);
+        emit_report(&run, json, jsonl);
+    }
+}
+
+/// The headline numbers every bips-sim report carries.
+fn headline_artifacts(run: &mut RunReport, sys: &BipsSystem, users: usize) {
+    let st = sys.stats();
+    run.artifact("users", users)
+        .artifact("logins_completed", st.logins_completed)
+        .artifact("tracking_accuracy", sys.tracking_accuracy())
+        .artifact("presence_updates_sent", st.presence_updates_sent)
+        .artifact("presence_messages_sent", st.presence_messages_sent)
+        .artifact("naive_announcements", st.naive_announcements)
+        .artifact("heartbeats_sent", st.heartbeats_sent)
+        .artifact("missed_detections", st.missed_detections)
+        .artifact("detection_latency_mean_s", sys.detection_latency().mean());
 }
 
 fn report(
@@ -137,8 +222,7 @@ fn report(
     show_queries: bool,
 ) {
     let st = sys.stats();
-    println!("
-== results ==");
+    println!("\n== results ==");
     println!(
         "logins completed: {} ({} users)   accuracy now: {:.0}%",
         st.logins_completed,
@@ -161,8 +245,7 @@ fn report(
             st.missed_detections
         );
     }
-    println!("
-where is everyone?");
+    println!("\nwhere is everyone?");
     for name in names {
         let loc = sys
             .db_cell_of(name)
@@ -171,8 +254,7 @@ where is everyone?");
         println!("  {name:<12} {loc}");
     }
     if show_queries && !sys.queries().is_empty() {
-        println!("
-queries:");
+        println!("\nqueries:");
         for q in sys.queries() {
             let verdict = match (&q.outcome, &q.history_outcome) {
                 (Some(o), _) => format!("{o:?}"),
@@ -182,8 +264,7 @@ queries:");
             println!("  {}→{} at {}: {}", q.user, q.target, q.issued_at, verdict);
         }
     }
-    println!("
-occupancy (time-weighted devices per cell):");
+    println!("\noccupancy (time-weighted devices per cell):");
     for (room, avg) in sys.cell_occupancy(end).iter().enumerate() {
         if *avg > 0.005 {
             println!("  {:<12} {avg:.2}", building.name(RoomId::new(room)));
@@ -192,11 +273,17 @@ occupancy (time-weighted devices per cell):");
 }
 
 fn main() {
-    // --file mode takes over entirely.
+    // --file mode takes over; only the report flags still apply.
     let argv: Vec<String> = std::env::args().collect();
     if let Some(pos) = argv.iter().position(|a| a == "--file") {
+        let take = |flag: &str| {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1))
+                .map(String::as_str)
+        };
         match argv.get(pos + 1) {
-            Some(path) => return run_scenario_file(path),
+            Some(path) => return run_scenario_file(path, take("--json"), take("--jsonl")),
             None => usage(),
         }
     }
@@ -239,12 +326,18 @@ fn main() {
         builder = builder.user(UserSpec::new(name, i % n_rooms));
     }
     let mut engine = builder.into_engine(args.seed);
+    let probe = EngineProbe::new(classify);
+    let handle = probe.handle();
+    engine.attach_observer(Box::new(probe));
 
     // Optional periodic query between the named pair.
     if let Some((from, to)) = &args.query {
         let mut t = 120u64;
         while t < args.duration_s {
-            engine.schedule(SimTime::from_secs(t), SysEvent::locate(from.clone(), to.clone()));
+            engine.schedule(
+                SimTime::from_secs(t),
+                SysEvent::locate(from.clone(), to.clone()),
+            );
             t += 120;
         }
     }
@@ -252,49 +345,21 @@ fn main() {
     let end = SimTime::from_secs(args.duration_s);
     engine.run_until(end);
 
-    let sys = engine.world();
-    let st = sys.stats();
-    println!("\n== results ==");
-    println!(
-        "logins: {}/{}   accuracy now: {:.0}%",
-        st.logins_completed,
-        args.users,
-        sys.tracking_accuracy() * 100.0
-    );
-    println!(
-        "presence: {} changes in {} LAN messages (naive: {})",
-        st.presence_updates_sent, st.presence_messages_sent, st.naive_announcements
-    );
-    let lat = sys.detection_latency();
-    if !lat.is_empty() {
-        println!(
-            "detection latency: {:.1}s mean over {} samples ({} visits missed)",
-            lat.mean(),
-            lat.len(),
-            st.missed_detections
-        );
-    }
-    println!("\nwhere is everyone?");
-    for name in &names {
-        let loc = sys
-            .db_cell_of(name)
-            .map(|c| building.name(RoomId::new(c)).to_string())
-            .unwrap_or_else(|| "out of coverage".to_string());
-        println!("  {name:<12} {loc}");
-    }
-    if args.query.is_some() {
-        println!("\nqueries:");
-        for q in sys.queries() {
-            println!(
-                "  {}→{} at {}: {:?}",
-                q.user, q.target, q.issued_at, q.outcome
-            );
-        }
-    }
-    println!("\noccupancy (time-weighted devices per cell):");
-    for (room, avg) in sys.cell_occupancy(end).iter().enumerate() {
-        if *avg > 0.005 {
-            println!("  {:<12} {avg:.2}", building.name(RoomId::new(room)));
-        }
+    let metrics = snapshot(engine.world(), &handle, end);
+    report(engine.world(), &building, &names, end, args.query.is_some());
+    println!("\n— telemetry —");
+    print!("{metrics}");
+
+    if args.json.is_some() || args.jsonl.is_some() {
+        let mut run = RunReport::new("bips-sim", args.seed);
+        run.config("building", args.building.as_str())
+            .config("users", args.users)
+            .config("duration_s", args.duration_s)
+            .config("inquiry_s", args.inquiry_s)
+            .config("cycle_s", args.cycle_s)
+            .config("batch_updates", args.batch);
+        headline_artifacts(&mut run, engine.world(), args.users);
+        run.metrics(&metrics);
+        emit_report(&run, args.json.as_deref(), args.jsonl.as_deref());
     }
 }

@@ -113,9 +113,10 @@ impl Scenario {
             match directive {
                 "building" => {
                     let spec = rest.first().ok_or_else(|| err(ln, "missing preset"))?;
-                    building = Some(preset(spec).ok_or_else(|| {
-                        err(ln, format!("unknown building preset '{spec}'"))
-                    })?);
+                    building = Some(
+                        preset(spec)
+                            .ok_or_else(|| err(ln, format!("unknown building preset '{spec}'")))?,
+                    );
                 }
                 "room" => {
                     let [name, x, y] = rest[..] else {
@@ -196,8 +197,7 @@ impl Scenario {
                                 .first()
                                 .ok_or_else(|| err(ln, "loop/route needs room,room,…"))?;
                             // Room names resolved after the building is final.
-                            let rooms: Vec<String> =
-                                list.split(',').map(str::to_string).collect();
+                            let rooms: Vec<String> = list.split(',').map(str::to_string).collect();
                             if rooms.is_empty() {
                                 return Err(err(ln, "empty route"));
                             }
@@ -226,7 +226,10 @@ impl Scenario {
                 }
                 "history" => {
                     let [t, a, b, from, to] = rest[..] else {
-                        return Err(err(ln, "usage: history <t-s> <user> <target> <from-s> <to-s>"));
+                        return Err(err(
+                            ln,
+                            "usage: history <t-s> <user> <target> <from-s> <to-s>",
+                        ));
                     };
                     let t: u64 = t.parse().map_err(|_| err(ln, "bad time"))?;
                     let from: u64 = from.parse().map_err(|_| err(ln, "bad window start"))?;
@@ -285,7 +288,10 @@ impl Scenario {
 
         let building = match (building, has_explicit_rooms) {
             (Some(_), true) => {
-                return Err(err(1, "use either a building preset or explicit rooms, not both"))
+                return Err(err(
+                    1,
+                    "use either a building preset or explicit rooms, not both",
+                ))
             }
             (Some(b), false) => b,
             (None, true) => explicit,
@@ -305,10 +311,8 @@ impl Scenario {
             let room = resolve_room(room_name, ln)?;
             let mode = match (parts.next(), parts.next()) {
                 (Some(kind), Some(list)) => {
-                    let route: Result<Vec<RoomId>, _> = list
-                        .split(',')
-                        .map(|r| resolve_room(r, ln))
-                        .collect();
+                    let route: Result<Vec<RoomId>, _> =
+                        list.split(',').map(|r| resolve_room(r, ln)).collect();
                     let route = route?;
                     if kind == "loop" {
                         WalkMode::Loop(route)

@@ -3,8 +3,8 @@
 //! queries across crate boundaries.
 
 use bips::core::protocol::LocateOutcome;
-use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
 use bips::core::registry::AccessRights;
+use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
 use bips::mobility::walker::WalkMode;
 use bips::mobility::{Building, Point, RoomId};
 use bips::sim::{SimDuration, SimTime};
@@ -74,8 +74,14 @@ fn queries_respect_access_rights_end_to_end() {
     assert!(e.world().is_logged_in("director"));
     // Alice cannot locate the invisible director; the director can locate
     // alice.
-    e.schedule(SimTime::from_secs(120), SysEvent::locate("alice", "director"));
-    e.schedule(SimTime::from_secs(121), SysEvent::locate("director", "alice"));
+    e.schedule(
+        SimTime::from_secs(120),
+        SysEvent::locate("alice", "director"),
+    );
+    e.schedule(
+        SimTime::from_secs(121),
+        SysEvent::locate("director", "alice"),
+    );
     e.run_until(SimTime::from_secs(300));
     let queries = e.world().queries();
     assert_eq!(queries.len(), 2);
@@ -101,7 +107,10 @@ fn unknown_target_and_not_logged_in_outcomes() {
     e.run_until(SimTime::from_secs(120));
     assert!(!e.world().is_logged_in("sleeper"));
     e.schedule(SimTime::from_secs(130), SysEvent::locate("alice", "ghost"));
-    e.schedule(SimTime::from_secs(131), SysEvent::locate("alice", "sleeper"));
+    e.schedule(
+        SimTime::from_secs(131),
+        SysEvent::locate("alice", "sleeper"),
+    );
     e.run_until(SimTime::from_secs(300));
     let queries = e.world().queries();
     let ghost = queries.iter().find(|q| q.target == "ghost").unwrap();
@@ -304,7 +313,10 @@ fn server_restart_recovers_via_epoch_resync() {
     assert_eq!(e.world().db_cell_of("alice"), Some(0));
     assert_eq!(e.world().db_cell_of("bob"), Some(1));
     let st = e.world().stats();
-    assert!(st.presence_updates_sent > updates_before, "no re-announcement");
+    assert!(
+        st.presence_updates_sent > updates_before,
+        "no re-announcement"
+    );
     assert!(st.logins_completed > logins_before, "no re-authentication");
     assert_eq!(e.world().tracking_accuracy(), 1.0);
 }
@@ -313,10 +325,9 @@ fn server_restart_recovers_via_epoch_resync() {
 fn history_query_traces_movement_end_to_end() {
     let mut e = BipsSystem::builder(fast_config(corridor(3, 25.0)))
         .user(UserSpec::new("alice", 0).mode(WalkMode::Stationary))
-        .user(UserSpec::new("walker", 0).mode(WalkMode::Route(vec![
-            RoomId::new(1),
-            RoomId::new(2),
-        ])))
+        .user(
+            UserSpec::new("walker", 0).mode(WalkMode::Route(vec![RoomId::new(1), RoomId::new(2)])),
+        )
         .into_engine(27);
     // Let the walker complete its route and the DB record the journey.
     e.run_until(SimTime::from_secs(300));

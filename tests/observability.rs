@@ -1,0 +1,156 @@
+//! Observers are pure taps: attaching one must not change a run.
+//!
+//! The `Observer` trait hands out `&Event` and no `Context`, so an
+//! observer *cannot* reschedule, draw randomness, or mutate the world —
+//! non-perturbation by construction. These tests demonstrate it end to
+//! end on the full BIPS deployment: the same seeded scenario runs with
+//! and without an observer attached, and every piece of final state
+//! (system counters, per-user location-database cells, latency
+//! statistics, substrate counters) is identical; two observed runs see
+//! byte-identical event traces.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
+use bips::sim::probe::EngineProbe;
+use bips::sim::{Engine, Observer, SimTime};
+
+const USERS: usize = 3;
+const DURATION_S: u64 = 200;
+const SEED: u64 = 20030519;
+
+fn build_engine() -> Engine<BipsSystem> {
+    let cfg = SystemConfig::default();
+    let n_rooms = cfg.building.num_rooms();
+    let mut builder = BipsSystem::builder(cfg);
+    for i in 0..USERS {
+        builder = builder.user(UserSpec::new(format!("user{i}"), i % n_rooms));
+    }
+    let mut engine = builder.into_engine(SEED);
+    engine.schedule(SimTime::from_secs(150), SysEvent::locate("user0", "user1"));
+    engine
+}
+
+/// An observer that folds every event's Debug rendering (plus its
+/// timestamp) into an FNV-1a hash — a byte-exact trace fingerprint
+/// without storing the trace.
+struct TraceHash {
+    state: Rc<RefCell<(u64, u64)>>, // (hash, events)
+}
+
+impl TraceHash {
+    fn new() -> (Self, Rc<RefCell<(u64, u64)>>) {
+        let state = Rc::new(RefCell::new((0xcbf2_9ce4_8422_2325, 0)));
+        (
+            TraceHash {
+                state: Rc::clone(&state),
+            },
+            state,
+        )
+    }
+}
+
+impl Observer<SysEvent> for TraceHash {
+    fn on_event_dispatched(&mut self, at: SimTime, event: &SysEvent) {
+        let line = format!("{at:?} {event:?}");
+        let mut s = self.state.borrow_mut();
+        for b in line.as_bytes() {
+            s.0 ^= u64::from(*b);
+            s.0 = s.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        s.1 += 1;
+    }
+}
+
+/// Everything we can cheaply fingerprint about a finished run.
+fn final_state(sys: &BipsSystem, end: SimTime) -> String {
+    let cells: Vec<Option<usize>> = (0..USERS)
+        .map(|i| sys.db_cell_of(&format!("user{i}")))
+        .collect();
+    let mut metrics = bips::sim::MetricSet::new();
+    sys.export_metrics(&mut metrics, end);
+    format!(
+        "stats={:?}\ncells={cells:?}\naccuracy={}\ndetection={:?}\nabsence={:?}\nenrollment={:?}\nmetrics:\n{metrics}",
+        sys.stats(),
+        sys.tracking_accuracy(),
+        sys.detection_latency(),
+        sys.absence_latency(),
+        sys.enrollment_latency(),
+    )
+}
+
+#[test]
+fn observer_does_not_perturb_the_full_system() {
+    let end = SimTime::from_secs(DURATION_S);
+
+    let mut plain = build_engine();
+    plain.run_until(end);
+    let baseline = final_state(plain.world(), end);
+
+    let mut observed = build_engine();
+    let (tracer, _state) = TraceHash::new();
+    observed.attach_observer(Box::new(tracer));
+    observed.run_until(end);
+    assert_eq!(
+        final_state(observed.world(), end),
+        baseline,
+        "attaching an observer changed the simulation"
+    );
+
+    // The standard telemetry probe must be just as invisible.
+    let mut probed = build_engine();
+    let probe = EngineProbe::new(|_: &SysEvent| "ev");
+    let handle = probe.handle();
+    probed.attach_observer(Box::new(probe));
+    probed.run_until(end);
+    assert_eq!(
+        final_state(probed.world(), end),
+        baseline,
+        "the engine probe changed the simulation"
+    );
+    assert!(handle.borrow().events() > 0, "probe saw no events");
+}
+
+#[test]
+fn observed_event_traces_are_byte_identical_across_runs() {
+    let end = SimTime::from_secs(DURATION_S);
+
+    let run = || {
+        let mut engine = build_engine();
+        let (tracer, state) = TraceHash::new();
+        engine.attach_observer(Box::new(tracer));
+        engine.run_until(end);
+        let snapshot = *state.borrow();
+        snapshot
+    };
+
+    let (hash_a, events_a) = run();
+    let (hash_b, events_b) = run();
+    assert!(events_a > 1000, "suspiciously short run: {events_a} events");
+    assert_eq!(events_a, events_b, "event counts diverged");
+    assert_eq!(hash_a, hash_b, "event traces diverged");
+}
+
+#[test]
+fn detaching_mid_run_keeps_the_run_on_course() {
+    let end = SimTime::from_secs(DURATION_S);
+
+    let mut plain = build_engine();
+    plain.run_until(end);
+    let baseline = final_state(plain.world(), end);
+
+    // Observe the first half only, then detach.
+    let mut engine = build_engine();
+    let (tracer, state) = TraceHash::new();
+    engine.attach_observer(Box::new(tracer));
+    engine.run_until(SimTime::from_secs(DURATION_S / 2));
+    assert!(engine.detach_observer().is_some());
+    engine.run_until(end);
+    assert_eq!(
+        final_state(engine.world(), end),
+        baseline,
+        "attach/detach cycle changed the simulation"
+    );
+    assert!(state.borrow().1 > 0, "observer saw nothing before detach");
+}

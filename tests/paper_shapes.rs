@@ -57,8 +57,14 @@ fn figure2_shape_staircase_and_collision_ordering() {
     // second cycle; 15–20 slaves all discovered within two cycles.
     assert!(curve(2).probability_at(1.0) >= 0.9);
     assert!(curve(10).probability_at(1.0) >= 0.8);
-    assert!(curve(10).probability_at(6.0) >= 0.95, "cycle 2 must finish ≤10 slaves");
-    assert!(curve(20).probability_at(6.0) >= 0.9, "20 slaves ≈ done by cycle 2");
+    assert!(
+        curve(10).probability_at(6.0) >= 0.95,
+        "cycle 2 must finish ≤10 slaves"
+    );
+    assert!(
+        curve(20).probability_at(6.0) >= 0.9,
+        "20 slaves ≈ done by cycle 2"
+    );
 
     // More slaves → more collisions → lower first-phase fraction.
     assert!(curve(20).probability_at(1.0) <= curve(10).probability_at(1.0) + 0.02);

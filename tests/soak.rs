@@ -11,11 +11,11 @@ use bips::sim::{SimDuration, SimTime};
 fn one_virtual_hour_with_ten_users_stays_healthy() {
     let mut builder = BipsSystem::builder(SystemConfig::default());
     for i in 0..10 {
-        builder = builder.user(UserSpec::new(format!("u{i}"), i % 9).mode(
-            WalkMode::RandomWalk {
+        builder = builder.user(
+            UserSpec::new(format!("u{i}"), i % 9).mode(WalkMode::RandomWalk {
                 pause: (SimDuration::from_secs(5), SimDuration::from_secs(45)),
-            },
-        ));
+            }),
+        );
     }
     let mut e = builder.into_engine(3600);
 
@@ -25,7 +25,10 @@ fn one_virtual_hour_with_ten_users_stays_healthy() {
     while t < 3600 {
         let a = (t / 180) % 10;
         let b = (a + 3) % 10;
-        e.schedule(SimTime::from_secs(t), SysEvent::locate(format!("u{a}"), format!("u{b}")));
+        e.schedule(
+            SimTime::from_secs(t),
+            SysEvent::locate(format!("u{a}"), format!("u{b}")),
+        );
         t += 180;
     }
     e.schedule(SimTime::from_secs(1200), SysEvent::restart_server());

@@ -1,0 +1,641 @@
+//! A dependency-free, in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository is fully offline, so the
+//! real `proptest` cannot be fetched. This shim implements the subset of
+//! its API that the workspace's property tests use — the `proptest!`
+//! macro, `prop_assert*`, range/`any`/tuple/vec/select/regex-lite string
+//! strategies, and `ProptestConfig::with_cases` — on top of a small
+//! deterministic generator.
+//!
+//! Differences from the real crate (deliberate, to stay tiny):
+//!
+//! * no shrinking: a failing case reports its case index and generated
+//!   inputs via the panic message only;
+//! * string "regex" strategies support the subset actually used in the
+//!   tests (char classes, `\PC`, `\w`, `\d`, literals, `{lo,hi}` counts);
+//! * case generation is deterministic per (test name, case index), so
+//!   runs are reproducible without a persistence file; the
+//!   `PROPTEST_CASES` environment variable scales the case count.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// deterministic generator
+// ---------------------------------------------------------------------------
+
+/// The RNG handed to strategies. SplitMix64: tiny and statistically fine
+/// for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Widening-multiply rejection keeps the draw unbiased.
+        let zone = (n << n.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.next_u64();
+            let wide = (v as u128) * (n as u128);
+            if (wide as u64) <= zone {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// errors and config
+// ---------------------------------------------------------------------------
+
+/// Why a test case failed (carried by `prop_assert*`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Subset of proptest's runner configuration: the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Drives the cases of one property. Used by the `proptest!` expansion.
+#[derive(Debug)]
+pub struct Runner {
+    cases: u32,
+    name_seed: u64,
+}
+
+impl Runner {
+    /// A runner for the named property.
+    pub fn new(cfg: ProptestConfig, name: &str) -> Runner {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cfg.cases);
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Runner {
+            cases,
+            name_seed: h,
+        }
+    }
+
+    /// How many cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The deterministic RNG for one case.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::new(self.name_seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+/// A value generator. The real crate separates strategies from value
+/// trees (for shrinking); without shrinking a strategy is just a
+/// generation function.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = if span > u64::MAX as u128 {
+                    // Only reachable for 128-bit spans; stitch two draws.
+                    ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let draw = if span > u64::MAX as u128 {
+                    ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                (*self.start() as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start as f64 + rng.unit() * (self.end as f64 - self.start as f64);
+                let v = v as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable-biased, like proptest's default.
+        char::from_u32(0x20 + rng.below(0x7E - 0x20 + 1) as u32).unwrap()
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `elem` values with lengths in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly selects one of the given options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// A strategy drawing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select of nothing");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// regex-lite string strategies
+// ---------------------------------------------------------------------------
+
+/// One parsed pattern atom with its repetition count.
+enum Atom {
+    /// Explicit alternatives (char class or a literal).
+    Choice(Vec<char>),
+    /// Any non-control character (`\PC`).
+    Printable,
+}
+
+struct StringPattern {
+    parts: Vec<(Atom, usize, usize)>, // atom, min, max repetitions
+}
+
+/// Non-ASCII printable sprinkle for `\PC`: exercises multi-byte UTF-8 in
+/// codec round-trip tests.
+const WIDE: &[char] = &['é', 'ß', 'Ω', '→', '中', '🛰'];
+
+impl StringPattern {
+    fn parse(pattern: &str) -> StringPattern {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().expect("unterminated char class");
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let e = chars.next().expect("dangling escape");
+                                set.push(e);
+                                prev = Some(e);
+                            }
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let hi = chars.next().unwrap();
+                                let lo = prev.take().unwrap();
+                                set.pop();
+                                for u in lo as u32..=hi as u32 {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    Atom::Choice(set)
+                }
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                        Atom::Printable
+                    }
+                    'w' => {
+                        let mut set: Vec<char> = ('a'..='z').collect();
+                        set.extend('A'..='Z');
+                        set.extend('0'..='9');
+                        set.push('_');
+                        Atom::Choice(set)
+                    }
+                    'd' => Atom::Choice(('0'..='9').collect()),
+                    lit => Atom::Choice(vec![lit]),
+                },
+                lit => Atom::Choice(vec![lit]),
+            };
+            // Optional repetition: {n}, {lo,hi}, '+', '*'.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                        None => {
+                            let n = spec.parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            parts.push((atom, lo, hi));
+        }
+        StringPattern { parts }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat = StringPattern::parse(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &pat.parts {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match atom {
+                    Atom::Choice(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Printable => {
+                        // Mostly printable ASCII, occasionally wide chars.
+                        if rng.below(8) == 0 {
+                            out.push(WIDE[rng.below(WIDE.len() as u64) as usize]);
+                        } else {
+                            out.push(
+                                char::from_u32(0x20 + rng.below(0x7E - 0x20 + 1) as u32).unwrap(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let runner = $crate::Runner::new(cfg, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for(case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let inputs =
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property {} failed at case {case}: {e}\n  inputs: {inputs}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern_generates_members() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-c0-2 _\\-]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s
+                .chars()
+                .all(|c| matches!(c, 'a'..='c' | '0'..='2' | ' ' | '_' | '-')));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "\\PC{0,40}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut rng = TestRng::new(4);
+        let v = collection::vec((0u64..4, any::<bool>()), 1..9).generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 9);
+        assert!(v.iter().all(|&(n, _)| n < 4));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let r1 = Runner::new(ProptestConfig::with_cases(5), "x");
+        let r2 = Runner::new(ProptestConfig::with_cases(5), "x");
+        assert_eq!(r1.rng_for(3).next_u64(), r2.rng_for(3).next_u64());
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_smoke(a in 0u64..10, b in 0u64..10) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}
