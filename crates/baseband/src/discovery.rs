@@ -93,17 +93,38 @@ impl DiscoveryScenario {
     }
 
     /// Runs `n` independent replications, accumulating medium counters
-    /// from every trial into `metrics`.
+    /// from every trial into `metrics`. Replications run on the ambient
+    /// worker count ([`desim::par::default_jobs`]: `BIPS_JOBS` or the
+    /// machine width); results are bit-identical for every worker count.
     pub fn run_replications_with_metrics(
         &self,
         master_seed: u64,
         n: u64,
         metrics: &mut desim::MetricSet,
     ) -> Vec<DiscoveryOutcome> {
+        self.run_replications_with_metrics_jobs(master_seed, n, metrics, 0)
+    }
+
+    /// Like [`run_replications_with_metrics`](Self::run_replications_with_metrics)
+    /// with an explicit worker count (`0` = ambient). Per-replication
+    /// seeds come from [`desim::SeedDeriver`] keyed by replication index
+    /// and per-trial metric sets are merged in replication-index order,
+    /// so outcomes **and** accumulated telemetry are bit-identical to
+    /// the serial (`jobs = 1`) run.
+    pub fn run_replications_with_metrics_jobs(
+        &self,
+        master_seed: u64,
+        n: u64,
+        metrics: &mut desim::MetricSet,
+        jobs: usize,
+    ) -> Vec<DiscoveryOutcome> {
         let deriver = desim::SeedDeriver::new(master_seed);
-        (0..n)
-            .map(|i| self.run_with_metrics(deriver.derive(i), metrics))
-            .collect()
+        let jobs = desim::par::resolve_jobs(jobs);
+        desim::par::replicate_with_metrics(n, jobs, metrics, |i| {
+            let mut trial = desim::MetricSet::new();
+            let outcome = self.run_with_metrics(deriver.derive(i), &mut trial);
+            (outcome, trial)
+        })
     }
 
     fn run_trial(&self, seed: u64, metrics: Option<&mut desim::MetricSet>) -> DiscoveryOutcome {
@@ -145,10 +166,24 @@ impl DiscoveryScenario {
     }
 
     /// Runs `n` independent replications with seeds derived from
-    /// `master_seed`.
+    /// `master_seed`, on the ambient worker count (see
+    /// [`run_replications_with_metrics`](Self::run_replications_with_metrics)).
     pub fn run_replications(&self, master_seed: u64, n: u64) -> Vec<DiscoveryOutcome> {
+        self.run_replications_jobs(master_seed, n, 0)
+    }
+
+    /// Like [`run_replications`](Self::run_replications) with an explicit
+    /// worker count (`0` = ambient). The result is index-ordered and
+    /// identical for every worker count.
+    pub fn run_replications_jobs(
+        &self,
+        master_seed: u64,
+        n: u64,
+        jobs: usize,
+    ) -> Vec<DiscoveryOutcome> {
         let deriver = desim::SeedDeriver::new(master_seed);
-        (0..n).map(|i| self.run(deriver.derive(i))).collect()
+        let jobs = desim::par::resolve_jobs(jobs);
+        desim::par::run_indexed(n, jobs, |i| self.run(deriver.derive(i)))
     }
 }
 
@@ -268,6 +303,22 @@ mod tests {
         let full = out.fraction_discovered_by(SimDuration::from_secs(14));
         assert!(one_sec > 0.5, "first-second discovery too low: {one_sec}");
         assert!(full >= one_sec);
+    }
+
+    /// The deterministic-parallelism contract: outcomes and accumulated
+    /// telemetry are bit-identical for every worker count.
+    #[test]
+    fn parallel_replications_match_serial_bit_for_bit() {
+        let s = table1_scenario();
+        let mut serial_metrics = desim::MetricSet::new();
+        let serial = s.run_replications_with_metrics_jobs(3, 10, &mut serial_metrics, 1);
+        for jobs in [2, 8] {
+            let mut metrics = desim::MetricSet::new();
+            let outs = s.run_replications_with_metrics_jobs(3, 10, &mut metrics, jobs);
+            assert_eq!(outs, serial, "outcomes diverged at jobs={jobs}");
+            assert_eq!(metrics, serial_metrics, "telemetry diverged at jobs={jobs}");
+            assert_eq!(s.run_replications_jobs(3, 10, jobs), serial);
+        }
     }
 
     #[test]

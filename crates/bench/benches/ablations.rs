@@ -9,13 +9,13 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("collision_handling_10reps", |b| {
-        b.iter(|| ablations::collision_handling(10, 1))
+        b.iter(|| ablations::collision_handling(10, 1, 1))
     });
     g.bench_function("backoff_sweep_5reps", |b| {
-        b.iter(|| ablations::backoff_bound(5, 2))
+        b.iter(|| ablations::backoff_bound(5, 2, 1))
     });
     g.bench_function("scan_models_10reps", |b| {
-        b.iter(|| ablations::scan_freq_model(10, 3))
+        b.iter(|| ablations::scan_freq_model(10, 3, 1))
     });
     g.finish();
 }

@@ -29,6 +29,7 @@ fn bench_table1(c: &mut Criterion) {
                 trials: 100,
                 horizon: SimDuration::from_secs(60),
                 seed: 2003,
+                jobs: 1,
             })
         })
     });

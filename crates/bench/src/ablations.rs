@@ -12,7 +12,7 @@ use bt_baseband::hop::Train;
 use bt_baseband::params::{DutyCycle, StartTrain};
 use bt_baseband::params::{MediumConfig, ScanFreqModel, ScanPattern, StartFreq, TrainPolicy};
 use bt_baseband::{BdAddr, DiscoveryScenario, MasterConfig, SlaveConfig};
-use desim::SimDuration;
+use desim::{SeedDeriver, SimDuration};
 
 /// Shared shape for an ablation outcome: a label and the fraction of
 /// slaves discovered within the first inquiry phase and the horizon.
@@ -73,9 +73,10 @@ fn measure(
     sc: &DiscoveryScenario,
     seed: u64,
     reps: u64,
+    jobs: usize,
     label: impl Into<String>,
 ) -> AblationPoint {
-    let outs = sc.run_replications(seed, reps);
+    let outs = sc.run_replications_jobs(seed, reps, jobs);
     let first: f64 = outs
         .iter()
         .map(|o| o.fraction_discovered_by(SimDuration::from_secs(1)))
@@ -94,34 +95,42 @@ fn measure(
 }
 
 /// Ablation A1: FHS collision handling on/off (20 slaves).
-pub fn collision_handling(reps: u64, seed: u64) -> Vec<AblationPoint> {
+pub fn collision_handling(reps: u64, seed: u64, jobs: usize) -> Vec<AblationPoint> {
     let base = ScanPattern::continuous_inquiry();
     vec![
         measure(
             &fig2_like_scenario(20, true, ScanFreqModel::SharedSequence, 1023, base),
             seed,
             reps,
+            jobs,
             "collisions modeled (paper)",
         ),
         measure(
             &fig2_like_scenario(20, false, ScanFreqModel::SharedSequence, 1023, base),
             seed,
             reps,
+            jobs,
             "collisions ignored (vanilla BlueHoc)",
         ),
     ]
 }
 
 /// Ablation A2: response-backoff bound sweep (20 slaves, collisions on).
-pub fn backoff_bound(reps: u64, seed: u64) -> Vec<AblationPoint> {
+pub fn backoff_bound(reps: u64, seed: u64, jobs: usize) -> Vec<AblationPoint> {
     let base = ScanPattern::continuous_inquiry();
+    // One SeedDeriver stream per arm, keyed by the bound. The previous
+    // `seed ^ b` collided with the master seed at `b = 0`, making the
+    // zero-backoff arm share every replication stream with any other
+    // experiment run off the bare seed.
+    let arms = SeedDeriver::new(seed);
     [0u64, 127, 255, 511, 1023, 2047]
         .iter()
         .map(|&b| {
             measure(
                 &fig2_like_scenario(20, true, ScanFreqModel::SharedSequence, b, base),
-                seed ^ b,
+                arms.derive(b),
                 reps,
+                jobs,
                 format!("backoff ≤ {b} slots"),
             )
         })
@@ -129,26 +138,28 @@ pub fn backoff_bound(reps: u64, seed: u64) -> Vec<AblationPoint> {
 }
 
 /// Ablation A3: scan-frequency model (10 slaves).
-pub fn scan_freq_model(reps: u64, seed: u64) -> Vec<AblationPoint> {
+pub fn scan_freq_model(reps: u64, seed: u64, jobs: usize) -> Vec<AblationPoint> {
     let base = ScanPattern::continuous_inquiry();
     vec![
         measure(
             &fig2_like_scenario(10, true, ScanFreqModel::SharedSequence, 1023, base),
             seed,
             reps,
+            jobs,
             "shared sequence (BlueHoc)",
         ),
         measure(
             &fig2_like_scenario(10, true, ScanFreqModel::PerDevice, 1023, base),
             seed,
             reps,
+            jobs,
             "per-device phases (spec clocks)",
         ),
     ]
 }
 
 /// Ablation A4: slave scan duty (10 slaves): continuous vs spec windows.
-pub fn scan_duty(reps: u64, seed: u64) -> Vec<AblationPoint> {
+pub fn scan_duty(reps: u64, seed: u64, jobs: usize) -> Vec<AblationPoint> {
     vec![
         measure(
             &fig2_like_scenario(
@@ -160,6 +171,7 @@ pub fn scan_duty(reps: u64, seed: u64) -> Vec<AblationPoint> {
             ),
             seed,
             reps,
+            jobs,
             "continuous inquiry scan (Fig. 2)",
         ),
         measure(
@@ -172,6 +184,7 @@ pub fn scan_duty(reps: u64, seed: u64) -> Vec<AblationPoint> {
             ),
             seed,
             reps,
+            jobs,
             "spec 11.25 ms / 1.28 s windows",
         ),
         measure(
@@ -184,6 +197,7 @@ pub fn scan_duty(reps: u64, seed: u64) -> Vec<AblationPoint> {
             ),
             seed,
             reps,
+            jobs,
             "alternating inquiry/page scan (Tab. 1)",
         ),
     ]
@@ -192,11 +206,17 @@ pub fn scan_duty(reps: u64, seed: u64) -> Vec<AblationPoint> {
 /// Ablation A5: channel errors (10 slaves). The paper assumes an
 /// error-free environment; this quantifies how much a lossy cell edge
 /// slows discovery.
-pub fn channel_errors(reps: u64, seed: u64) -> Vec<AblationPoint> {
+pub fn channel_errors(reps: u64, seed: u64, jobs: usize) -> Vec<AblationPoint> {
     let base = ScanPattern::continuous_inquiry();
+    // One SeedDeriver stream per arm, keyed by the arm index. The
+    // previous `seed ^ p.to_bits()` XORed raw float bit patterns into
+    // the seed — correlated streams across arms (and a collision with
+    // the master seed whenever `p.to_bits()` XORs to zero structure).
+    let arms = SeedDeriver::new(seed);
     [1.0f64, 0.9, 0.7, 0.5]
         .iter()
-        .map(|&p| {
+        .enumerate()
+        .map(|(i, &p)| {
             measure(
                 &fig2_like_scenario_with_errors(
                     10,
@@ -206,8 +226,9 @@ pub fn channel_errors(reps: u64, seed: u64) -> Vec<AblationPoint> {
                     base,
                     p,
                 ),
-                seed ^ p.to_bits(),
+                arms.derive(i as u64),
                 reps,
+                jobs,
                 format!("packet success {:.0}%", p * 100.0),
             )
         })
@@ -238,13 +259,13 @@ mod tests {
 
     #[test]
     fn collisions_hurt_first_phase() {
-        let pts = collision_handling(30, 1);
+        let pts = collision_handling(30, 1, 0);
         assert!(pts[1].in_first_phase > pts[0].in_first_phase + 0.01);
     }
 
     #[test]
     fn tiny_backoff_collapses_under_shared_scanning() {
-        let pts = backoff_bound(20, 2);
+        let pts = backoff_bound(20, 2, 0);
         let zero = &pts[0];
         let spec = pts.iter().find(|p| p.label.contains("1023")).unwrap();
         assert!(
@@ -257,7 +278,7 @@ mod tests {
 
     #[test]
     fn per_device_phases_have_fewer_collisions() {
-        let pts = scan_freq_model(30, 3);
+        let pts = scan_freq_model(30, 3, 0);
         let shared = &pts[0];
         let per_dev = &pts[1];
         assert!(per_dev.in_first_phase >= shared.in_first_phase - 0.02);
@@ -265,7 +286,7 @@ mod tests {
 
     #[test]
     fn sparser_scanning_discovers_slower() {
-        let pts = scan_duty(20, 4);
+        let pts = scan_duty(20, 4, 0);
         let continuous = &pts[0];
         let spec = &pts[1];
         assert!(
@@ -278,7 +299,7 @@ mod tests {
 
     #[test]
     fn channel_errors_slow_discovery() {
-        let pts = channel_errors(25, 5);
+        let pts = channel_errors(25, 5, 0);
         let clean = &pts[0];
         let lossy = pts.last().unwrap();
         assert!(
@@ -291,7 +312,7 @@ mod tests {
 
     #[test]
     fn render_lists_variants() {
-        let s = render("A1", &collision_handling(5, 5));
+        let s = render("A1", &collision_handling(5, 5, 0));
         assert!(s.contains("vanilla BlueHoc"));
     }
 }

@@ -2,7 +2,11 @@
 //!
 //! Prints a summary table and the full CSV series.
 //!
-//! Usage: `cargo run -p bips-bench --bin figure2 --release [replications] [seed] [svg-path] [--json PATH]`
+//! Usage: `cargo run -p bips-bench --bin figure2 --release [replications] [seed] [svg-path] [--jobs N] [--json PATH]`
+//!
+//! `--jobs N` sets the replication worker count (`0` / absent = the
+//! `BIPS_JOBS` env var, else the machine width). Results are
+//! bit-identical for every value; see `docs/OBSERVABILITY.md`.
 //!
 //! When an `svg-path` is given, the figure is also written as an SVG plot.
 //! With `--json PATH`, a structured run report (config, seed, curve
@@ -14,8 +18,12 @@ use bips_bench::telemetry::{self, SnapshotConfig};
 
 fn main() {
     let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let (args, jobs) = telemetry::take_jobs(args);
     let mut args = args.into_iter();
-    let mut cfg = Figure2Config::default();
+    let mut cfg = Figure2Config {
+        jobs,
+        ..Figure2Config::default()
+    };
     if let Some(r) = args.next() {
         cfg.replications = r.parse().expect("replications must be an integer");
     }
@@ -23,7 +31,15 @@ fn main() {
         cfg.seed = s.parse().expect("seed must be an integer");
     }
     let svg_path = args.next();
+    let wall_start = std::time::Instant::now();
     let (result, mut metrics) = run_with_metrics(&cfg);
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    eprintln!(
+        "[{} replications/curve, jobs={}, {:.2} s wall]",
+        cfg.replications,
+        desim::par::resolve_jobs(cfg.jobs),
+        wall_secs
+    );
     print!("{}", result.render_summary());
     println!();
     print!("{}", result.render_csv());
@@ -43,6 +59,7 @@ fn main() {
         });
         metrics.merge(&snapshot);
         let mut report = result.to_report(&cfg);
+        report.artifact("wall_secs", wall_secs);
         report.metrics(&metrics);
         report.write_json(&path).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");

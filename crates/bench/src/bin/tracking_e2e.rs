@@ -1,6 +1,10 @@
 //! Runs the full BIPS deployment end to end (experiment E2E).
 //!
-//! Usage: `cargo run -p bips-bench --bin tracking_e2e --release [users] [seconds] [seed] [--json PATH]`
+//! Usage: `cargo run -p bips-bench --bin tracking_e2e --release [users] [seconds] [seed] [--jobs N] [--json PATH]`
+//!
+//! `--jobs N` is accepted for CLI uniformity and recorded in the run
+//! report; the e2e run is a single coupled engine with nothing to
+//! parallelise.
 //!
 //! With `--json PATH`, a structured run report (config, seed, pipeline
 //! numbers, full metric snapshot) is written to `PATH`.
@@ -11,8 +15,12 @@ use desim::SimDuration;
 
 fn main() {
     let (args, json_path) = telemetry::take_flag(std::env::args().skip(1).collect(), "--json");
+    let (args, jobs) = telemetry::take_jobs(args);
     let mut args = args.into_iter();
-    let mut cfg = E2eConfig::default();
+    let mut cfg = E2eConfig {
+        jobs,
+        ..E2eConfig::default()
+    };
     if let Some(u) = args.next() {
         cfg.users = u.parse().expect("users must be an integer");
     }
@@ -22,13 +30,16 @@ fn main() {
     if let Some(s) = args.next() {
         cfg.seed = s.parse().expect("seed must be an integer");
     }
+    let wall_start = std::time::Instant::now();
     let (result, metrics) = run_with_metrics(&cfg);
+    let wall_secs = wall_start.elapsed().as_secs_f64();
     print!("{}", result.render());
     println!("\n— telemetry —");
     print!("{metrics}");
 
     if let Some(path) = json_path {
         let mut report = result.to_report(&cfg);
+        report.artifact("wall_secs", wall_secs);
         report.metrics(&metrics);
         report.write_json(&path).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");

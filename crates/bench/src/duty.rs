@@ -29,6 +29,9 @@ pub struct DutySweepConfig {
     pub replications: u64,
     /// Master seed.
     pub seed: u64,
+    /// Replication workers (`0` = `BIPS_JOBS` / machine width). Results
+    /// are bit-identical for every value (`desim::par`).
+    pub jobs: usize,
 }
 
 impl Default for DutySweepConfig {
@@ -38,6 +41,7 @@ impl Default for DutySweepConfig {
             slaves: 20,
             replications: 200,
             seed: 384,
+            jobs: 0,
         }
     }
 }
@@ -93,7 +97,7 @@ pub fn run_sweep(cfg: &DutySweepConfig) -> DutySweepResult {
             // population is observed at every slot length, so the sweep
             // is monotone by construction and point-to-point differences
             // reflect the slot length, not the seed draw.
-            let outs = sc.run_replications(cfg.seed, cfg.replications);
+            let outs = sc.run_replications_jobs(cfg.seed, cfg.replications, cfg.jobs);
             let frac: f64 = outs
                 .iter()
                 .map(|o| o.fraction_discovered_by(SimDuration::from_secs_f64(inquiry_s)))
@@ -113,12 +117,7 @@ impl DutySweepResult {
     pub fn at(&self, s: f64) -> f64 {
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.inquiry_s - s)
-                    .abs()
-                    .partial_cmp(&(b.inquiry_s - s).abs())
-                    .expect("no NaN")
-            })
+            .min_by(|a, b| (a.inquiry_s - s).abs().total_cmp(&(b.inquiry_s - s).abs()))
             .map(|p| p.discovered)
             .unwrap_or(0.0)
     }
@@ -215,6 +214,7 @@ mod tests {
             slaves: 20,
             replications: 60,
             seed: 1,
+            jobs: 0,
         });
         for w in r.points.windows(2) {
             assert!(
@@ -250,6 +250,7 @@ mod tests {
             slaves: 5,
             replications: 5,
             seed: 2,
+            jobs: 0,
         });
         assert!(r.render(5).contains("95%"));
         assert!(run_dwell(1).render().contains("15.4 s"));
@@ -271,6 +272,9 @@ pub struct TradeoffConfig {
     pub duration_s: u64,
     /// Master seed.
     pub seed: u64,
+    /// Sweep-point workers (`0` = `BIPS_JOBS` / machine width). Points
+    /// are independent engines, so order and results are unaffected.
+    pub jobs: usize,
 }
 
 impl Default for TradeoffConfig {
@@ -280,6 +284,7 @@ impl Default for TradeoffConfig {
             users: 4,
             duration_s: 900,
             seed: 1540,
+            jobs: 0,
         }
     }
 }
@@ -305,9 +310,10 @@ pub fn run_tradeoff(cfg: &TradeoffConfig) -> Vec<TradeoffPoint> {
     use bips_mobility::walker::WalkMode;
     use desim::SimTime;
 
-    cfg.inquiry_slots_s
-        .iter()
-        .map(|&inquiry_s| {
+    let jobs = desim::par::resolve_jobs(cfg.jobs);
+    desim::par::run_indexed(cfg.inquiry_slots_s.len() as u64, jobs, |idx| {
+        let inquiry_s = cfg.inquiry_slots_s[idx as usize];
+        {
             let cycle = 15.4;
             let sys_cfg = SystemConfig {
                 duty: DutyCycle::periodic(
@@ -335,8 +341,8 @@ pub fn run_tradeoff(cfg: &TradeoffConfig) -> Vec<TradeoffPoint> {
                 samples: lat.len(),
                 missed: sys.stats().missed_detections,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Renders the trade-off table.
@@ -383,6 +389,7 @@ mod tradeoff_tests {
             users: 3,
             duration_s: 500,
             seed: 3,
+            jobs: 0,
         });
         assert_eq!(pts.len(), 2);
         assert!(

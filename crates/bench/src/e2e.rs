@@ -30,6 +30,10 @@ pub struct E2eConfig {
     pub accuracy_sample: SimDuration,
     /// Master seed.
     pub seed: u64,
+    /// Worker knob, recorded in the run report for provenance. The e2e
+    /// run is one coupled engine, so there is nothing to parallelise;
+    /// the knob exists so every experiment CLI accepts `--jobs`.
+    pub jobs: usize,
 }
 
 impl Default for E2eConfig {
@@ -39,6 +43,7 @@ impl Default for E2eConfig {
             duration: SimDuration::from_secs(1200),
             accuracy_sample: SimDuration::from_secs(30),
             seed: 42,
+            jobs: 0,
         }
     }
 }
@@ -197,7 +202,8 @@ impl E2eResult {
         let mut report = desim::RunReport::new("tracking_e2e", cfg.seed);
         report
             .config("users", cfg.users)
-            .config("duration_s", cfg.duration.as_secs_f64());
+            .config("duration_s", cfg.duration.as_secs_f64())
+            .config("jobs", desim::par::resolve_jobs(cfg.jobs) as u64);
         report
             .artifact("logged_in", self.logged_in)
             .artifact("tracking_accuracy_mean", self.accuracy.mean())
@@ -220,6 +226,7 @@ mod tests {
             duration: SimDuration::from_secs(500),
             accuracy_sample: SimDuration::from_secs(25),
             seed: 5,
+            ..E2eConfig::default()
         }
     }
 
@@ -258,6 +265,7 @@ mod tests {
             duration: SimDuration::from_secs(300),
             accuracy_sample: SimDuration::from_secs(50),
             seed: 6,
+            ..E2eConfig::default()
         });
         let s = r.render();
         assert!(s.contains("tracking accuracy"));

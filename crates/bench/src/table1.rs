@@ -27,6 +27,9 @@ pub struct Table1Config {
     pub horizon: SimDuration,
     /// Master seed for the replication set.
     pub seed: u64,
+    /// Replication workers (`0` = `BIPS_JOBS` / machine width). Results
+    /// are bit-identical for every value (`desim::par`).
+    pub jobs: usize,
 }
 
 impl Default for Table1Config {
@@ -35,6 +38,7 @@ impl Default for Table1Config {
             trials: 500,
             horizon: SimDuration::from_secs(60),
             seed: 2003,
+            jobs: 0,
         }
     }
 }
@@ -82,7 +86,7 @@ pub fn run(cfg: &Table1Config) -> Table1Result {
 pub fn run_with_metrics(cfg: &Table1Config) -> (Table1Result, desim::MetricSet) {
     let mut metrics = desim::MetricSet::new();
     let sc = scenario(cfg.horizon);
-    let outs = sc.run_replications_with_metrics(cfg.seed, cfg.trials, &mut metrics);
+    let outs = sc.run_replications_with_metrics_jobs(cfg.seed, cfg.trials, &mut metrics, cfg.jobs);
 
     let mut same = OnlineStats::new();
     let mut diff = OnlineStats::new();
@@ -113,7 +117,7 @@ pub fn run_with_metrics(cfg: &Table1Config) -> (Table1Result, desim::MetricSet) 
         if v.is_empty() {
             return f64::NAN;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 
@@ -177,7 +181,8 @@ impl Table1Result {
         let mut report = desim::RunReport::new("table1", cfg.seed);
         report
             .config("trials", cfg.trials)
-            .config("horizon_s", cfg.horizon.as_secs_f64());
+            .config("horizon_s", cfg.horizon.as_secs_f64())
+            .config("jobs", desim::par::resolve_jobs(cfg.jobs) as u64);
         let paper = [1.6028, 4.1320, 2.865];
         for (row, paper_s) in self.rows.iter().zip(paper) {
             let key = row.class.to_ascii_lowercase();
@@ -203,6 +208,7 @@ mod tests {
             trials: 80,
             horizon: SimDuration::from_secs(45),
             seed: 9,
+            ..Table1Config::default()
         });
         assert_eq!(r.undiscovered, 0);
         let same = &r.rows[0];
@@ -225,6 +231,7 @@ mod tests {
             trials: 200,
             horizon: SimDuration::from_secs(45),
             seed: 10,
+            ..Table1Config::default()
         });
         let same = r.rows[0].cases as f64;
         let frac = same / 200.0;
@@ -237,6 +244,7 @@ mod tests {
             trials: 10,
             horizon: SimDuration::from_secs(45),
             seed: 1,
+            ..Table1Config::default()
         });
         let s = r.render();
         assert!(s.contains("Same"));

@@ -96,6 +96,22 @@ pub fn take_flag(args: Vec<String>, flag: &str) -> (Vec<String>, Option<String>)
     (rest, value)
 }
 
+/// Strips `--jobs N` from the CLI args, returning the remaining args and
+/// the requested replication-worker count. `0` (the default) means
+/// ambient: `BIPS_JOBS` if set, else the machine width (`desim::par`).
+pub fn take_jobs(args: Vec<String>) -> (Vec<String>, usize) {
+    let (rest, value) = take_flag(args, "--jobs");
+    let jobs = value
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs must be a non-negative integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+    (rest, jobs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,10 @@
 //!   experiment in the paper: sample means with confidence intervals,
 //!   empirical CDFs (Figure 2 is an empirical discovery-time CDF), and
 //!   histograms.
+//! * **Parallel replication** ([`par`]) fans independent replications out
+//!   over scoped worker threads with per-index seeds and an ordered
+//!   reduction, so `--jobs N` scales throughput to the hardware while
+//!   staying bit-identical to the serial run.
 //! * **Telemetry** is layered on top, never inside, the engine: a
 //!   [`metrics`] registry of hierarchically-named counters, gauges and
 //!   distributions; a passive [`Observer`] hook (with the ready-made
@@ -61,6 +65,7 @@
 pub mod compose;
 pub mod engine;
 pub mod metrics;
+pub mod par;
 pub mod probe;
 pub mod report;
 pub mod rng;

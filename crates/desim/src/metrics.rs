@@ -70,15 +70,21 @@ impl fmt::Display for Metric {
             Metric::Counter(v) => write!(f, "{v}"),
             Metric::Gauge(v) => write!(f, "{v}"),
             Metric::Stats(s) => write!(f, "{s}"),
-            Metric::Hist(h) => write!(
-                f,
-                "total={} underflow={} overflow={} nans={} bins={}",
-                h.total(),
-                h.underflow(),
-                h.overflow(),
-                h.nans(),
-                h.num_bins()
-            ),
+            Metric::Hist(h) => {
+                write!(
+                    f,
+                    "total={} underflow={} overflow={} nans={} bins={}",
+                    h.total(),
+                    h.underflow(),
+                    h.overflow(),
+                    h.nans(),
+                    h.num_bins()
+                )?;
+                if h.merge_mismatches() > 0 {
+                    write!(f, " merge_mismatches={}", h.merge_mismatches())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -248,11 +254,16 @@ impl MetricSet {
     /// gauges take `other`'s value, stats merge (parallel Welford), and
     /// histograms merge bin-wise. Names present only in `other` are copied.
     ///
+    /// Two histograms under one name with different bounds or bin counts
+    /// are *not* summed: the merge is skipped and recorded on the
+    /// receiving histogram's
+    /// [`merge_mismatches`](crate::stats::Histogram::merge_mismatches)
+    /// counter (a `debug_assert` fires in debug builds) — see
+    /// [`Histogram::merge`](crate::stats::Histogram::merge).
+    ///
     /// # Panics
     ///
-    /// Panics if a shared name holds different kinds on the two sides, or
-    /// if two histograms under one name have different bounds or bin
-    /// counts.
+    /// Panics if a shared name holds different kinds on the two sides.
     pub fn merge(&mut self, other: &MetricSet) {
         for (name, theirs) in &other.metrics {
             match self.metrics.get_mut(name) {
@@ -359,6 +370,26 @@ mod tests {
         assert_eq!(a.counter_value("only_in_b"), Some(1));
         match a.get("h").unwrap() {
             Metric::Hist(h) => assert_eq!(h.total(), 2),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    /// Histograms under one name with different shapes must never be
+    /// summed bin-by-bin: debug builds assert, release builds skip the
+    /// merge and surface it on the `merge_mismatches` counter.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "incompatible histograms"))]
+    fn merge_hist_shape_mismatch_is_surfaced() {
+        let mut a = MetricSet::new();
+        a.histogram("h", 0.0, 1.0, 2).push(0.5);
+        let mut b = MetricSet::new();
+        b.histogram("h", 0.0, 2.0, 2).push(1.5);
+        a.merge(&b);
+        match a.get("h").unwrap() {
+            Metric::Hist(h) => {
+                assert_eq!(h.merge_mismatches(), 1);
+                assert_eq!(h.total(), 1, "mismatched merge must not add counts");
+            }
             other => panic!("wrong kind: {other:?}"),
         }
     }

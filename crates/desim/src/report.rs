@@ -278,6 +278,9 @@ fn histogram_json(h: &Histogram) -> Json {
     o.set("underflow", h.underflow());
     o.set("overflow", h.overflow());
     o.set("nans", h.nans());
+    if h.merge_mismatches() > 0 {
+        o.set("merge_mismatches", h.merge_mismatches());
+    }
     o
 }
 

@@ -182,6 +182,7 @@ impl FromIterator<f64> for OnlineStats {
 pub struct EmpiricalCdf {
     samples: Vec<f64>,
     censored: u64,
+    nans: u64,
     sorted: bool,
 }
 
@@ -191,17 +192,21 @@ impl EmpiricalCdf {
         EmpiricalCdf {
             samples: Vec::new(),
             censored: 0,
+            nans: 0,
             sorted: true,
         }
     }
 
-    /// Adds an observed sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x` is NaN.
+    /// Adds an observed sample. NaN samples are counted separately (see
+    /// [`nans`](EmpiricalCdf::nans)) and never enter the sample set or
+    /// the trial population — the same policy as [`Histogram::push`],
+    /// and what used to make [`probability_at`](EmpiricalCdf::probability_at)
+    /// panic inside its sort.
     pub fn push(&mut self, x: f64) {
-        assert!(!x.is_nan(), "NaN sample");
+        if x.is_nan() {
+            self.nans += 1;
+            return;
+        }
         self.samples.push(x);
         self.sorted = false;
     }
@@ -226,10 +231,17 @@ impl EmpiricalCdf {
         self.censored
     }
 
+    /// NaN samples rejected at [`push`](EmpiricalCdf::push) (counted,
+    /// never part of the population).
+    pub fn nans(&self) -> u64 {
+        self.nans
+    }
+
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            // total_cmp: a total order over f64 — no unwrap on NaN, and
+            // push never admits NaN anyway.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -322,6 +334,7 @@ pub struct Histogram {
     underflow: u64,
     overflow: u64,
     nans: u64,
+    merge_mismatches: u64,
 }
 
 impl Histogram {
@@ -340,6 +353,7 @@ impl Histogram {
             underflow: 0,
             overflow: 0,
             nans: 0,
+            merge_mismatches: 0,
         }
     }
 
@@ -397,26 +411,51 @@ impl Histogram {
     /// Merges another histogram with identical bounds and bin count into
     /// this one (bin-wise sum, used when combining replications).
     ///
-    /// # Panics
-    ///
-    /// Panics if the ranges or bin counts differ.
+    /// Mismatched shapes are a programming error: merging `[0,1)×4`
+    /// counts into `[0,10)×8` counts would silently relabel every
+    /// observation. In debug builds this fails a `debug_assert`; in
+    /// release builds the merge is **skipped** and recorded in
+    /// [`merge_mismatches`](Histogram::merge_mismatches), which surfaces
+    /// in the rendered/exported telemetry instead of corrupting bins.
     pub fn merge(&mut self, other: &Histogram) {
-        assert!(
-            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
-            "incompatible histograms: [{}, {})×{} vs [{}, {})×{}",
-            self.lo,
-            self.hi,
-            self.bins.len(),
-            other.lo,
-            other.hi,
-            other.bins.len()
+        let result = self.try_merge(other);
+        debug_assert!(
+            result.is_ok(),
+            "incompatible histograms: {}",
+            result.unwrap_err()
         );
+    }
+
+    /// Fallible [`merge`](Histogram::merge): returns `Err` (and bumps the
+    /// [`merge_mismatches`](Histogram::merge_mismatches) counter, leaving
+    /// every bin untouched) when the bounds or bin counts differ.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            self.merge_mismatches += 1;
+            return Err(format!(
+                "[{}, {})×{} vs [{}, {})×{}",
+                self.lo,
+                self.hi,
+                self.bins.len(),
+                other.lo,
+                other.hi,
+                other.bins.len()
+            ));
+        }
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
         }
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.nans += other.nans;
+        self.merge_mismatches += other.merge_mismatches;
+        Ok(())
+    }
+
+    /// Merges rejected because the other histogram's bounds or bin count
+    /// differed (0 in a healthy run).
+    pub fn merge_mismatches(&self) -> u64 {
+        self.merge_mismatches
     }
 
     /// The `[lo, hi)` bounds of bucket `i`.
@@ -590,10 +629,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "incompatible histograms")]
+    #[cfg_attr(debug_assertions, should_panic(expected = "incompatible histograms"))]
     fn histogram_merge_rejects_mismatched_shapes() {
         let mut a = Histogram::new(0.0, 1.0, 2);
         a.merge(&Histogram::new(0.0, 1.0, 3));
+    }
+
+    /// Regression: mismatched-shape merges used to be a hard panic in
+    /// every build; now they surface as a counter (and a debug assert)
+    /// instead of either corrupting bins or killing a release sweep.
+    #[test]
+    fn histogram_try_merge_counts_mismatches_and_leaves_bins_alone() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.push(0.1);
+        for other in [
+            Histogram::new(0.0, 1.0, 3),  // bin count differs
+            Histogram::new(0.0, 2.0, 2),  // upper bound differs
+            Histogram::new(-1.0, 1.0, 2), // lower bound differs
+        ] {
+            assert!(a.try_merge(&other).is_err());
+        }
+        assert_eq!(a.merge_mismatches(), 3);
+        assert_eq!(a.count(0), 1, "failed merges must not touch bins");
+        assert_eq!(a.count(1), 0);
+
+        // A compatible merge still works and carries mismatch counts.
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        b.push(0.9);
+        assert!(b.try_merge(&a).is_ok());
+        assert_eq!(b.count(0), 1);
+        assert_eq!(b.count(1), 1);
+        assert_eq!(b.merge_mismatches(), 3, "mismatch count must merge too");
+    }
+
+    /// Regression: `probability_at` used to sort with
+    /// `partial_cmp(..).expect("no NaN")` and `push` asserted on NaN —
+    /// one bad sample (e.g. a 0/0 rate) killed a whole replication
+    /// sweep. NaN now follows the `Histogram::push` policy: counted
+    /// separately, never in the population.
+    #[test]
+    fn cdf_nan_is_counted_not_fatal() {
+        let mut c = EmpiricalCdf::new();
+        c.push(1.0);
+        c.push(f64::NAN);
+        c.push(2.0);
+        c.push_censored();
+        assert_eq!(c.nans(), 1);
+        assert_eq!(c.len(), 3, "NaN must not enter the population");
+        assert_eq!(c.probability_at(1.5), 1.0 / 3.0);
+        assert_eq!(c.quantile(1.0), Some(2.0));
+        assert_eq!(c.observed_mean(), Some(1.5));
     }
 }
 

@@ -14,6 +14,7 @@ fn table1_shape_same_train_wins_by_one_train_repetition() {
         trials: 120,
         horizon: SimDuration::from_secs(60),
         seed: 2003,
+        ..Table1Config::default()
     });
     assert_eq!(r.undiscovered, 0, "every trial must eventually discover");
     let same = &r.rows[0];
@@ -87,6 +88,7 @@ fn section5_shape_384s_discovers_about_95_percent() {
         slaves: 20,
         replications: 80,
         seed: 384,
+        jobs: 0,
     });
     let at_256 = r.at(2.56);
     let at_384 = r.at(3.84);

@@ -1,0 +1,88 @@
+//! Determinism guard for `desim::par`: every experiment must produce
+//! bit-identical results — outcomes *and* the merged telemetry snapshot —
+//! regardless of the worker count. The parallel runner derives each
+//! replication's seed from the trial index and folds per-trial MetricSets
+//! in index order, so `--jobs N` may only change wall-clock time.
+
+use bips_bench::figure2::{run_with_metrics as run_fig2, Figure2Config};
+use bips_bench::table1::{run_with_metrics as run_t1, Table1Config};
+use desim::SimDuration;
+
+fn table1_cfg(jobs: usize) -> Table1Config {
+    Table1Config {
+        trials: 40,
+        horizon: SimDuration::from_secs(60),
+        seed: 2003,
+        jobs,
+    }
+}
+
+fn figure2_cfg(jobs: usize) -> Figure2Config {
+    Figure2Config {
+        slave_counts: vec![2, 10],
+        replications: 25,
+        jobs,
+        ..Figure2Config::default()
+    }
+}
+
+#[test]
+fn table1_is_bit_identical_across_jobs() {
+    let (serial, serial_metrics) = run_t1(&table1_cfg(1));
+    for jobs in [2, 8] {
+        let (r, metrics) = run_t1(&table1_cfg(jobs));
+        assert_eq!(
+            metrics, serial_metrics,
+            "table1 telemetry diverged at jobs={jobs}"
+        );
+        assert_eq!(r.undiscovered, serial.undiscovered);
+        for (a, b) in r.rows.iter().zip(&serial.rows) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.cases, b.cases, "jobs={jobs} class={}", a.class);
+            // Bitwise, not approximate: ordered merging must reproduce
+            // the serial floating-point operation sequence exactly.
+            assert_eq!(
+                a.mean_secs.to_bits(),
+                b.mean_secs.to_bits(),
+                "jobs={jobs} class={}",
+                a.class
+            );
+            assert_eq!(a.ci95.to_bits(), b.ci95.to_bits());
+            assert_eq!(a.median_secs.to_bits(), b.median_secs.to_bits());
+        }
+    }
+}
+
+#[test]
+fn figure2_is_bit_identical_across_jobs() {
+    let (serial, serial_metrics) = run_fig2(&figure2_cfg(1));
+    for jobs in [2, 8] {
+        let (r, metrics) = run_fig2(&figure2_cfg(jobs));
+        assert_eq!(
+            metrics, serial_metrics,
+            "figure2 telemetry diverged at jobs={jobs}"
+        );
+        assert_eq!(r.curves.len(), serial.curves.len());
+        for (a, b) in r.curves.iter().zip(&serial.curves) {
+            assert_eq!(a.slaves, b.slaves);
+            assert_eq!(a.points.len(), b.points.len(), "jobs={jobs}");
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.0.to_bits(), pb.0.to_bits(), "jobs={jobs}");
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "jobs={jobs}");
+            }
+        }
+    }
+}
+
+/// `BIPS_JOBS` only fills in the ambient default (`jobs = 0`); an explicit
+/// worker count wins, and either path stays bit-identical to serial.
+#[test]
+fn explicit_jobs_overrides_ambient_default() {
+    let (serial, serial_metrics) = run_t1(&table1_cfg(1));
+    let (r, metrics) = run_t1(&table1_cfg(0));
+    assert_eq!(metrics, serial_metrics, "ambient jobs diverged from serial");
+    assert_eq!(r.rows.len(), serial.rows.len());
+    for (a, b) in r.rows.iter().zip(&serial.rows) {
+        assert_eq!(a.mean_secs.to_bits(), b.mean_secs.to_bits());
+    }
+}
