@@ -90,6 +90,19 @@ impl Train {
     pub fn contains(self, f: InquiryFreq) -> bool {
         Train::containing(f) == self
     }
+
+    /// The offset of frequency `f` within this train (inverse of
+    /// [`freq`](Train::freq)), or `None` if `f` belongs to the other
+    /// train. Used by the skip-ahead scheduler to solve "when does the
+    /// master next transmit the frequency a slave listens on" in closed
+    /// form.
+    pub fn offset_of(self, f: InquiryFreq) -> Option<u8> {
+        if self.contains(f) {
+            Some(f.index() % TRAIN_LEN)
+        } else {
+            None
+        }
+    }
 }
 
 /// A position in the 32-frequency inquiry (or page) hopping sequence.

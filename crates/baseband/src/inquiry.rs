@@ -106,6 +106,62 @@ impl InquiryState {
         out
     }
 
+    /// Advances past `n` slot pairs in closed form — equivalent to calling
+    /// [`advance`](InquiryState::advance) `n` times, in O(1).
+    ///
+    /// This is the train-walker half of the skip-ahead scheduler: when the
+    /// medium proves a span of slot pairs deaf, it accounts the walker's
+    /// progress over the span without dispatching the intervening events.
+    pub fn advance_by(&mut self, n: u64) {
+        let total = self.k as u64 / 2 + n;
+        self.k = ((total % 8) * 2) as u8;
+        let wraps = (total / 8) as u32;
+        match self.policy {
+            TrainPolicy::Single => self.reps += wraps,
+            TrainPolicy::Alternate { n_inquiry } => {
+                let passes = self.reps + wraps;
+                let flips = passes / n_inquiry;
+                self.reps = passes % n_inquiry;
+                if flips % 2 == 1 {
+                    self.train = self.train.other();
+                }
+            }
+        }
+    }
+
+    /// Smallest `j ≥ 0` such that the slot pair reached after
+    /// [`advance_by(j)`](InquiryState::advance_by) transmits frequency `f`
+    /// in one of its two half-slots (`j = 0` is the upcoming pair).
+    /// `None` if the walker never visits `f` (Single policy on the other
+    /// train). O(1).
+    pub fn pairs_until_freq(&self, f: InquiryFreq) -> Option<u64> {
+        let want_train = Train::containing(f);
+        // The pair whose first half-slot sits at even offset `off & !1`
+        // covers `f` (second half-slot when `off` is odd).
+        let target_pos = (f.index() % TRAIN_LEN) as u64 / 2;
+        let base_pos = self.k as u64 / 2;
+        // Candidate pairs hit the right train position every 8 pairs.
+        let c0 = (target_pos + 8 - base_pos) % 8;
+        match self.policy {
+            TrainPolicy::Single => (self.train == want_train).then_some(c0),
+            TrainPolicy::Alternate { n_inquiry } => {
+                // Train at candidate i: completed passes grow by exactly
+                // one per candidate step; the train flips each time the
+                // pass count crosses a multiple of `n_inquiry`.
+                let w0 = (base_pos + c0) / 8;
+                let p0 = self.reps as u64 + w0;
+                let want_flips_odd = self.train != want_train;
+                let q = p0 / n_inquiry as u64;
+                let i = if (q % 2 == 1) == want_flips_odd {
+                    0
+                } else {
+                    (q + 1) * n_inquiry as u64 - p0
+                };
+                Some(c0 + 8 * i)
+            }
+        }
+    }
+
     /// Restarts the walker on `train` (e.g. at the start of a new inquiry
     /// phase).
     pub fn restart(&mut self, train: Train) {
@@ -183,6 +239,86 @@ mod tests {
         let pairs_to_switch = 8 * crate::params::N_INQUIRY as u64;
         let t = desim::SimDuration::from_units_0125us(10_000) * pairs_to_switch;
         assert_eq!(t, crate::params::TRAIN_REPEAT);
+    }
+
+    #[test]
+    fn advance_by_matches_repeated_advance() {
+        // Closed form ≡ iteration, across policies, positions and spans
+        // (including spans crossing multiple train switches).
+        let policies = [
+            TrainPolicy::Single,
+            TrainPolicy::Alternate { n_inquiry: 1 },
+            TrainPolicy::Alternate { n_inquiry: 3 },
+            TrainPolicy::spec(),
+        ];
+        let mut rng = desim::SimRng::seed_from(7);
+        for policy in policies {
+            for train in [Train::A, Train::B] {
+                let mut reference = InquiryState::new(train, policy);
+                // Desynchronize the starting position.
+                for _ in 0..rng.below(40) {
+                    reference.advance();
+                }
+                let mut walked = 0u64;
+                for _ in 0..64 {
+                    let n = rng.below(5000);
+                    let mut jumped = reference;
+                    jumped.advance_by(n);
+                    for _ in 0..n {
+                        reference.advance();
+                    }
+                    walked += n;
+                    assert_eq!(jumped, reference, "policy {policy:?} after {walked} pairs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_by_zero_is_identity() {
+        let mut inq = InquiryState::new(Train::A, TrainPolicy::spec());
+        inq.advance();
+        let before = inq;
+        inq.advance_by(0);
+        assert_eq!(inq, before);
+    }
+
+    #[test]
+    fn pairs_until_freq_matches_walking_search() {
+        let policies = [
+            TrainPolicy::Single,
+            TrainPolicy::Alternate { n_inquiry: 1 },
+            TrainPolicy::Alternate { n_inquiry: 3 },
+            TrainPolicy::spec(),
+        ];
+        let mut rng = desim::SimRng::seed_from(21);
+        for policy in policies {
+            for train in [Train::A, Train::B] {
+                let mut state = InquiryState::new(train, policy);
+                for _ in 0..rng.below(30) {
+                    state.advance();
+                }
+                for raw in 0..crate::hop::NUM_INQUIRY_FREQS {
+                    let f = InquiryFreq::new(raw);
+                    // Brute force: walk until a pair covers `f`.
+                    let mut walker = state;
+                    let mut expect = None;
+                    for j in 0..8 * 4 * crate::params::N_INQUIRY as u64 {
+                        let p = walker.plan();
+                        if p.first == f || p.second == f {
+                            expect = Some(j);
+                            break;
+                        }
+                        walker.advance();
+                    }
+                    assert_eq!(
+                        state.pairs_until_freq(f),
+                        expect,
+                        "policy {policy:?} start {train:?} freq {raw}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,10 +23,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use desim::compose::SubScheduler;
-use desim::{SimDuration, SimRng, SimTime};
+use desim::{EventId, SimDuration, SimRng, SimTime};
 
 use crate::addr::BdAddr;
-use crate::clock::{NativeClock, SLOT_PAIR, TICK};
+use crate::clock::{NativeClock, CLKN_12_PERIOD, SLOT_PAIR, TICK};
 use crate::hop::{InquiryFreq, Train, NUM_INQUIRY_FREQS};
 use crate::inquiry::InquiryState;
 use crate::link::Link;
@@ -34,7 +34,7 @@ use crate::page::{completion_time, PageAttempt};
 use crate::params::{
     MasterConfig, MediumConfig, PageModel, ScanFreqModel, SlaveConfig, StartTrain,
 };
-use crate::scan::{ScanAction, ScanMachine, WindowSchedule};
+use crate::scan::{ScanAction, ScanMachine, ScanPhase, WindowSchedule};
 use crate::schedule::{Phase, PhasePlan};
 
 /// The train selected by a clock at an instant: bit 14 of CLKN flips
@@ -94,8 +94,14 @@ pub struct BbEvent(Ev);
 enum Ev {
     /// Bootstrap: start all configured devices.
     Start,
-    /// Master even-slot inquiry transmission.
-    InqTx { master: usize, epoch: u32 },
+    /// Master even-slot inquiry transmission. `deferred` marks a
+    /// skip-ahead transmission that already requeued itself behind the
+    /// other events of its instant (see `should_defer`).
+    InqTx {
+        master: usize,
+        epoch: u32,
+        deferred: bool,
+    },
     /// Master duty-cycle boundary.
     PhaseBoundary { master: usize, epoch: u32 },
     /// Slave regular scan-window open (index = which window).
@@ -319,6 +325,37 @@ struct MasterDev {
     paging: Option<(PageAttempt, u32)>,
     page_attempt_seq: u32,
     page_queue: VecDeque<SlaveId>,
+    /// Skip-ahead bookkeeping; `Some` exactly while the master is inside
+    /// an inquiry phase with the skip-ahead scheduler enabled.
+    skip: Option<SkipChain>,
+}
+
+/// Lazy accounting for a master's inquiry chain under skip-ahead.
+///
+/// Slot pairs on the inquiry grid before `from` are fully accounted
+/// (`ids_transmitted`, train position); pairs from `from` onwards are
+/// pending. They are settled in closed form — proven deaf, so no RNG
+/// draws or state changes are lost — when the next audible pair fires,
+/// when an audibility-increasing transition re-aims the chain, when the
+/// phase ends, or when the engine quiesces at a `run_until` boundary.
+struct SkipChain {
+    /// First unaccounted slot pair on the master's even-slot grid.
+    from: SimTime,
+    /// Pending `InqTx` at the predicted next audible pair; `None` while
+    /// no in-range scanning slave can hear this phase at all (the chain
+    /// is dormant until a wake-up transition).
+    event: Option<EventId>,
+    /// When the phase was entered — the instant the naive chain would
+    /// have scheduled its first `InqTx` (same-instant ordering proxy).
+    entered_at: SimTime,
+    /// The phase's first slot pair; later pairs were naively scheduled
+    /// one `SLOT_PAIR` before they fire.
+    first_pair: SimTime,
+    /// Instant the pending `event` fires at (`MAX` while dormant). A
+    /// re-aim that lands on the same instant keeps the existing event:
+    /// rescheduling would assign a fresh queue sequence number and could
+    /// reorder the `InqTx` against other events of that instant.
+    aimed_at: SimTime,
 }
 
 struct SlaveDev {
@@ -332,6 +369,24 @@ struct SlaveDev {
     active: bool,
     halt_when_discovered: bool,
     connected_to: Option<MasterId>,
+    /// Whether a live scan-window chain is armed. The skip-ahead
+    /// predictor must treat a slave whose chain died (halted after
+    /// discovery, connected, deactivated) as deaf forever — its
+    /// [`WindowSchedule`] keeps ticking on paper, but no event will ever
+    /// reopen a window until a control transition re-arms the chain.
+    scanning: bool,
+    /// When the pending `WindowOpen` was scheduled — the skip-ahead
+    /// scheduler compares this against the instant the naive chain would
+    /// have scheduled a same-instant `InqTx` to reproduce the naive
+    /// processing order exactly.
+    window_armed_at: SimTime,
+    /// Start of the window that pending `WindowOpen` will open. A
+    /// sleeping machine is deaf before this even if the schedule shows
+    /// an earlier window on paper (re-armed chains skip partial windows).
+    next_window_start: SimTime,
+    /// When the pending `BackoffEnd` was scheduled (ordering proxy, as
+    /// for `window_armed_at`).
+    backoff_armed_at: SimTime,
 }
 
 impl SlaveDev {
@@ -343,6 +398,107 @@ impl SlaveDev {
     }
 }
 
+/// Per-master slave coverage, one bit per (master, slave) pair packed
+/// into `u64` words. Replaces a hashed pair-set: the hot inquiry loop
+/// tests and iterates coverage with shifts and `trailing_zeros` instead
+/// of per-probe hashing.
+#[derive(Default)]
+struct RangeMatrix {
+    /// `words[m]` is master `m`'s slave bitset, grown on demand.
+    words: Vec<Vec<u64>>,
+}
+
+impl RangeMatrix {
+    fn insert(&mut self, m: usize, sl: usize) {
+        if self.words.len() <= m {
+            self.words.resize_with(m + 1, Vec::new);
+        }
+        let row = &mut self.words[m];
+        let w = sl / 64;
+        if row.len() <= w {
+            row.resize(w + 1, 0);
+        }
+        row[w] |= 1u64 << (sl % 64);
+    }
+
+    fn remove(&mut self, m: usize, sl: usize) {
+        if let Some(word) = self.words.get_mut(m).and_then(|row| row.get_mut(sl / 64)) {
+            *word &= !(1u64 << (sl % 64));
+        }
+    }
+
+    #[inline]
+    fn contains(&self, m: usize, sl: usize) -> bool {
+        self.words
+            .get(m)
+            .and_then(|row| row.get(sl / 64))
+            .is_some_and(|&word| word >> (sl % 64) & 1 == 1)
+    }
+
+    /// Number of words in master `m`'s row.
+    #[inline]
+    fn row_words(&self, m: usize) -> usize {
+        self.words.get(m).map_or(0, Vec::len)
+    }
+
+    /// Word `w` of master `m`'s row (0 when out of bounds).
+    #[inline]
+    fn word(&self, m: usize, w: usize) -> u64 {
+        self.words
+            .get(m)
+            .and_then(|row| row.get(w))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// In-flight FHS response buckets, keyed by `(master, response offset)`.
+///
+/// A sorted scratch `Vec` with recycled responder buffers: at most a
+/// handful of buckets are live at once (responses resolve within a slot),
+/// so binary search over a dense array beats a `HashMap` — and reusing
+/// drained responder `Vec`s removes the per-response allocation entirely.
+#[derive(Default)]
+struct FhsBuckets {
+    live: Vec<((usize, u64), Vec<usize>)>,
+    spare: Vec<Vec<usize>>,
+}
+
+impl FhsBuckets {
+    /// Appends `responder` to the bucket for `key`, creating it (from a
+    /// recycled buffer when available) if absent. Returns `true` if this
+    /// call created the bucket — i.e. the responder is the first.
+    fn push(&mut self, key: (usize, u64), responder: usize) -> bool {
+        match self.live.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => {
+                self.live[i].1.push(responder);
+                false
+            }
+            Err(i) => {
+                let mut buf = self.spare.pop().unwrap_or_default();
+                buf.push(responder);
+                self.live.insert(i, (key, buf));
+                true
+            }
+        }
+    }
+
+    /// Removes and returns the bucket for `key`, if any. Return the buffer
+    /// via [`recycle`](FhsBuckets::recycle) once drained.
+    fn take(&mut self, key: (usize, u64)) -> Option<Vec<usize>> {
+        match self.live.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => Some(self.live.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Returns a drained responder buffer to the reuse pool.
+    fn recycle(&mut self, mut buf: Vec<usize>) {
+        buf.clear();
+        self.spare.push(buf);
+    }
+}
+
 /// The Bluetooth radio medium: all masters, slaves, links and in-flight
 /// responses.
 ///
@@ -351,8 +507,8 @@ pub struct Baseband {
     cfg: MediumConfig,
     masters: Vec<MasterDev>,
     slaves: Vec<SlaveDev>,
-    in_range: HashSet<(usize, usize)>,
-    fhs_buckets: HashMap<(usize, u64), Vec<usize>>,
+    in_range: RangeMatrix,
+    fhs_buckets: FhsBuckets,
     discoveries: Vec<Discovery>,
     discovered_pairs: HashSet<(usize, usize)>,
     links: HashMap<(usize, usize), Link>,
@@ -391,8 +547,8 @@ impl Baseband {
             cfg,
             masters: Vec::new(),
             slaves: Vec::new(),
-            in_range: HashSet::new(),
-            fhs_buckets: HashMap::new(),
+            in_range: RangeMatrix::default(),
+            fhs_buckets: FhsBuckets::default(),
             discoveries: Vec::new(),
             discovered_pairs: HashSet::new(),
             links: HashMap::new(),
@@ -431,6 +587,7 @@ impl Baseband {
             paging: None,
             page_attempt_seq: 0,
             page_queue: VecDeque::new(),
+            skip: None,
         });
         MasterId(id)
     }
@@ -464,6 +621,10 @@ impl Baseband {
             active: true,
             halt_when_discovered: cfg.halts_when_discovered(),
             connected_to: None,
+            scanning: false,
+            window_armed_at: SimTime::ZERO,
+            next_window_start: SimTime::MAX,
+            backoff_armed_at: SimTime::ZERO,
         });
         SlaveId(id)
     }
@@ -511,13 +672,16 @@ impl Baseband {
         self.slaves[s.0].connected_to
     }
 
-    /// The slaves connected to master `m`.
-    pub fn connected_slaves(&self, m: MasterId) -> Vec<SlaveId> {
-        self.links
-            .keys()
-            .filter(|&&(mi, _)| mi == m.0)
-            .map(|&(_, s)| SlaveId(s))
-            .collect()
+    /// The slaves connected to master `m`, in ascending slave-id order.
+    ///
+    /// Allocation-free: callers that need a materialized list collect into
+    /// their own (reusable) buffer.
+    pub fn connected_slaves(&self, m: MasterId) -> impl Iterator<Item = SlaveId> + '_ {
+        self.slaves
+            .iter()
+            .enumerate()
+            .filter(move |(_, dev)| dev.connected_to == Some(m))
+            .map(|(sl, _)| SlaveId(sl))
     }
 
     /// Marks `slave` in or out of `master`'s radio coverage. Out-of-range
@@ -531,12 +695,14 @@ impl Baseband {
     ) {
         let key = (master.0, slave.0);
         if in_range {
-            self.in_range.insert(key);
+            self.in_range.insert(master.0, slave.0);
             if let Some(link) = self.links.get_mut(&key) {
                 link.mark_in_range();
             }
+            // A new audible slave may precede the chain's current aim.
+            self.wake_master(s, master.0);
         } else {
-            self.in_range.remove(&key);
+            self.in_range.remove(master.0, slave.0);
             if let Some(link) = self.links.get_mut(&key) {
                 link.mark_out_of_range(s.now());
                 s.schedule(
@@ -552,7 +718,7 @@ impl Baseband {
 
     /// True if `slave` is in `master`'s coverage.
     pub fn is_in_range(&self, master: MasterId, slave: SlaveId) -> bool {
-        self.in_range.contains(&(master.0, slave.0))
+        self.in_range.contains(master.0, slave.0)
     }
 
     /// Switches a slave's radio on or off. Deactivating drops any link
@@ -579,6 +745,7 @@ impl Baseband {
             dev.active = false;
             dev.epoch += 1;
             dev.machine.stop();
+            dev.scanning = false;
         }
     }
 
@@ -676,6 +843,21 @@ impl Baseband {
         self.stats
     }
 
+    /// Settles every master's skip-ahead inquiry chain up to `now`,
+    /// accounting the provably deaf slot pairs the scheduler jumped over.
+    /// Embedding worlds forward [`World::quiesce`](desim::World::quiesce)
+    /// here so counters observed at a `run_until` boundary are
+    /// bit-identical to the naive slot-ticking chain. No-op when
+    /// skip-ahead is disabled.
+    pub fn settle(&mut self, now: SimTime) {
+        if !self.cfg.skip_ahead {
+            return;
+        }
+        for m in 0..self.masters.len() {
+            self.settle_master(m, now);
+        }
+    }
+
     /// Exports the medium's counters into `metrics` under the
     /// `baseband.*` prefix (see `docs/OBSERVABILITY.md` for the catalog).
     pub fn export_metrics(&self, metrics: &mut desim::MetricSet) {
@@ -713,6 +895,16 @@ impl Baseband {
             return;
         }
         self.started = true;
+        // Arm the scan-chain bookkeeping before the masters enter their
+        // phases (the skip-ahead predictor reads it), but schedule the
+        // actual WindowOpen events *after* — the naive order puts every
+        // first InqTx ahead of every WindowOpen, which decides who wins
+        // when a window opens exactly on a transmitted slot pair.
+        for sl in 0..self.slaves.len() {
+            if self.slaves[sl].active {
+                self.arm_scan_chain(s.now(), sl);
+            }
+        }
         for m in 0..self.masters.len() {
             self.enter_phase(s, m);
         }
@@ -728,7 +920,11 @@ impl Baseband {
     pub fn handle<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, event: BbEvent) {
         match event.0 {
             Ev::Start => self.start(s),
-            Ev::InqTx { master, epoch } => self.on_inq_tx(s, master, epoch),
+            Ev::InqTx {
+                master,
+                epoch,
+                deferred,
+            } => self.on_inq_tx(s, master, epoch, deferred),
             Ev::PhaseBoundary { master, epoch } => {
                 if self.masters[master].epoch == epoch {
                     self.enter_phase(s, master);
@@ -800,6 +996,15 @@ impl Baseband {
     /// (Re-)enters the phase in force now and arms the next boundary.
     fn enter_phase<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, m: usize) {
         let now = s.now();
+        // Close out the ending inquiry phase: account every pair up to
+        // the boundary and drop the chain (pairs at or after `now`
+        // belong to the next phase and are never transmitted).
+        self.settle_master(m, now);
+        if let Some(chain) = self.masters[m].skip.take() {
+            if let Some(ev) = chain.event {
+                s.cancel(ev);
+            }
+        }
         self.masters[m].epoch += 1;
         let epoch = self.masters[m].epoch;
         let phase = self.masters[m].plan.phase_at(now);
@@ -817,7 +1022,39 @@ impl Baseband {
                 self.masters[m].start_train = train;
                 self.masters[m].inq.restart(train);
                 let first_tx = self.masters[m].clock.next_even_slot(now);
-                s.schedule(first_tx, BbEvent(Ev::InqTx { master: m, epoch }));
+                if self.cfg.skip_ahead {
+                    // The first pair is scheduled eagerly, from the same
+                    // handler position as the naive chain, so it carries
+                    // the naive sequence number and wins or loses
+                    // same-instant ties identically (wakes between now
+                    // and `first_tx` re-aim to the same instant and must
+                    // not replace this event). The solver takes over
+                    // once it fires.
+                    let id = s.schedule(
+                        first_tx,
+                        BbEvent(Ev::InqTx {
+                            master: m,
+                            epoch,
+                            deferred: false,
+                        }),
+                    );
+                    self.masters[m].skip = Some(SkipChain {
+                        from: first_tx,
+                        event: Some(id),
+                        entered_at: now,
+                        first_pair: first_tx,
+                        aimed_at: first_tx,
+                    });
+                } else {
+                    s.schedule(
+                        first_tx,
+                        BbEvent(Ev::InqTx {
+                            master: m,
+                            epoch,
+                            deferred: false,
+                        }),
+                    );
+                }
             }
             Phase::Service => {
                 self.maybe_start_page(s, m);
@@ -828,7 +1065,13 @@ impl Baseband {
         }
     }
 
-    fn on_inq_tx<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, m: usize, epoch: u32) {
+    fn on_inq_tx<S: SubScheduler<BbEvent>>(
+        &mut self,
+        s: &mut S,
+        m: usize,
+        epoch: u32,
+        deferred: bool,
+    ) {
         if self.masters[m].epoch != epoch {
             return;
         }
@@ -836,12 +1079,336 @@ impl Baseband {
         if self.masters[m].plan.phase_at(now) != Phase::Inquiry {
             return; // phase boundary will restart the chain
         }
+        if self.cfg.skip_ahead {
+            // This is the chain's own event; its id is spent.
+            if let Some(chain) = self.masters[m].skip.as_mut() {
+                chain.event = None;
+                chain.aimed_at = SimTime::MAX;
+            }
+            if self.should_defer(m, now, deferred) {
+                let id = s.schedule(
+                    now,
+                    BbEvent(Ev::InqTx {
+                        master: m,
+                        epoch,
+                        deferred: true,
+                    }),
+                );
+                if let Some(chain) = self.masters[m].skip.as_mut() {
+                    chain.event = Some(id);
+                    chain.aimed_at = now;
+                }
+                return;
+            }
+            // Account the provably deaf pairs the chain jumped over.
+            self.settle_master(m, now);
+        }
         let plan = self.masters[m].inq.plan();
         self.stats.ids_transmitted += 2;
         self.transmit_id(s, m, plan.first, now);
         self.transmit_id(s, m, plan.second, now + TICK);
         self.masters[m].inq.advance();
-        s.schedule(now + SLOT_PAIR, BbEvent(Ev::InqTx { master: m, epoch }));
+        if self.cfg.skip_ahead {
+            if let Some(chain) = self.masters[m].skip.as_mut() {
+                chain.from = now + SLOT_PAIR;
+            }
+            self.rearm_inquiry(s, m);
+        } else {
+            s.schedule(
+                now + SLOT_PAIR,
+                BbEvent(Ev::InqTx {
+                    master: m,
+                    epoch,
+                    deferred: false,
+                }),
+            );
+        }
+    }
+
+    /// The instant the naive chain would have scheduled master `m`'s
+    /// `InqTx` for pair `now`: during the previous pair, or at phase
+    /// entry for the phase's first pair.
+    fn naive_arm_instant(&self, m: usize, now: SimTime) -> SimTime {
+        let chain = self.masters[m].skip.as_ref().expect("chain present");
+        if now == chain.first_pair {
+            chain.entered_at
+        } else {
+            now - SLOT_PAIR
+        }
+    }
+
+    /// Whether the skip-ahead `InqTx` firing at `now` must requeue itself
+    /// behind the other events of this instant to reproduce the naive
+    /// processing order.
+    ///
+    /// The naive chain scheduled the `InqTx` for pair `now` while
+    /// processing the previous pair (or at phase entry, for the first
+    /// pair), so a `WindowOpen` or `BackoffEnd` landing at the same
+    /// instant runs *first* exactly when it was armed before that — and
+    /// whichever runs first decides whether the slave hears this pair.
+    /// The skip-ahead event was scheduled at an arbitrary earlier re-aim,
+    /// so when such a tie exists it defers once; the requeued copy runs
+    /// after every event already queued at `now`. A requeued copy
+    /// (`deferred`) skips these one-shot checks but still yields to
+    /// naive-earlier sibling masters sharing the instant, so coincident
+    /// chains fire in naive precedence order (see below).
+    fn should_defer(&self, m: usize, now: SimTime, deferred: bool) -> bool {
+        if self.masters[m].skip.is_none() {
+            return false;
+        }
+        // Sibling masters whose chains are pending at this same instant:
+        // the naive order is by arm instant, and on a tie (coincident
+        // slot grids arm both during the previous shared pair, all the
+        // way back) by phase-entry instant, then master index. Yielding
+        // re-checks on every requeue; the minimal sibling never yields,
+        // so each pass fires at least one chain and the recursion
+        // terminates.
+        let key = (
+            self.naive_arm_instant(m, now),
+            self.masters[m]
+                .skip
+                .as_ref()
+                .expect("chain present")
+                .entered_at,
+            m,
+        );
+        for other in 0..self.masters.len() {
+            if other == m {
+                continue;
+            }
+            let Some(chain) = self.masters[other].skip.as_ref() else {
+                continue;
+            };
+            if chain.event.is_none() || chain.aimed_at != now {
+                continue;
+            }
+            if (self.naive_arm_instant(other, now), chain.entered_at, other) < key {
+                return true;
+            }
+        }
+        if deferred {
+            return false;
+        }
+        let naive_sched = key.0;
+        for w in 0..self.in_range.row_words(m) {
+            let mut bits = self.in_range.word(m, w);
+            while bits != 0 {
+                let sl = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let dev = &self.slaves[sl];
+                if !dev.active || dev.connected_to.is_some() || !dev.scanning {
+                    continue;
+                }
+                if dev.next_window_start == now && dev.window_armed_at < naive_sched {
+                    return true;
+                }
+                if matches!(dev.machine.phase(), ScanPhase::Backoff { until } if until == now)
+                    && dev.backoff_armed_at < naive_sched
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Accounts every pending slot pair strictly before `up_to` on master
+    /// `m`'s inquiry chain, in closed form. Pairs settled this way were
+    /// proven deaf by the predictor (or precede a phase boundary), so the
+    /// naive chain would have transmitted into silence: only
+    /// `ids_transmitted` and the train walker advance, with no RNG draws.
+    fn settle_master(&mut self, m: usize, up_to: SimTime) {
+        let dev = &mut self.masters[m];
+        let Some(chain) = dev.skip.as_mut() else {
+            return;
+        };
+        if up_to <= chain.from {
+            return;
+        }
+        let span = up_to - chain.from;
+        let mut n = span.div_duration(SLOT_PAIR);
+        if !(span % SLOT_PAIR).is_zero() {
+            n += 1;
+        }
+        chain.from += SLOT_PAIR * n;
+        dev.inq.advance_by(n);
+        self.stats.ids_transmitted += 2 * n;
+    }
+
+    /// Re-aims master `m`'s inquiry chain: predicts the earliest pending
+    /// slot pair any in-range, active, unconnected, scanning slave could
+    /// hear and schedules the next `InqTx` there — or leaves the chain
+    /// dormant when no such pair exists before the phase boundary.
+    ///
+    /// Requires `skip` to be `Some` with `from` settled past `now`.
+    fn rearm_inquiry<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, m: usize) {
+        let Some(chain) = self.masters[m].skip.as_ref() else {
+            return;
+        };
+        let from = chain.from;
+        let armed = chain.event.is_some();
+        let aimed_at = chain.aimed_at;
+        let bound = self.masters[m]
+            .plan
+            .next_boundary(s.now())
+            .map_or(SimTime::MAX, |(t, _)| t);
+        let mut target = bound;
+        for w in 0..self.in_range.row_words(m) {
+            let mut bits = self.in_range.word(m, w);
+            while bits != 0 {
+                let sl = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let dev = &self.slaves[sl];
+                if !dev.active || dev.connected_to.is_some() || !dev.scanning {
+                    continue;
+                }
+                target = target.min(self.slave_next_audible(m, sl, from, target));
+            }
+        }
+        if armed && target >= aimed_at {
+            // Never move an armed aim later (and keep an unchanged aim):
+            // the pending event keeps its queue sequence number, which
+            // same-instant ordering depends on. Firing at a pair the
+            // predictor now considers deaf is a harmless false alarm —
+            // the handler re-runs the exact audibility gates — but
+            // cancelling and rescheduling at the same instant would
+            // reorder the InqTx behind events queued in between.
+            return;
+        }
+        let epoch = self.masters[m].epoch;
+        let chain = self.masters[m].skip.as_mut().expect("chain present");
+        if let Some(ev) = chain.event.take() {
+            s.cancel(ev);
+        }
+        if target < bound {
+            let id = s.schedule(
+                target,
+                BbEvent(Ev::InqTx {
+                    master: m,
+                    epoch,
+                    deferred: false,
+                }),
+            );
+            chain.event = Some(id);
+            chain.aimed_at = target;
+        } else {
+            chain.aimed_at = SimTime::MAX;
+        }
+    }
+
+    /// Re-aims every in-range master other than `tx_master` after slave
+    /// `sl` entered a response backoff. The backoff *ends* in open-ended
+    /// inquiry listening, which can make the slave receptive to another
+    /// master earlier than that master's schedule-derived prediction —
+    /// the transmitting master itself re-aims at the end of its own
+    /// `on_inq_tx`.
+    fn wake_other_masters<S: SubScheduler<BbEvent>>(
+        &mut self,
+        s: &mut S,
+        tx_master: usize,
+        sl: usize,
+    ) {
+        if !self.cfg.skip_ahead {
+            return;
+        }
+        for m in 0..self.masters.len() {
+            if m != tx_master && self.in_range.contains(m, sl) {
+                self.wake_master(s, m);
+            }
+        }
+    }
+
+    /// An audibility-increasing transition happened: settle master `m`'s
+    /// chain to `now` and re-aim it. No-op for masters outside an inquiry
+    /// phase (or with skip-ahead disabled).
+    fn wake_master<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, m: usize) {
+        if self.masters[m].skip.is_none() {
+            return;
+        }
+        self.settle_master(m, s.now());
+        self.rearm_inquiry(s, m);
+    }
+
+    /// The earliest slot pair on master `m`'s grid (`from + j·SLOT_PAIR`,
+    /// strictly before `bound`) at which slave `sl` could hear one of the
+    /// pair's two ID half-slots; `bound` (or later) if none exists.
+    ///
+    /// Conservative, never late: every pair strictly before the returned
+    /// instant is provably deaf for this slave, but the returned pair is
+    /// allowed to be a false alarm (straddling a scan-frequency block
+    /// boundary, or a window that closed again) — the fired event re-runs
+    /// the exact audibility gates, so a false alarm only costs one event.
+    ///
+    /// Requires `m`'s train walker to be settled to the pair at `from`.
+    fn slave_next_audible(&self, m: usize, sl: usize, from: SimTime, bound: SimTime) -> SimTime {
+        /// Bounds the work per query; on exhaustion the current pair is
+        /// returned as a conservative wake-up.
+        const SOLVER_CAP: usize = 64;
+        let dev = &self.slaves[sl];
+        let mut t = from;
+        for _ in 0..SOLVER_CAP {
+            if t >= bound {
+                return bound;
+            }
+            // Deaf spans with a known end (sleep between windows, backoff)
+            // are jumped in one step: resume at the first pair whose
+            // second half-slot reaches the receptive instant.
+            let r = dev
+                .machine
+                .next_receptive_after(t, &dev.windows, dev.next_window_start);
+            if r == SimTime::MAX {
+                return bound;
+            }
+            if r > t + TICK {
+                let gap = (r - TICK) - t;
+                let mut j = gap.div_duration(SLOT_PAIR);
+                if !(gap % SLOT_PAIR).is_zero() {
+                    j += 1;
+                }
+                t += SLOT_PAIR * j;
+                continue;
+            }
+            // The scan frequency is constant within the current absolute
+            // 1.28 s block; ask the train walker for the first pair that
+            // covers it.
+            let block_end =
+                SimTime::ZERO + CLKN_12_PERIOD * (t.elapsed().div_duration(CLKN_12_PERIOD) + 1);
+            let phi = dev.scan_freq(t);
+            let j0 = (t - from).div_duration(SLOT_PAIR);
+            let mut walker = self.masters[m].inq;
+            walker.advance_by(j0);
+            let candidate = walker
+                .pairs_until_freq(phi)
+                .map(|d| t + SLOT_PAIR * d)
+                .filter(|&tc| {
+                    // The audible half-slot must still be inside the
+                    // block: second half-slot when the frequency sits at
+                    // an odd train offset.
+                    let tick = if phi.index() % 2 == 1 {
+                        TICK
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    tc + tick < block_end
+                });
+            // First pair whose pair-span touches the next block; its two
+            // half-slots see different scan frequencies, so it is woken
+            // conservatively rather than solved.
+            let straddle = {
+                let gap = (block_end - TICK).saturating_since(t);
+                let mut j = gap.div_duration(SLOT_PAIR);
+                if !(gap % SLOT_PAIR).is_zero() {
+                    j += 1;
+                }
+                t + SLOT_PAIR * j
+            };
+            match candidate {
+                Some(tc) if tc <= straddle => return tc.min(bound),
+                _ if straddle < block_end => return straddle.min(bound),
+                _ => t = straddle, // lands in the next block; re-solve
+            }
+        }
+        t.min(bound)
     }
 
     /// Delivers one ID packet to every slave that can hear it.
@@ -852,58 +1419,66 @@ impl Baseband {
         freq: InquiryFreq,
         at: SimTime,
     ) {
-        for sl in 0..self.slaves.len() {
-            if !self.in_range.contains(&(m, sl)) {
-                continue;
-            }
-            let dev = &self.slaves[sl];
-            if !dev.active || dev.connected_to.is_some() {
-                continue;
-            }
-            if !dev.machine.hears_inquiry(at) || dev.scan_freq(at) != freq {
-                continue;
-            }
-            // Channel errors: the paper assumes an error-free environment;
-            // packet_success < 1 models a lossy cell edge.
-            if self.cfg.packet_success < 1.0 && !s.rng().chance(self.cfg.packet_success) {
-                continue;
-            }
-            self.stats.ids_heard += 1;
-            let action = {
-                let dev = &mut self.slaves[sl];
-                dev.machine.hear_id(at, s.rng())
-            };
-            let epoch = self.slaves[sl].epoch;
-            match action {
-                ScanAction::StartBackoff(until) => {
-                    self.stats.backoffs += 1;
-                    s.schedule(until, BbEvent(Ev::BackoffEnd { slave: sl, epoch }));
+        // Walk only the slaves in this master's coverage bitset, ascending
+        // (same probe order — and therefore RNG draw order — as a linear
+        // scan over all slaves).
+        for w in 0..self.in_range.row_words(m) {
+            let mut bits = self.in_range.word(m, w);
+            while bits != 0 {
+                let sl = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let dev = &self.slaves[sl];
+                if !dev.active || dev.connected_to.is_some() {
+                    continue;
                 }
-                ScanAction::Respond {
-                    at: tx,
-                    backoff_until,
-                } => {
-                    self.stats.fhs_transmitted += 1;
-                    let key = tx.elapsed().div_duration(SimDuration::from_units_0125us(1));
-                    let bucket = self.fhs_buckets.entry((m, key)).or_default();
-                    bucket.push(sl);
-                    if bucket.len() == 1 {
-                        s.schedule(tx, BbEvent(Ev::FhsRx { master: m, key }));
+                if !dev.machine.hears_inquiry(at) || dev.scan_freq(at) != freq {
+                    continue;
+                }
+                // Channel errors: the paper assumes an error-free environment;
+                // packet_success < 1 models a lossy cell edge.
+                if self.cfg.packet_success < 1.0 && !s.rng().chance(self.cfg.packet_success) {
+                    continue;
+                }
+                self.stats.ids_heard += 1;
+                let action = {
+                    let dev = &mut self.slaves[sl];
+                    dev.machine.hear_id(at, s.rng())
+                };
+                let epoch = self.slaves[sl].epoch;
+                match action {
+                    ScanAction::StartBackoff(until) => {
+                        self.stats.backoffs += 1;
+                        self.slaves[sl].backoff_armed_at = s.now();
+                        s.schedule(until, BbEvent(Ev::BackoffEnd { slave: sl, epoch }));
+                        self.wake_other_masters(s, m, sl);
                     }
-                    s.schedule(backoff_until, BbEvent(Ev::BackoffEnd { slave: sl, epoch }));
+                    ScanAction::Respond {
+                        at: tx,
+                        backoff_until,
+                    } => {
+                        self.stats.fhs_transmitted += 1;
+                        let key = tx.elapsed().div_duration(SimDuration::from_units_0125us(1));
+                        if self.fhs_buckets.push((m, key), sl) {
+                            s.schedule(tx, BbEvent(Ev::FhsRx { master: m, key }));
+                        }
+                        self.slaves[sl].backoff_armed_at = s.now();
+                        s.schedule(backoff_until, BbEvent(Ev::BackoffEnd { slave: sl, epoch }));
+                        self.wake_other_masters(s, m, sl);
+                    }
+                    ScanAction::None => {}
                 }
-                ScanAction::None => {}
             }
         }
     }
 
     fn on_fhs_rx<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, m: usize, key: u64) {
-        let Some(mut responders) = self.fhs_buckets.remove(&(m, key)) else {
+        let Some(mut responders) = self.fhs_buckets.take((m, key)) else {
             return;
         };
         let now = s.now();
         if self.masters[m].plan.phase_at(now) != Phase::Inquiry {
             self.stats.fhs_missed_phase += responders.len() as u64;
+            self.fhs_buckets.recycle(responders);
             return;
         }
         // Channel errors corrupt individual FHS packets; the survivors
@@ -919,9 +1494,10 @@ impl Baseband {
                 slaves: responders.iter().map(|&sl| SlaveId(sl)).collect(),
                 at: now,
             });
+            self.fhs_buckets.recycle(responders);
             return;
         }
-        for sl in responders {
+        for &sl in &responders {
             self.stats.fhs_received += 1;
             self.notifications.push(BbNotification::FhsSeen {
                 master: MasterId(m),
@@ -943,8 +1519,10 @@ impl Baseband {
                 let dev = &mut self.slaves[sl];
                 dev.epoch += 1;
                 dev.machine.stop();
+                dev.scanning = false;
             }
         }
+        self.fhs_buckets.recycle(responders);
     }
 
     fn maybe_start_page<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, m: usize) {
@@ -1023,7 +1601,7 @@ impl Baseband {
             return;
         }
         let sl = attempt.slave.index();
-        let reachable = self.in_range.contains(&(m, sl))
+        let reachable = self.in_range.contains(m, sl)
             && self.slaves[sl].active
             && self.slaves[sl].connected_to.is_none();
         if reachable && self.slaves[sl].machine.hears_page(now) {
@@ -1097,7 +1675,7 @@ impl Baseband {
             return;
         }
         let dev = &self.slaves[sl];
-        let reachable = self.in_range.contains(&(m, sl))
+        let reachable = self.in_range.contains(m, sl)
             && dev.active
             && dev.connected_to.is_none()
             && self.masters[m].plan.phase_at(now) == Phase::Service;
@@ -1122,6 +1700,7 @@ impl Baseband {
             dev.connected_to = Some(MasterId(m));
             dev.epoch += 1; // kill pending scan events
             dev.machine.stop();
+            dev.scanning = false;
             self.notifications.push(BbNotification::LinkEstablished {
                 master: MasterId(m),
                 slave: SlaveId(sl),
@@ -1163,13 +1742,26 @@ impl Baseband {
 
     // ----- slave machinery --------------------------------------------
 
+    /// Arms a (re)starting scan chain's bookkeeping: resolves the first
+    /// window at or after `now` and records it for the skip-ahead
+    /// predictor. The matching `WindowOpen` is scheduled separately by
+    /// [`schedule_first_window`] so callers can control event order.
+    fn arm_scan_chain(&mut self, now: SimTime, sl: usize) {
+        let dev = &mut self.slaves[sl];
+        let idx = dev.windows.first_window_at_or_after(now);
+        dev.scanning = true;
+        dev.window_armed_at = now;
+        dev.next_window_start = dev.windows.window_start(idx);
+    }
+
+    /// Schedules the `WindowOpen` for the chain most recently armed by
+    /// [`arm_scan_chain`].
     fn schedule_first_window<S: SubScheduler<BbEvent>>(&mut self, s: &mut S, sl: usize) {
         let dev = &self.slaves[sl];
         let idx = dev.windows.first_window_at_or_after(s.now());
-        let at = dev.windows.window_start(idx);
         let epoch = dev.epoch;
         s.schedule(
-            at,
+            dev.next_window_start,
             BbEvent(Ev::WindowOpen {
                 slave: sl,
                 epoch,
@@ -1195,6 +1787,8 @@ impl Baseband {
         dev.machine.open_window(now, kind, close);
         s.schedule(close, BbEvent(Ev::WindowClose { slave: sl, epoch }));
         let next_at = dev.windows.window_start(index + 1);
+        dev.window_armed_at = now;
+        dev.next_window_start = next_at;
         s.schedule(
             next_at,
             BbEvent(Ev::WindowOpen {
@@ -1224,7 +1818,17 @@ impl Baseband {
         dev.connected_to = None;
         dev.epoch += 1;
         dev.machine.stop();
+        dev.scanning = false;
         if dev.active && self.started {
+            // Re-aim every inquiring master *between* arming the chain
+            // bookkeeping and scheduling the WindowOpen: audibility just
+            // increased, and a chain InqTx landing exactly on the first
+            // window's open instant must keep the naive order (InqTx
+            // first, window still shut).
+            self.arm_scan_chain(s.now(), sl);
+            for m in 0..self.masters.len() {
+                self.wake_master(s, m);
+            }
             self.schedule_first_window(s, sl);
         }
     }
@@ -1262,6 +1866,9 @@ mod tests {
         fn handle(&mut self, ctx: &mut Context<BbEvent>, ev: BbEvent) {
             self.bb.handle(ctx, ev);
         }
+        fn quiesce(&mut self, ctx: &mut Context<BbEvent>) {
+            self.bb.settle(ctx.now());
+        }
     }
 
     /// One master / `n` slaves; range is applied separately.
@@ -1289,7 +1896,7 @@ mod tests {
         let n_s = engine.world().bb.num_slaves();
         for m in 0..n_m {
             for s in 0..n_s {
-                engine.world_mut().bb.in_range.insert((m, s));
+                engine.world_mut().bb.in_range.insert(m, s);
             }
         }
     }
@@ -1433,7 +2040,10 @@ mod tests {
             "no link established: {notes:?}"
         );
         assert_eq!(e.world().bb.slave_connection(s), Some(m));
-        assert_eq!(e.world().bb.connected_slaves(m), vec![s]);
+        assert_eq!(
+            e.world().bb.connected_slaves(m).collect::<Vec<_>>(),
+            vec![s]
+        );
         e.schedule(
             SimTime::from_secs(40),
             BbEvent::send_data(m, s, vec![9u8; 64], 7),
@@ -1563,6 +2173,9 @@ mod capacity_tests {
         fn handle(&mut self, ctx: &mut Context<BbEvent>, ev: BbEvent) {
             self.bb.handle(ctx, ev);
         }
+        fn quiesce(&mut self, ctx: &mut Context<BbEvent>) {
+            self.bb.settle(ctx.now());
+        }
     }
 
     /// One service-only master, N page-scanning slaves, everything in
@@ -1603,11 +2216,11 @@ mod capacity_tests {
         let m = MasterId::new(0);
         for step in 1..=60 {
             e.run_until(SimTime::from_secs(step));
-            let active = e.world().bb.connected_slaves(m).len();
+            let active = e.world().bb.connected_slaves(m).count();
             assert!(active <= MAX_ACTIVE_SLAVES, "t={step}s: {active} active");
         }
         // Exactly seven connect; the other three wait in the queue.
-        assert_eq!(e.world().bb.connected_slaves(m).len(), MAX_ACTIVE_SLAVES);
+        assert_eq!(e.world().bb.connected_slaves(m).count(), MAX_ACTIVE_SLAVES);
     }
 
     #[test]
@@ -1615,13 +2228,13 @@ mod capacity_tests {
         let mut e = engine_with_pages(10);
         let m = MasterId::new(0);
         e.run_until(SimTime::from_secs(60));
-        let connected = e.world().bb.connected_slaves(m);
+        let connected: Vec<SlaveId> = e.world().bb.connected_slaves(m).collect();
         assert_eq!(connected.len(), MAX_ACTIVE_SLAVES);
         // Disconnect two: the queue must refill the slots.
         e.schedule(SimTime::from_secs(60), BbEvent::disconnect(m, connected[0]));
         e.schedule(SimTime::from_secs(60), BbEvent::disconnect(m, connected[1]));
         e.run_until(SimTime::from_secs(120));
-        let after = e.world().bb.connected_slaves(m);
+        let after: Vec<SlaveId> = e.world().bb.connected_slaves(m).collect();
         assert_eq!(after.len(), MAX_ACTIVE_SLAVES, "slots not refilled");
         assert!(!after.contains(&connected[0]) || !after.contains(&connected[1]));
     }
@@ -1631,7 +2244,7 @@ mod capacity_tests {
         let mut e = engine_with_pages(7);
         e.run_until(SimTime::from_secs(60));
         assert_eq!(
-            e.world().bb.connected_slaves(MasterId::new(0)).len(),
+            e.world().bb.connected_slaves(MasterId::new(0)).count(),
             7,
             "all seven fit"
         );
@@ -1652,6 +2265,9 @@ mod page_model_tests {
         type Event = BbEvent;
         fn handle(&mut self, ctx: &mut Context<BbEvent>, ev: BbEvent) {
             self.bb.handle(ctx, ev);
+        }
+        fn quiesce(&mut self, ctx: &mut Context<BbEvent>) {
+            self.bb.settle(ctx.now());
         }
     }
 
@@ -1803,6 +2419,9 @@ mod range_flap_tests {
         type Event = BbEvent;
         fn handle(&mut self, ctx: &mut Context<BbEvent>, ev: BbEvent) {
             self.bb.handle(ctx, ev);
+        }
+        fn quiesce(&mut self, ctx: &mut Context<BbEvent>) {
+            self.bb.settle(ctx.now());
         }
     }
 

@@ -439,6 +439,12 @@ pub struct MediumConfig {
     pub page_timeout: SimDuration,
     /// How long a link survives out-of-range before it is declared lost.
     pub supervision_timeout: SimDuration,
+    /// Drive the inquiry chain with the skip-ahead scheduler: instead of
+    /// one event per slot pair, the medium computes the next pair any
+    /// in-range scanning slave could hear and accounts the silent span in
+    /// closed form. Bit-identical to the slot-ticking path (the default);
+    /// disable to run the naive chain, e.g. for differential testing.
+    pub skip_ahead: bool,
 }
 
 impl Default for MediumConfig {
@@ -450,6 +456,7 @@ impl Default for MediumConfig {
             page_model: PageModel::default(),
             page_timeout: PAGE_TIMEOUT,
             supervision_timeout: SUPERVISION_TIMEOUT,
+            skip_ahead: true,
         }
     }
 }

@@ -216,6 +216,75 @@ impl ScanMachine {
         self.primed = false;
     }
 
+    /// A conservative lower bound on the first instant at or after `now`
+    /// when the machine could hear an inquiry ID, given that `windows`
+    /// drives its window openings.
+    ///
+    /// "Conservative" means *never late*: the machine is provably deaf
+    /// strictly before the returned instant, but may still be deaf at it
+    /// (a wake-up that finds the slave deaf is harmless — the caller
+    /// re-checks the real gates). This is the closed-form query behind
+    /// the skip-ahead inquiry scheduler: scan windows, primed listening
+    /// and backoff sleeps are all deterministic, so the medium can jump
+    /// the inquiry chain over the deaf span instead of probing it slot
+    /// pair by slot pair.
+    ///
+    /// The caller is responsible for knowing whether the window chain is
+    /// still armed; a stopped machine whose schedule will never reopen
+    /// (halted or connected slave) is deaf forever, which this method
+    /// cannot see. `armed_from` is the start of the earliest window the
+    /// chain will actually open: a sleeping machine cannot become
+    /// receptive inside an earlier on-paper window, because no event will
+    /// fire to open it (a chain re-armed mid-window starts at the *next*
+    /// window).
+    pub fn next_receptive_after(
+        &self,
+        now: SimTime,
+        windows: &WindowSchedule,
+        armed_from: SimTime,
+    ) -> SimTime {
+        // Earliest inquiry-listening instant at or after `t` assuming the
+        // window chain executes the schedule from `t` onwards: inside an
+        // inquiry window it is `t` itself, otherwise the next inquiry
+        // window's start.
+        let live = |t: SimTime| match windows.open_window_at(t) {
+            Some((ScanKind::Inquiry, _)) => t,
+            _ => windows.next_window_of_kind(t, ScanKind::Inquiry),
+        };
+        match self.phase {
+            ScanPhase::Listening {
+                kind: ScanKind::Inquiry,
+                until,
+            } => {
+                if now < until {
+                    now
+                } else if self.primed {
+                    // The pending close transitions a primed slave into
+                    // the open-ended inquiry-response listen.
+                    now
+                } else {
+                    live(now)
+                }
+            }
+            ScanPhase::Listening {
+                kind: ScanKind::Page,
+                until,
+            } => {
+                if self.primed {
+                    // Closing a page window while primed also re-enters
+                    // the open-ended inquiry listen.
+                    now.max(until)
+                } else {
+                    live(now.max(until))
+                }
+            }
+            // end_backoff re-enters an open-ended inquiry listen the
+            // moment the timer fires.
+            ScanPhase::Backoff { until } => now.max(until),
+            ScanPhase::Sleeping => live(now.max(armed_from)),
+        }
+    }
+
     fn draw_backoff(&self, rng: &mut desim::SimRng) -> SimDuration {
         let slots = if self.backoff_max_slots == 0 {
             0
@@ -513,6 +582,51 @@ mod tests {
             let ws = WindowSchedule::random(ScanPattern::spec_inquiry(), &mut r);
             assert!(ws.window_start(0) < SimTime::ZERO + ScanPattern::spec_inquiry().interval());
         }
+    }
+
+    #[test]
+    fn next_receptive_bounds_are_never_late() {
+        let ws = WindowSchedule::new(ScanPattern::spec_inquiry(), SimTime::from_millis(100), 0);
+        // Listening: receptive immediately while the window is open.
+        let m = listening_machine();
+        let t = SimTime::from_millis(1);
+        assert_eq!(m.next_receptive_after(t, &ws, SimTime::ZERO), t);
+        // Past the window close (unprimed): the next scheduled window.
+        let past = SimTime::ZERO + TW_SCAN;
+        assert_eq!(
+            m.next_receptive_after(past, &ws, SimTime::ZERO),
+            SimTime::from_millis(100)
+        );
+        // Backoff: deaf until the timer, receptive right at it.
+        let mut backed = listening_machine();
+        let ScanAction::StartBackoff(until) = backed.hear_id(t, &mut rng()) else {
+            panic!()
+        };
+        assert_eq!(backed.next_receptive_after(t, &ws, SimTime::ZERO), until);
+        assert_eq!(
+            backed.next_receptive_after(until, &ws, SimTime::ZERO),
+            until
+        );
+        // Primed machine at window close: keeps listening (open-ended
+        // inquiry-response substate), so it is receptive immediately.
+        backed.end_backoff(until, until + TW_SCAN);
+        let close = until + TW_SCAN;
+        assert_eq!(
+            backed.next_receptive_after(close, &ws, SimTime::ZERO),
+            close
+        );
+        // Sleeping: the next scheduled window.
+        let fresh = ScanMachine::new(ScanPattern::spec_inquiry(), BACKOFF_MAX_SLOTS);
+        assert_eq!(
+            fresh.next_receptive_after(SimTime::ZERO, &ws, SimTime::ZERO),
+            SimTime::from_millis(100)
+        );
+        // A sleeping machine whose chain is only armed from a later window
+        // cannot be woken by an earlier on-paper window: no event opens it.
+        assert_eq!(
+            fresh.next_receptive_after(SimTime::ZERO, &ws, SimTime::from_millis(200)),
+            SimTime::from_millis(100 + 1280)
+        );
     }
 
     #[test]

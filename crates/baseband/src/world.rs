@@ -110,6 +110,11 @@ impl World for BasebandWorld {
             .expect("events before bootstrap")
             .handle(ctx, event);
     }
+    fn quiesce(&mut self, ctx: &mut Context<BbEvent>) {
+        if let Some(bb) = self.bb.as_mut() {
+            bb.settle(ctx.now());
+        }
+    }
 }
 
 /// Builder for [`BasebandWorld`].

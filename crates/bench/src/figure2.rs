@@ -315,6 +315,21 @@ mod tests {
         );
     }
 
+    /// The F2 artifact (CSV and SVG alike — both render from the same
+    /// curves) is bit-identical whether replications run serially or on
+    /// eight workers.
+    #[test]
+    fn parallel_jobs_are_bit_identical() {
+        let cfg = |jobs| Figure2Config {
+            jobs,
+            ..small_cfg()
+        };
+        let serial = run(&cfg(1));
+        let wide = run(&cfg(8));
+        assert_eq!(serial.render_csv(), wide.render_csv());
+        assert_eq!(serial.render_svg(), wide.render_svg());
+    }
+
     #[test]
     fn csv_has_header_and_rows() {
         let r = run(&Figure2Config {

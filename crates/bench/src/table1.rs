@@ -238,6 +238,22 @@ mod tests {
         assert!((0.35..0.65).contains(&frac), "split {frac}");
     }
 
+    /// The T1 artifact is bit-identical whether replications run
+    /// serially or on eight workers (and with the skip-ahead scheduler,
+    /// which is on by default, in the loop).
+    #[test]
+    fn parallel_jobs_are_bit_identical() {
+        let cfg = |jobs| Table1Config {
+            trials: 40,
+            horizon: SimDuration::from_secs(45),
+            seed: 2003,
+            jobs,
+        };
+        let serial = run(&cfg(1));
+        let wide = run(&cfg(8));
+        assert_eq!(serial.render(), wide.render());
+    }
+
     #[test]
     fn render_contains_rows() {
         let r = run(&Table1Config {

@@ -1231,6 +1231,9 @@ impl World for BipsSystem {
             SysEvent::Cmd(c) => self.on_cmd(ctx, c),
         }
     }
+    fn quiesce(&mut self, ctx: &mut Context<SysEvent>) {
+        self.bb.settle(ctx.now());
+    }
 }
 
 /// Builds a [`BipsSystem`] and its engine.

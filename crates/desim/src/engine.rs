@@ -11,18 +11,31 @@
 //! from the engine's seeded RNG, so a simulation is a pure function of the
 //! initial world, the seed, and the initial events.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
-
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// A handle to a scheduled event, usable to [cancel](Context::cancel) it.
 ///
-/// Ids are unique within one engine for its whole lifetime and are never
-/// reused.
+/// Internally an id packs a slab slot index with that slot's generation
+/// tag, so a handle stays valid exactly as long as its event is pending:
+/// once the event runs or is cancelled the slot's generation is bumped and
+/// the old handle can never alias a later event occupying the same slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn pack(slot: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// The model driven by an [`Engine`].
 ///
@@ -35,6 +48,19 @@ pub trait World {
 
     /// Processes one event at the current virtual time.
     fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+
+    /// Called by [`Engine::run_until`] after the clock has advanced to the
+    /// deadline, before control returns to the caller.
+    ///
+    /// Models that defer work between events (e.g. closed-form fast paths
+    /// that account skipped spans lazily) override this to bring their
+    /// externally observable state up to date with `ctx.now()`, so a
+    /// caller inspecting the world between `run_until` calls sees exactly
+    /// the state a step-by-step execution would have produced. The default
+    /// does nothing.
+    fn quiesce(&mut self, ctx: &mut Context<Self::Event>) {
+        let _ = ctx;
+    }
 }
 
 /// A passive probe notified around every event the engine executes.
@@ -64,31 +90,39 @@ pub trait Observer<E> {
     }
 }
 
-struct Scheduled<E> {
+/// One entry in the calendar heap. Ordered by `(at, seq)`: time order
+/// with a FIFO tie-break through the monotone sequence number.
+struct Node<E> {
     at: SimTime,
     seq: u64,
-    id: EventId,
+    /// Index of this entry's slab slot (for position bookkeeping).
+    slot: u32,
     event: E,
 }
 
-// Order by (time, sequence). BinaryHeap is a max-heap, so we wrap in Reverse
-// at the call sites; these impls define the natural (ascending) order.
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<E> Node<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Per-slot slab metadata: where the slot's node currently sits in the
+/// heap, and a generation tag bumped every time the slot is vacated.
+#[derive(Clone, Copy)]
+struct SlotMeta {
+    generation: u32,
+    /// Current index in the heap `Vec`, or [`FREE`] when vacant.
+    heap_pos: u32,
 }
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+
+/// Sentinel `heap_pos` marking a vacant slab slot.
+const FREE: u32 = u32::MAX;
+
+/// Branching factor of the calendar heap. A 4-ary layout halves the tree
+/// depth of a binary heap and keeps each node's children in one cache
+/// line, which measurably helps the schedule/pop churn of the hot loop.
+const ARITY: usize = 4;
 
 /// The engine surface visible to event handlers: the clock, the calendar and
 /// the random stream.
@@ -99,11 +133,14 @@ impl<E> Ord for Scheduled<E> {
 /// pending events, and to draw random values via [`rng`](Context::rng).
 pub struct Context<E> {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
-    /// Ids cancelled but still physically in `queue` (lazy deletion).
-    cancelled: HashSet<EventId>,
-    /// Ids currently scheduled and not cancelled.
-    pending_ids: HashSet<EventId>,
+    /// Index-tracked min-heap of pending events (d-ary, see [`ARITY`]).
+    heap: Vec<Node<E>>,
+    /// Slab of slot metadata; `heap[slots[s].heap_pos].slot == s` for every
+    /// occupied slot `s`. Grows to the high-water mark of simultaneously
+    /// pending events and is reused thereafter.
+    slots: Vec<SlotMeta>,
+    /// Vacant slab slots, reused LIFO.
+    free: Vec<u32>,
     next_seq: u64,
     rng: SimRng,
 }
@@ -112,9 +149,9 @@ impl<E> Context<E> {
     fn new(rng: SimRng) -> Self {
         Context {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            pending_ids: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             rng,
         }
@@ -139,10 +176,29 @@ impl<E> Context<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        self.queue.push(Reverse(Scheduled { at, seq, id, event }));
-        self.pending_ids.insert(id);
-        id
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len();
+                assert!(s < FREE as usize, "calendar slot index overflow");
+                self.slots.push(SlotMeta {
+                    generation: 0,
+                    heap_pos: FREE,
+                });
+                s as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        let pos = self.heap.len();
+        self.heap.push(Node {
+            at,
+            seq,
+            slot,
+            event,
+        });
+        self.slots[slot as usize].heap_pos = pos as u32;
+        self.sift_up(pos);
+        EventId::pack(slot, generation)
     }
 
     /// Schedules `event` after a relative delay from now.
@@ -158,18 +214,35 @@ impl<E> Context<E> {
 
     /// Cancels a pending event. Returns `true` if the event was still
     /// pending, `false` if it already ran or was already cancelled.
+    ///
+    /// Cancellation is *eager*: the entry is removed from the heap in
+    /// O(log n) and its slab slot reclaimed immediately, so cancelled
+    /// events cost neither memory nor pop-time tombstone skips.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.pending_ids.remove(&id) {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
+        let slot = id.slot();
+        let Some(meta) = self.slots.get(slot as usize) else {
+            return false;
+        };
+        if meta.generation != id.generation() || meta.heap_pos == FREE {
+            return false;
         }
+        let pos = meta.heap_pos as usize;
+        self.remove_at(pos);
+        self.release_slot(slot);
+        true
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn pending(&self) -> usize {
-        self.pending_ids.len()
+        self.heap.len()
+    }
+
+    /// Number of slab slots backing the calendar: the high-water mark of
+    /// simultaneously pending events, *not* the total ever scheduled.
+    /// Schedule/cancel churn must not grow this (see the memory-reclaim
+    /// regression test).
+    pub fn calendar_slots(&self) -> usize {
+        self.slots.len()
     }
 
     /// The deterministic random stream of this engine.
@@ -177,15 +250,81 @@ impl<E> Context<E> {
         &mut self.rng
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(s)) = self.queue.pop() {
-            if self.cancelled.remove(&s.id) {
-                continue;
+    /// Restores the heap invariant upward from `pos`, returning the final
+    /// position of the node that started there.
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if self.heap[pos].key() < self.heap[parent].key() {
+                self.heap.swap(pos, parent);
+                self.slots[self.heap[pos].slot as usize].heap_pos = pos as u32;
+                pos = parent;
+            } else {
+                break;
             }
-            self.pending_ids.remove(&s.id);
-            return Some((s.at, s.event));
         }
-        None
+        self.slots[self.heap[pos].slot as usize].heap_pos = pos as u32;
+        pos
+    }
+
+    /// Restores the heap invariant downward from `pos`.
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = pos * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            let last = (first + ARITY - 1).min(len - 1);
+            for child in first + 1..=last {
+                if self.heap[child].key() < self.heap[best].key() {
+                    best = child;
+                }
+            }
+            if self.heap[best].key() < self.heap[pos].key() {
+                self.heap.swap(pos, best);
+                self.slots[self.heap[pos].slot as usize].heap_pos = pos as u32;
+                pos = best;
+            } else {
+                break;
+            }
+        }
+        self.slots[self.heap[pos].slot as usize].heap_pos = pos as u32;
+    }
+
+    /// Removes and returns the node at heap index `pos`, re-heapifying the
+    /// element swapped into its place. Does not touch the removed node's
+    /// slab slot — the caller releases or inspects it.
+    fn remove_at(&mut self, pos: usize) -> Node<E> {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        let node = self.heap.pop().expect("heap non-empty");
+        if pos < self.heap.len() {
+            // The displaced element may belong above or below `pos`.
+            let settled = self.sift_up(pos);
+            if settled == pos {
+                self.sift_down(pos);
+            }
+        }
+        node
+    }
+
+    /// Marks `slot` vacant, invalidating all outstanding ids for it.
+    fn release_slot(&mut self, slot: u32) {
+        let meta = &mut self.slots[slot as usize];
+        meta.generation = meta.generation.wrapping_add(1);
+        meta.heap_pos = FREE;
+        self.free.push(slot);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let node = self.remove_at(0);
+        self.release_slot(node.slot);
+        Some((node.at, node.event))
     }
 
     // Debug cannot be derived (events in the calendar need not be Debug),
@@ -193,22 +332,12 @@ impl<E> Context<E> {
     fn debug_summary(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Context")
             .field("now", &self.now)
-            .field("pending", &self.pending_ids.len())
+            .field("pending", &self.heap.len())
             .finish_non_exhaustive()
     }
 
-    fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain lazily-deleted entries off the top so the peek is O(1)
-        // amortized.
-        while let Some(Reverse(s)) = self.queue.peek() {
-            if self.cancelled.contains(&s.id) {
-                let Reverse(s) = self.queue.pop().expect("peeked entry exists");
-                self.cancelled.remove(&s.id);
-            } else {
-                return Some(s.at);
-            }
-        }
-        None
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|n| n.at)
     }
 }
 
@@ -374,6 +503,7 @@ impl<W: World> Engine<W> {
         if self.ctx.now < deadline {
             self.ctx.now = deadline;
         }
+        self.world.quiesce(&mut self.ctx);
         self.steps - before
     }
 
@@ -599,6 +729,122 @@ mod tests {
             (e.world().seen.clone(), draws)
         }
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn quiesce_runs_at_every_run_until_boundary() {
+        struct Deferred {
+            handled: u32,
+            quiesced_at: Vec<SimTime>,
+        }
+        impl World for Deferred {
+            type Event = ();
+            fn handle(&mut self, _ctx: &mut Context<()>, _: ()) {
+                self.handled += 1;
+            }
+            fn quiesce(&mut self, ctx: &mut Context<()>) {
+                self.quiesced_at.push(ctx.now());
+            }
+        }
+        let mut e = Engine::new(
+            Deferred {
+                handled: 0,
+                quiesced_at: vec![],
+            },
+            3,
+        );
+        e.schedule(SimTime::from_micros(10), ());
+        e.run_until(SimTime::from_micros(5));
+        e.run_until(SimTime::from_micros(20));
+        assert_eq!(e.world().handled, 1);
+        // Quiesce fires after the clock reaches each deadline, including
+        // deadlines with no events.
+        assert_eq!(
+            e.world().quiesced_at,
+            vec![SimTime::from_micros(5), SimTime::from_micros(20)]
+        );
+    }
+
+    #[test]
+    fn cancel_reclaims_calendar_memory() {
+        // Regression: the old tombstone calendar kept every cancelled id in
+        // a HashSet until the entry popped; a schedule/cancel churn loop
+        // grew memory without bound. The slab calendar must reuse the same
+        // slot(s) forever.
+        let mut e = recorder();
+        let keep = e.schedule(SimTime::from_secs(10), 0);
+        for i in 0..1_000_000u64 {
+            let id = e.schedule(SimTime::from_micros(i % 1000), i as u32 + 1);
+            assert!(e.context_mut().cancel(id));
+        }
+        assert_eq!(e.context_mut().pending(), 1);
+        assert!(
+            e.context_mut().calendar_slots() <= 2,
+            "schedule/cancel churn grew the slab to {} slots",
+            e.context_mut().calendar_slots()
+        );
+        assert!(e.context_mut().cancel(keep));
+        assert_eq!(e.context_mut().pending(), 0);
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_slot_reuser() {
+        let mut e = recorder();
+        let t = SimTime::from_micros(10);
+        let a = e.schedule(t, 1);
+        assert!(e.context_mut().cancel(a));
+        // `b` reuses a's slab slot; the stale handle must not alias it.
+        let b = e.schedule(t, 2);
+        assert!(
+            !e.context_mut().cancel(a),
+            "stale id cancelled a live event"
+        );
+        assert!(e.context_mut().cancel(b));
+        e.run();
+        assert!(e.world().seen.is_empty());
+    }
+
+    #[test]
+    fn heap_matches_reference_model_under_churn() {
+        // Model-check the index-tracked heap against a sorted reference:
+        // random interleavings of schedule / cancel / step must pop events
+        // in exactly (time, insertion) order.
+        let mut e = recorder();
+        let mut rng = crate::SimRng::seed_from(42);
+        let mut live: Vec<(SimTime, u64, EventId, u32)> = Vec::new();
+        let mut expected: Vec<(SimTime, u32)> = Vec::new();
+        let mut seq = 0u64;
+        for round in 0..5_000u32 {
+            match rng.below(4) {
+                0 | 1 => {
+                    let at = e.now() + SimDuration::from_micros(rng.below(500));
+                    let id = e.schedule(at, round);
+                    live.push((at, seq, id, round));
+                    seq += 1;
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let k = rng.below(live.len() as u64) as usize;
+                        let (_, _, id, _) = live.swap_remove(k);
+                        assert!(e.context_mut().cancel(id));
+                    }
+                }
+                _ => {
+                    live.sort_by_key(|&(at, s, _, _)| (at, s));
+                    let stepped = e.step();
+                    assert_eq!(stepped, !live.is_empty());
+                    if stepped {
+                        let (at, _, _, v) = live.remove(0);
+                        expected.push((at, v));
+                    }
+                }
+            }
+            assert_eq!(e.context_mut().pending(), live.len());
+        }
+        live.sort_by_key(|&(at, s, _, _)| (at, s));
+        e.run();
+        expected.extend(live.iter().map(|&(at, _, _, v)| (at, v)));
+        assert_eq!(e.world().seen, expected);
     }
 
     #[test]
