@@ -1,0 +1,565 @@
+//! Serving-path load generator (PR 4): seed server vs. sharded engine.
+//!
+//! Drives a closed-loop, tick-structured WhereIs workload — a
+//! building's worth of users moving between cells while a pool of
+//! queriers asks where everyone is — against both serving models:
+//!
+//! * **baseline** — the seed [`BipsServer`]: string-keyed requests,
+//!   hash-map chains, a fresh path vector per answer;
+//! * **sharded** — [`ShardedService`]: interned ids, per-shard hot
+//!   slots, batched flushes, zero-allocation path queries.
+//!
+//! Each tick applies a block of update-on-change moves (both modes see
+//! them at the tick boundary), then runs a block of queries. The trace
+//! is derived deterministically from the seed, every answer is folded
+//! into a checksum, and the two modes' checksums must match exactly —
+//! the bench refuses to report a speedup over diverging answers.
+//!
+//! Usage:
+//!   cargo run -p bips-bench --bin server_throughput --release -- \
+//!       [--smoke] [--json PATH] [--check FILE] [--jobs N]
+//!
+//! `--json PATH` writes a `bips-run-report/v1` document (see
+//! `docs/OBSERVABILITY.md`) with a section per workload; `--check FILE`
+//! gates the smoke section's sharded queries/sec against a committed
+//! baseline (>20% regression fails, like `perf_baseline`).
+
+use std::time::Instant;
+
+use bips_bench::telemetry::{take_flag, take_jobs};
+use bips_core::graph::WsGraph;
+use bips_core::protocol::{LocateOutcome, Request, Response};
+use bips_core::registry::{AccessRights, Registry};
+use bips_core::service::{ShardedService, WhereIs};
+use bips_core::BipsServer;
+use bt_baseband::BdAddr;
+use desim::metrics::MetricSet;
+use desim::report::{Json, RunReport};
+use desim::{SeedDeriver, SimTime};
+
+/// One load-bench workload: a population on a square-grid building.
+struct Workload {
+    name: &'static str,
+    users: u64,
+    /// Grid side; the building has `side * side` cells.
+    side: usize,
+    /// Moves applied per tick (each move = present(new) + absent(old)).
+    updates_per_tick: usize,
+    /// Queries served per tick (4x the updates: an 80:20 mix).
+    queries_per_tick: usize,
+    ticks: usize,
+    /// Queriers are drawn from the first `pool` users — the handful of
+    /// receptionists and dispatchers who actually run queries all day.
+    pool: u64,
+    shards: usize,
+    seed: u64,
+}
+
+impl Workload {
+    fn full() -> Workload {
+        Workload {
+            name: "full",
+            users: 1_000_000,
+            side: 16,
+            updates_per_tick: 64,
+            queries_per_tick: 256,
+            ticks: 6250, // 1.6M queries + 400k moves = 2M ops, 80:20
+            pool: 4096,
+            shards: 16,
+            seed: 2003,
+        }
+    }
+
+    fn smoke() -> Workload {
+        Workload {
+            name: "smoke",
+            users: 100_000,
+            side: 8,
+            updates_per_tick: 64,
+            queries_per_tick: 256,
+            ticks: 625, // 160k queries + 40k moves = 200k ops
+            pool: 1024,
+            shards: 8,
+            seed: 2003,
+        }
+    }
+
+    fn cells(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn queries(&self) -> u64 {
+        (self.ticks * self.queries_per_tick) as u64
+    }
+}
+
+/// A pre-generated, mode-independent trace: per tick, a block of moves
+/// and a block of queries.
+struct Trace {
+    /// `(uid, old_cell, new_cell)` per move, tick-major.
+    moves: Vec<(u64, u32, u32)>,
+    /// `(querier_uid, target_uid, from_cell)` per query, tick-major.
+    queries: Vec<(u64, u64, u32)>,
+    /// Initial cell per user.
+    initial: Vec<u32>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn generate_trace(w: &Workload) -> Trace {
+    let seeds = SeedDeriver::new(w.seed);
+    let cells = w.cells() as u64;
+    let initial: Vec<u32> = (0..w.users).map(|u| (u % cells) as u32).collect();
+    let mut current = initial.clone();
+
+    let mut mv_state = seeds.derive(1);
+    let mut moves = Vec::with_capacity(w.ticks * w.updates_per_tick);
+    let mut q_state = seeds.derive(2);
+    let mut queries = Vec::with_capacity(w.ticks * w.queries_per_tick);
+    for _tick in 0..w.ticks {
+        for _ in 0..w.updates_per_tick {
+            let r = splitmix(&mut mv_state);
+            let uid = r % w.users;
+            let old = current[uid as usize];
+            // Step to a different cell (never a redundant re-announce).
+            let new = (u64::from(old) + 1 + (r >> 32) % (cells - 1)) % cells;
+            current[uid as usize] = new as u32;
+            moves.push((uid, old, new as u32));
+        }
+        for _ in 0..w.queries_per_tick {
+            let r = splitmix(&mut q_state);
+            let querier = r % w.pool;
+            let target = (r >> 20) % w.users;
+            let from_cell = (r >> 52) % cells;
+            queries.push((querier, target, from_cell as u32));
+        }
+    }
+    Trace {
+        moves,
+        queries,
+        initial,
+    }
+}
+
+fn addr(uid: u64) -> BdAddr {
+    BdAddr::new(0x1_0000 + uid)
+}
+
+/// Folds one answer into the cross-mode checksum (FNV-1a 64).
+fn fold(sum: &mut u64, kind: u64, cell: u64, dist_bits: u64, path: &[u32]) {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = *sum;
+    for word in [kind, cell, dist_bits, path.len() as u64] {
+        h = (h ^ word).wrapping_mul(PRIME);
+    }
+    for &c in path {
+        h = (h ^ u64::from(c)).wrapping_mul(PRIME);
+    }
+    *sum = h;
+}
+
+/// Result of one mode over one workload.
+struct ModeResult {
+    /// Wall seconds spent inside query blocks only.
+    query_secs: f64,
+    /// Wall seconds for the whole replay (updates included).
+    total_secs: f64,
+    /// Per-query latencies, nanoseconds.
+    latencies_ns: Vec<u64>,
+    checksum: u64,
+    found: u64,
+}
+
+impl ModeResult {
+    fn queries_per_sec(&self) -> f64 {
+        self.latencies_ns.len() as f64 / self.query_secs
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx] as f64 / 1000.0
+    }
+}
+
+fn grid(side: usize) -> WsGraph {
+    let mut g = WsGraph::new(side * side);
+    for r in 0..side {
+        for c in 0..side {
+            let at = r * side + c;
+            if c + 1 < side {
+                g.add_edge(at, at + 1, 10.0);
+            }
+            if r + 1 < side {
+                g.add_edge(at, at + side, 10.0);
+            }
+        }
+    }
+    g
+}
+
+fn registry(users: u64) -> Registry {
+    let mut reg = Registry::new();
+    for i in 0..users {
+        reg.register(&format!("user{i}"), "pw", AccessRights::open())
+            .unwrap();
+    }
+    reg
+}
+
+/// Replays the trace against the seed server.
+fn run_baseline(w: &Workload, trace: &Trace) -> ModeResult {
+    let g = grid(w.side);
+    let mut server = BipsServer::new(registry(w.users), &g);
+    let names: Vec<String> = (0..w.users).map(|i| format!("user{i}")).collect();
+    let mut ts: u64 = 0;
+    for uid in 0..w.users {
+        server
+            .registry_mut()
+            .login(&names[uid as usize], "pw", addr(uid))
+            .expect("setup login");
+    }
+    for uid in 0..w.users {
+        ts += 1;
+        server.handle(
+            Request::Presence {
+                cell: trace.initial[uid as usize],
+                addr: addr(uid),
+                present: true,
+            },
+            SimTime::from_micros(ts),
+        );
+    }
+
+    let mut latencies_ns = Vec::with_capacity(trace.queries.len());
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut found = 0u64;
+    let mut query_secs = 0.0;
+    let start = Instant::now();
+    for tick in 0..w.ticks {
+        for &(uid, old, new) in
+            &trace.moves[tick * w.updates_per_tick..(tick + 1) * w.updates_per_tick]
+        {
+            ts += 1;
+            server.handle(
+                Request::Presence {
+                    cell: new,
+                    addr: addr(uid),
+                    present: true,
+                },
+                SimTime::from_micros(ts),
+            );
+            ts += 1;
+            server.handle(
+                Request::Presence {
+                    cell: old,
+                    addr: addr(uid),
+                    present: false,
+                },
+                SimTime::from_micros(ts),
+            );
+        }
+        let block = Instant::now();
+        let mut prev = block;
+        for &(querier, target, from_cell) in
+            &trace.queries[tick * w.queries_per_tick..(tick + 1) * w.queries_per_tick]
+        {
+            let resp = server.handle(
+                Request::Locate {
+                    from: addr(querier),
+                    target: names[target as usize].clone(),
+                    from_cell,
+                },
+                SimTime::from_micros(ts),
+            );
+            let now = Instant::now();
+            latencies_ns.push((now - prev).as_nanos() as u64);
+            prev = now;
+            let Response::LocateResult(out) = resp else {
+                panic!("unexpected response");
+            };
+            match out {
+                LocateOutcome::Found {
+                    cell,
+                    path,
+                    distance,
+                } => {
+                    found += 1;
+                    fold(&mut checksum, 0, u64::from(cell), distance.to_bits(), &path);
+                }
+                other => fold(&mut checksum, 1 + other_code(&other), 0, 0, &[]),
+            }
+        }
+        query_secs += block.elapsed().as_secs_f64();
+    }
+    ModeResult {
+        query_secs,
+        total_secs: start.elapsed().as_secs_f64(),
+        latencies_ns,
+        checksum,
+        found,
+    }
+}
+
+fn other_code(out: &LocateOutcome) -> u64 {
+    match out {
+        LocateOutcome::Found { .. } => 0,
+        LocateOutcome::NotLoggedIn => 1,
+        LocateOutcome::OutOfCoverage => 2,
+        LocateOutcome::NoSuchUser => 3,
+        LocateOutcome::Denied => 4,
+        LocateOutcome::QuerierNotLoggedIn => 5,
+        LocateOutcome::BadQuery(_) => 6,
+    }
+}
+
+/// Replays the trace against the sharded engine.
+fn run_sharded(w: &Workload, trace: &Trace, jobs: usize) -> (ModeResult, MetricSet) {
+    let g = grid(w.side);
+    let reg = registry(w.users);
+    let svc = ShardedService::new(&reg, g.precompute_all_pairs(), w.shards);
+    let mut ts: u64 = 0;
+    for uid in 0..w.users {
+        svc.login(uid, "pw", addr(uid)).expect("setup login");
+    }
+    for uid in 0..w.users {
+        ts += 1;
+        svc.ingest(addr(uid), trace.initial[uid as usize], true, ts);
+    }
+    svc.flush(jobs);
+
+    let mut latencies_ns = Vec::with_capacity(trace.queries.len());
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut found = 0u64;
+    let mut query_secs = 0.0;
+    let mut path = Vec::new();
+    let mut path32 = Vec::new();
+    let start = Instant::now();
+    for tick in 0..w.ticks {
+        for &(uid, old, new) in
+            &trace.moves[tick * w.updates_per_tick..(tick + 1) * w.updates_per_tick]
+        {
+            ts += 1;
+            svc.ingest(addr(uid), new, true, ts);
+            ts += 1;
+            svc.ingest(addr(uid), old, false, ts);
+        }
+        svc.flush(jobs);
+        let block = Instant::now();
+        let mut prev = block;
+        for &(querier, target, from_cell) in
+            &trace.queries[tick * w.queries_per_tick..(tick + 1) * w.queries_per_tick]
+        {
+            let out = svc.where_is(querier, target, from_cell as usize, &mut path);
+            let now = Instant::now();
+            latencies_ns.push((now - prev).as_nanos() as u64);
+            prev = now;
+            match out {
+                WhereIs::Found { cell, distance } => {
+                    found += 1;
+                    path32.clear();
+                    path32.extend(path.iter().map(|&n| n as u32));
+                    fold(
+                        &mut checksum,
+                        0,
+                        u64::from(cell),
+                        distance.to_bits(),
+                        &path32,
+                    );
+                }
+                other => fold(&mut checksum, 1 + where_code(&other), 0, 0, &[]),
+            }
+        }
+        query_secs += block.elapsed().as_secs_f64();
+    }
+    let mut metrics = MetricSet::new();
+    svc.export_metrics(&mut metrics);
+    (
+        ModeResult {
+            query_secs,
+            total_secs: start.elapsed().as_secs_f64(),
+            latencies_ns,
+            checksum,
+            found,
+        },
+        metrics,
+    )
+}
+
+fn where_code(out: &WhereIs) -> u64 {
+    match out {
+        WhereIs::Found { .. } => 0,
+        WhereIs::NotLoggedIn => 1,
+        WhereIs::OutOfCoverage => 2,
+        WhereIs::NoSuchUser => 3,
+        WhereIs::Denied => 4,
+        WhereIs::QuerierNotLoggedIn => 5,
+        WhereIs::BadQuery(_) => 6,
+    }
+}
+
+fn mode_json(r: &ModeResult) -> Json {
+    let mut j = Json::object();
+    j.set("queries_per_sec", r.queries_per_sec())
+        .set("p50_us", r.percentile_us(0.50))
+        .set("p99_us", r.percentile_us(0.99))
+        .set("query_secs", r.query_secs)
+        .set("total_secs", r.total_secs)
+        .set("found", r.found)
+        .set("checksum", format!("{:016x}", r.checksum));
+    j
+}
+
+fn section_json(w: &Workload, baseline: &ModeResult, sharded: &ModeResult) -> Json {
+    let mut config = Json::object();
+    config
+        .set("users", w.users)
+        .set("cells", w.cells())
+        .set("updates_per_tick", w.updates_per_tick)
+        .set("queries_per_tick", w.queries_per_tick)
+        .set("ticks", w.ticks)
+        .set("querier_pool", w.pool)
+        .set("shards", w.shards)
+        .set("seed", w.seed);
+    let mut speedup = Json::object();
+    speedup.set(
+        "queries_per_sec",
+        sharded.queries_per_sec() / baseline.queries_per_sec(),
+    );
+    let mut j = Json::object();
+    j.set("config", config)
+        .set("baseline", mode_json(baseline))
+        .set("sharded", mode_json(sharded))
+        .set("speedup", speedup);
+    j
+}
+
+/// Extracts `"key": <number>` below `section` — same flat textual
+/// extraction as `perf_baseline` (the schema is documented, no JSON
+/// parser needed).
+fn lookup(json: &str, section: &str, path: &[&str]) -> Option<f64> {
+    let mut at = json.find(&format!("\"{section}\""))?;
+    for key in path {
+        at += json[at..].find(&format!("\"{key}\""))?;
+    }
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn check_against(
+    baseline: &str,
+    sections: &[(&Workload, &ModeResult, &ModeResult)],
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (w, _base, sharded) in sections {
+        let Some(base_qps) = lookup(baseline, w.name, &["sharded", "queries_per_sec"]) else {
+            continue; // baseline lacks this section — nothing to gate on
+        };
+        let qps = sharded.queries_per_sec();
+        if qps < base_qps * 0.8 {
+            violations.push(format!(
+                "{}: sharded throughput {qps:.0} q/s, >20% below baseline {base_qps:.0}",
+                w.name
+            ));
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, json_path) = take_flag(args, "--json");
+    let (args, check_path) = take_flag(args, "--check");
+    let (args, jobs) = take_jobs(args);
+    let smoke_only = args.iter().any(|a| a == "--smoke");
+
+    let workloads = if smoke_only {
+        vec![Workload::smoke()]
+    } else {
+        vec![Workload::full(), Workload::smoke()]
+    };
+
+    let mut report = RunReport::new("server_throughput", workloads[0].seed);
+    report.config("jobs", jobs as u64);
+    let mut results = Vec::new();
+    for w in &workloads {
+        eprintln!(
+            "[{}] {} users, {} cells, {} ticks x ({} moves + {} queries) ...",
+            w.name,
+            w.users,
+            w.cells(),
+            w.ticks,
+            w.updates_per_tick,
+            w.queries_per_tick
+        );
+        let trace = generate_trace(w);
+        let baseline = run_baseline(w, &trace);
+        let (sharded, metrics) = run_sharded(w, &trace, jobs);
+        assert_eq!(
+            baseline.checksum, sharded.checksum,
+            "{}: the two serving models answered differently",
+            w.name
+        );
+        assert_eq!(baseline.latencies_ns.len() as u64, w.queries());
+        println!("== {} ==", w.name);
+        for (label, r) in [("baseline", &baseline), ("sharded ", &sharded)] {
+            println!(
+                "  {label}: {:>10.0} q/s  p50 {:>7.2} us  p99 {:>7.2} us  ({:.2} s queries, {:.2} s total)",
+                r.queries_per_sec(),
+                r.percentile_us(0.50),
+                r.percentile_us(0.99),
+                r.query_secs,
+                r.total_secs,
+            );
+        }
+        println!(
+            "  speedup: {:.2}x queries/sec  (checksum {:016x}, {} found)",
+            sharded.queries_per_sec() / baseline.queries_per_sec(),
+            sharded.checksum,
+            sharded.found,
+        );
+        report.section(w.name, section_json(w, &baseline, &sharded));
+        if w.name == "full" {
+            report.metrics(&metrics);
+        }
+        results.push((w, baseline, sharded));
+    }
+
+    if let Some(path) = &json_path {
+        report.write_json(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let sections: Vec<(&Workload, &ModeResult, &ModeResult)> =
+            results.iter().map(|(w, b, s)| (*w, b, s)).collect();
+        let violations = check_against(&baseline, &sections);
+        if violations.is_empty() {
+            eprintln!("check against {path}: ok");
+        } else {
+            for v in &violations {
+                eprintln!("REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

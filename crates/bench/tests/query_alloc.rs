@@ -1,0 +1,120 @@
+//! Pins the "zero allocations per steady-state WhereIs query" claim.
+//!
+//! A counting global allocator wraps the system one; after warming the
+//! caller-owned path buffer, a burst of `where_is` queries across the
+//! whole outcome spectrum must not allocate at all. This lives in an
+//! integration test (its own crate root) so the counter only sees this
+//! test's traffic, and outside `bips-core`, which forbids unsafe code.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bips_core::graph::WsGraph;
+use bips_core::registry::{AccessRights, Registry};
+use bips_core::service::{ShardedService, WhereIs};
+use bt_baseband::BdAddr;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers all allocation to the system allocator; the counter is
+// a relaxed atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_queries_do_not_allocate() {
+    const USERS: u64 = 512;
+    const CELLS: usize = 64;
+
+    let mut reg = Registry::new();
+    for i in 0..USERS {
+        reg.register(&format!("user{i}"), "pw", AccessRights::open())
+            .unwrap();
+    }
+    let mut g = WsGraph::new(CELLS);
+    for i in 0..CELLS - 1 {
+        g.add_edge(i, i + 1, 10.0);
+    }
+    let svc = ShardedService::new(&reg, g.precompute_all_pairs(), 8);
+    let mut ts = 0;
+    // User 0 stays logged out (NotLoggedIn answers); user 1 stays out
+    // of coverage (no presence).
+    for uid in 1..USERS {
+        svc.login(uid, "pw", BdAddr::new(1000 + uid)).unwrap();
+    }
+    for uid in 2..USERS {
+        ts += 1;
+        svc.ingest(
+            BdAddr::new(1000 + uid),
+            (uid % CELLS as u64) as u32,
+            true,
+            ts,
+        );
+    }
+    svc.flush(1);
+
+    let mut path = Vec::new();
+    let mut answered = 0u64;
+    let mut run = |count: &mut u64| {
+        let mut state = 7u64;
+        for q in 0..400u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let querier = 2 + state % (USERS - 2);
+            // Mix of found, not-logged-in, out-of-coverage, no-such-user
+            // and malformed queries: the whole spectrum must be
+            // allocation-free, worst paths included (the line graph's
+            // longest path is CELLS nodes).
+            let (target, from_cell) = match q % 8 {
+                0 => (0, 0),               // NotLoggedIn
+                1 => (1, 0),               // OutOfCoverage
+                2 => (USERS + 5, 0),       // NoSuchUser
+                3 => (querier, CELLS + 3), // BadQuery
+                _ => ((state >> 7) % USERS, (state >> 13) as usize % CELLS),
+            };
+            match svc.where_is(querier, target, from_cell, &mut path) {
+                WhereIs::Found { cell, distance } => {
+                    assert!((cell as usize) < CELLS && distance.is_finite());
+                    *count += 1;
+                }
+                WhereIs::NotLoggedIn
+                | WhereIs::OutOfCoverage
+                | WhereIs::NoSuchUser
+                | WhereIs::BadQuery(_)
+                | WhereIs::Denied
+                | WhereIs::QuerierNotLoggedIn => {}
+            }
+        }
+    };
+
+    // Warm-up: grows the path buffer to the longest answer once.
+    run(&mut answered);
+    assert!(answered > 0, "warm-up answered no queries");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    run(&mut answered);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state where_is allocated {} times over 400 queries",
+        after - before
+    );
+}

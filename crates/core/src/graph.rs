@@ -149,14 +149,15 @@ impl WsGraph {
     /// paper's "compute off-line all the shortest paths").
     pub fn precompute_all_pairs(&self) -> Apsp {
         let n = self.adj.len();
-        let mut dist = Vec::with_capacity(n);
-        let mut prev = Vec::with_capacity(n);
+        assert!(n < NO_PREV as usize, "graph too large for the APSP table");
+        let mut dist = Vec::with_capacity(n * n);
+        let mut prev = Vec::with_capacity(n * n);
         for src in 0..n {
             let (d, p) = self.dijkstra(src);
-            dist.push(d);
-            prev.push(p);
+            dist.extend_from_slice(&d);
+            prev.extend(p.iter().map(|o| o.map_or(NO_PREV, |v| v as u32)));
         }
-        Apsp { dist, prev }
+        Apsp { n, dist, prev }
     }
 
     /// True if every node reaches every other (the paper assumes a
@@ -196,16 +197,28 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Sentinel in the flattened `prev` table: no predecessor (source node or
+/// unreachable).
+const NO_PREV: u32 = u32::MAX;
+
 /// The precomputed all-pairs shortest-path table.
 ///
 /// Lookups never touch the graph again: `path(a, b)` walks the `prev`
 /// chain, so the online cost is proportional to the path length — "the
 /// computation of the shortest path has no impact on BIPS online
 /// activities" (§2).
+///
+/// Both tables are stored flat (row `a` at offset `a * n`), so a path
+/// walk touches one contiguous row instead of chasing per-source `Vec`
+/// allocations, and [`Apsp::path_into`] reconstructs a path with zero
+/// heap allocation into a caller-owned buffer — the serving hot path of
+/// [`ShardedService`](crate::service::ShardedService) depends on both
+/// properties.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Apsp {
-    dist: Vec<Vec<f64>>,
-    prev: Vec<Vec<Option<NodeId>>>,
+    n: usize,
+    dist: Vec<f64>,
+    prev: Vec<u32>,
 }
 
 impl Apsp {
@@ -215,34 +228,60 @@ impl Apsp {
     ///
     /// Panics if a node is out of range.
     pub fn distance(&self, a: NodeId, b: NodeId) -> Option<f64> {
-        let d = self.dist[a][b];
+        assert!(a < self.n && b < self.n, "node out of range");
+        let d = self.dist[a * self.n + b];
         d.is_finite().then_some(d)
     }
 
     /// The shortest path from `a` to `b` inclusive, with its length.
     /// `None` if unreachable.
     ///
+    /// Thin wrapper over [`Apsp::path_into`] that allocates a fresh
+    /// `Vec` per call; hot paths should hold a scratch buffer and call
+    /// `path_into` directly.
+    ///
     /// # Panics
     ///
     /// Panics if a node is out of range.
     pub fn path(&self, a: NodeId, b: NodeId) -> Option<(Vec<NodeId>, f64)> {
-        let d = self.dist[a][b];
+        let mut path = Vec::new();
+        let d = self.path_into(a, b, &mut path)?;
+        Some((path, d))
+    }
+
+    /// Writes the shortest path from `a` to `b` inclusive into `out`
+    /// (cleared first) and returns its length, or `None` if `b` is
+    /// unreachable (`out` is left empty).
+    ///
+    /// Beyond `out`'s initial growth this performs no heap allocation:
+    /// with a warm buffer the walk only reads the flat `prev` row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn path_into(&self, a: NodeId, b: NodeId, out: &mut Vec<NodeId>) -> Option<f64> {
+        assert!(a < self.n && b < self.n, "node out of range");
+        out.clear();
+        let d = self.dist[a * self.n + b];
         if !d.is_finite() {
             return None;
         }
-        let mut path = vec![b];
+        let row = a * self.n;
         let mut cur = b;
+        out.push(cur);
         while cur != a {
-            cur = self.prev[a][cur].expect("prev chain reaches source");
-            path.push(cur);
+            let p = self.prev[row + cur];
+            assert!(p != NO_PREV, "prev chain reaches source");
+            cur = p as usize;
+            out.push(cur);
         }
-        path.reverse();
-        Some((path, d))
+        out.reverse();
+        Some(d)
     }
 
     /// Number of nodes covered by the table.
     pub fn num_nodes(&self) -> usize {
-        self.dist.len()
+        self.n
     }
 }
 
@@ -364,6 +403,28 @@ mod tests {
         let g = department();
         let apsp = g.precompute_all_pairs();
         assert_eq!(apsp.path(3, 3), Some((vec![3], 0.0)));
+    }
+
+    #[test]
+    fn path_into_matches_path_and_reuses_buffer() {
+        let g = random_connected_graph(25, 30, 3);
+        let apsp = g.precompute_all_pairs();
+        let mut buf = Vec::new();
+        for a in 0..25 {
+            for b in 0..25 {
+                let (path, total) = apsp.path(a, b).expect("connected");
+                let d = apsp.path_into(a, b, &mut buf).expect("connected");
+                assert_eq!(buf, path);
+                assert_eq!(d.to_bits(), total.to_bits());
+            }
+        }
+        // Unreachable pairs leave the buffer empty.
+        let mut g2 = WsGraph::new(4);
+        g2.add_edge(0, 1, 1.0);
+        g2.add_edge(2, 3, 1.0);
+        let apsp2 = g2.precompute_all_pairs();
+        assert_eq!(apsp2.path_into(0, 3, &mut buf), None);
+        assert!(buf.is_empty());
     }
 
     #[test]

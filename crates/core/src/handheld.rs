@@ -23,6 +23,7 @@ const OUT_OUT_OF_COVERAGE: u8 = 2;
 const OUT_NO_SUCH_USER: u8 = 3;
 const OUT_DENIED: u8 = 4;
 const OUT_QUERIER_NOT_LOGGED_IN: u8 = 5;
+const OUT_BAD_QUERY: u8 = 6;
 
 /// A message on the handheld ↔ workstation link.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +136,12 @@ impl HandheldMsg {
                     LocateOutcome::QuerierNotLoggedIn => {
                         w.u8(OUT_QUERIER_NOT_LOGGED_IN);
                     }
+                    LocateOutcome::BadQuery(crate::protocol::ProtocolError::CellOutOfRange {
+                        cell,
+                        num_cells,
+                    }) => {
+                        w.u8(OUT_BAD_QUERY).u8(0).u32(*cell).u32(*num_cells);
+                    }
                 }
             }
         }
@@ -211,6 +218,15 @@ impl HandheldMsg {
                     OUT_NO_SUCH_USER => LocateOutcome::NoSuchUser,
                     OUT_DENIED => LocateOutcome::Denied,
                     OUT_QUERIER_NOT_LOGGED_IN => LocateOutcome::QuerierNotLoggedIn,
+                    OUT_BAD_QUERY => match r.u8()? {
+                        0 => LocateOutcome::BadQuery(
+                            crate::protocol::ProtocolError::CellOutOfRange {
+                                cell: r.u32()?,
+                                num_cells: r.u32()?,
+                            },
+                        ),
+                        t => return Err(DecodeError::BadTag(t)),
+                    },
                     t => return Err(DecodeError::BadTag(t)),
                 };
                 HandheldMsg::QueryDown(out)

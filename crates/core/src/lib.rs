@@ -19,6 +19,8 @@
 //!   absence timeouts, diff-based updates;
 //! * [`server`] — the central server tying registry, database and graph
 //!   together;
+//! * [`service`] — the sharded, lock-striped serving engine: interned
+//!   ids, batched ingestion, zero-allocation path queries;
 //! * [`system`] — the full-system simulation: radios, LAN, walkers,
 //!   workstations and server in one deterministic world.
 //!
@@ -48,6 +50,7 @@ pub mod locationdb;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod service;
 pub mod system;
 pub mod wire;
 pub mod workstation;
@@ -55,4 +58,5 @@ pub mod workstation;
 pub use locationdb::LocationDb;
 pub use registry::{AccessRights, Registry, UserId};
 pub use server::BipsServer;
+pub use service::{SessionError, ShardedService, WhereIs};
 pub use system::{BipsSystem, SysEvent, SystemBuilder, SystemConfig, UserSpec};

@@ -68,6 +68,15 @@ pub enum Request {
         /// Reporting cell.
         cell: u32,
     },
+    /// A gateway-coalesced batch of presence changes spanning several
+    /// cells: the fan-in layer buffers every workstation's
+    /// update-on-change notices for one tick and forwards them to the
+    /// server in a single message, amortizing one RPC over the whole
+    /// tick.
+    NotifyBatch {
+        /// Presence changes in arrival order.
+        items: Vec<Notice>,
+    },
     /// Spatio-temporal history query: where was `target` between two
     /// instants? (The paper's current-piconet query is the degenerate
     /// `[now, now]` case; this is the generalization its "spatio-temporal
@@ -114,7 +123,51 @@ pub enum Response {
     },
     /// Heartbeat acknowledgment.
     HeartbeatAck,
+    /// Gateway-batch acknowledgment: how many items changed server
+    /// state.
+    NotifyBatchAck {
+        /// Number of items that were not redundant.
+        changed: u32,
+    },
 }
+
+/// One update-on-change presence notice inside a gateway batch
+/// ([`Request::NotifyBatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notice {
+    /// The cell reporting the change (graph node index).
+    pub cell: u32,
+    /// The observed device.
+    pub addr: BdAddr,
+    /// New presence (`true`) or new absence (`false`).
+    pub present: bool,
+}
+
+/// A malformed-but-decodable request: the wire format was valid, yet a
+/// field refers to something that does not exist. Reported explicitly
+/// instead of being silently served as a degenerate answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A cell index beyond the workstation graph.
+    CellOutOfRange {
+        /// The offending cell index.
+        cell: u32,
+        /// Number of cells the graph actually has.
+        num_cells: u32,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::CellOutOfRange { cell, num_cells } => {
+                write!(f, "cell {cell} out of range (graph has {num_cells} cells)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// Why a login was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +204,9 @@ pub enum LocateOutcome {
     Denied,
     /// The querying device is not logged in.
     QuerierNotLoggedIn,
+    /// The request was well-formed on the wire but referred to something
+    /// that does not exist (e.g. a `from_cell` beyond the graph).
+    BadQuery(ProtocolError),
 }
 
 /// One step of a movement history.
@@ -185,6 +241,7 @@ const TAG_LOCATE: u8 = 4;
 const TAG_HISTORY: u8 = 5;
 const TAG_PRESENCE_BATCH: u8 = 6;
 const TAG_HEARTBEAT: u8 = 7;
+const TAG_NOTIFY_BATCH: u8 = 8;
 
 const TAG_PRESENCE_ACK: u8 = 101;
 const TAG_LOGIN_RESULT: u8 = 102;
@@ -193,6 +250,7 @@ const TAG_LOCATE_RESULT: u8 = 104;
 const TAG_HISTORY_RESULT: u8 = 105;
 const TAG_PRESENCE_BATCH_ACK: u8 = 106;
 const TAG_HEARTBEAT_ACK: u8 = 107;
+const TAG_NOTIFY_BATCH_ACK: u8 = 108;
 
 const HISTORY_OK: u8 = 0;
 const HISTORY_DENIED: u8 = 1;
@@ -205,6 +263,12 @@ const OUTCOME_OUT_OF_COVERAGE: u8 = 2;
 const OUTCOME_NO_SUCH_USER: u8 = 3;
 const OUTCOME_DENIED: u8 = 4;
 const OUTCOME_QUERIER_NOT_LOGGED_IN: u8 = 5;
+const OUTCOME_BAD_QUERY: u8 = 6;
+
+const PROTO_ERR_CELL_OUT_OF_RANGE: u8 = 0;
+
+/// Encoded size of one [`Notice`]: cell u32 + addr u64 + present u8.
+const NOTICE_WIRE_LEN: usize = 13;
 
 const LOGIN_OK: u8 = 0;
 const LOGIN_NO_USER: u8 = 1;
@@ -254,6 +318,12 @@ impl Request {
             }
             Request::Heartbeat { cell } => {
                 w.u8(TAG_HEARTBEAT).u32(*cell);
+            }
+            Request::NotifyBatch { items } => {
+                w.u8(TAG_NOTIFY_BATCH).u32(items.len() as u32);
+                for n in items {
+                    w.u32(n.cell).u64(n.addr.raw()).bool(n.present);
+                }
             }
             Request::History {
                 from,
@@ -311,6 +381,21 @@ impl Request {
                 Request::PresenceBatch { cell, items }
             }
             TAG_HEARTBEAT => Request::Heartbeat { cell: r.u32()? },
+            TAG_NOTIFY_BATCH => {
+                let n = r.u32()? as usize;
+                if n > crate::wire::MAX_FIELD_LEN / NOTICE_WIRE_LEN {
+                    return Err(DecodeError::FieldTooLong);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(Notice {
+                        cell: r.u32()?,
+                        addr: addr(r.u64()?)?,
+                        present: r.bool()?,
+                    });
+                }
+                Request::NotifyBatch { items }
+            }
             TAG_HISTORY => Request::History {
                 from: addr(r.u64()?)?,
                 target: r.string()?,
@@ -378,6 +463,12 @@ impl Response {
                     LocateOutcome::QuerierNotLoggedIn => {
                         w.u8(OUTCOME_QUERIER_NOT_LOGGED_IN);
                     }
+                    LocateOutcome::BadQuery(ProtocolError::CellOutOfRange { cell, num_cells }) => {
+                        w.u8(OUTCOME_BAD_QUERY)
+                            .u8(PROTO_ERR_CELL_OUT_OF_RANGE)
+                            .u32(*cell)
+                            .u32(*num_cells);
+                    }
                 }
             }
             Response::PresenceBatchAck { changed } => {
@@ -385,6 +476,9 @@ impl Response {
             }
             Response::HeartbeatAck => {
                 w.u8(TAG_HEARTBEAT_ACK);
+            }
+            Response::NotifyBatchAck { changed } => {
+                w.u8(TAG_NOTIFY_BATCH_ACK).u32(*changed);
             }
             Response::HistoryResult(out) => {
                 w.u8(TAG_HISTORY_RESULT);
@@ -458,12 +552,22 @@ impl Response {
                     OUTCOME_NO_SUCH_USER => LocateOutcome::NoSuchUser,
                     OUTCOME_DENIED => LocateOutcome::Denied,
                     OUTCOME_QUERIER_NOT_LOGGED_IN => LocateOutcome::QuerierNotLoggedIn,
+                    OUTCOME_BAD_QUERY => match r.u8()? {
+                        PROTO_ERR_CELL_OUT_OF_RANGE => {
+                            LocateOutcome::BadQuery(ProtocolError::CellOutOfRange {
+                                cell: r.u32()?,
+                                num_cells: r.u32()?,
+                            })
+                        }
+                        t => return Err(DecodeError::BadTag(t)),
+                    },
                     t => return Err(DecodeError::BadTag(t)),
                 };
                 Response::LocateResult(out)
             }
             TAG_PRESENCE_BATCH_ACK => Response::PresenceBatchAck { changed: r.u32()? },
             TAG_HEARTBEAT_ACK => Response::HeartbeatAck,
+            TAG_NOTIFY_BATCH_ACK => Response::NotifyBatchAck { changed: r.u32()? },
             TAG_HISTORY_RESULT => {
                 let code = r.u8()?;
                 let out = match code {
@@ -543,6 +647,22 @@ mod tests {
         round_trip_resp(Response::PresenceBatchAck { changed: 2 });
         round_trip_req(Request::Heartbeat { cell: 3 });
         round_trip_resp(Response::HeartbeatAck);
+        round_trip_req(Request::NotifyBatch {
+            items: vec![
+                Notice {
+                    cell: 1,
+                    addr: BdAddr::new(7),
+                    present: true,
+                },
+                Notice {
+                    cell: 5,
+                    addr: BdAddr::new(8),
+                    present: false,
+                },
+            ],
+        });
+        round_trip_req(Request::NotifyBatch { items: vec![] });
+        round_trip_resp(Response::NotifyBatchAck { changed: 1 });
     }
 
     #[test]
@@ -587,6 +707,10 @@ mod tests {
             LocateOutcome::NoSuchUser,
             LocateOutcome::Denied,
             LocateOutcome::QuerierNotLoggedIn,
+            LocateOutcome::BadQuery(ProtocolError::CellOutOfRange {
+                cell: 99,
+                num_cells: 9,
+            }),
         ] {
             round_trip_resp(Response::LocateResult(out));
         }
@@ -659,6 +783,17 @@ mod golden_bytes {
             Request::Heartbeat { cell: 0x0102 }.encode(),
             vec![7, 2, 1, 0, 0]
         );
+        assert_eq!(
+            Request::NotifyBatch {
+                items: vec![Notice {
+                    cell: 2,
+                    addr: BdAddr::new(3),
+                    present: true,
+                }],
+            }
+            .encode(),
+            vec![8, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 1]
+        );
     }
 
     #[test]
@@ -688,5 +823,18 @@ mod golden_bytes {
         assert_eq!(found[6..14], 1.0f64.to_bits().to_le_bytes());
         assert_eq!(found[14..18], [2, 0, 0, 0]);
         assert_eq!(found[18..], [0, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(
+            Response::NotifyBatchAck { changed: 3 }.encode(),
+            vec![108, 3, 0, 0, 0]
+        );
+        // BadQuery: tag, outcome code, error code, cell u32, num_cells u32.
+        assert_eq!(
+            Response::LocateResult(LocateOutcome::BadQuery(ProtocolError::CellOutOfRange {
+                cell: 300,
+                num_cells: 9,
+            }))
+            .encode(),
+            vec![104, 6, 0, 44, 1, 0, 0, 9, 0, 0, 0]
+        );
     }
 }

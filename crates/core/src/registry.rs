@@ -127,8 +127,9 @@ struct UserRecord {
 }
 
 /// FNV-1a 64 over the salted password, iterated — a placeholder KDF
-/// shape (salt + iteration), explicitly *not* cryptographic.
-fn digest(salt: u64, password: &str) -> u64 {
+/// shape (salt + iteration), explicitly *not* cryptographic. Shared with
+/// the sharded serving engine so the two login paths verify identically.
+pub(crate) fn digest(salt: u64, password: &str) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut h = OFFSET ^ salt;
@@ -227,6 +228,18 @@ impl Registry {
     /// A user's access rights.
     pub fn rights_of(&self, id: UserId) -> Option<&AccessRights> {
         self.users.get(id.0 as usize).map(|u| &u.rights)
+    }
+
+    /// All registered user ids, in registration order (ids are dense:
+    /// the i-th registered user has id `i`).
+    pub fn ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.users.iter().map(|u| u.id)
+    }
+
+    /// A user's stored `(salt, digest)` pair, for serving structures
+    /// that verify logins without going through the registry.
+    pub(crate) fn credential(&self, id: UserId) -> Option<(u64, u64)> {
+        self.users.get(id.0 as usize).map(|u| (u.salt, u.digest))
     }
 
     /// Logs `name` in from device `addr`, establishing the one-to-one

@@ -9,10 +9,10 @@
 use bt_baseband::BdAddr;
 use desim::SimTime;
 
-use crate::graph::{Apsp, WsGraph};
+use crate::graph::{Apsp, NodeId, WsGraph};
 use crate::locationdb::LocationDb;
 use crate::protocol::{
-    HistoryOutcome, HistoryStep, LocateOutcome, LoginFailure, Request, Response,
+    HistoryOutcome, HistoryStep, LocateOutcome, LoginFailure, ProtocolError, Request, Response,
 };
 use crate::registry::{Registry, RegistryError};
 
@@ -26,6 +26,9 @@ pub struct BipsServer {
     /// so clients can detect that in-RAM state (sessions, presence) was
     /// lost and must be re-established.
     epoch: u32,
+    /// Reused path buffer: locate answers borrow the APSP table via
+    /// [`Apsp::path_into`] instead of allocating a fresh `Vec` per query.
+    path_scratch: Vec<NodeId>,
 }
 
 impl BipsServer {
@@ -38,6 +41,7 @@ impl BipsServer {
             db: LocationDb::new(),
             apsp: graph.precompute_all_pairs(),
             epoch: 0,
+            path_scratch: Vec::new(),
         }
     }
 
@@ -95,6 +99,15 @@ impl BipsServer {
                 Response::PresenceAck { changed }
             }
             Request::Heartbeat { .. } => Response::HeartbeatAck,
+            Request::NotifyBatch { items } => {
+                let mut changed = 0;
+                for n in items {
+                    if self.db.apply(n.addr, n.cell as usize, n.present, now) {
+                        changed += 1;
+                    }
+                }
+                Response::NotifyBatchAck { changed }
+            }
             Request::PresenceBatch { cell, items } => {
                 let mut changed = 0;
                 for (addr, present) in items {
@@ -178,10 +191,44 @@ impl BipsServer {
         HistoryOutcome::Trace(steps)
     }
 
+    /// The precomputed shortest path between two cells, borrowed from
+    /// the server's scratch buffer — no per-call allocation once the
+    /// buffer is warm. `Ok(None)` means the cells are disconnected.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::CellOutOfRange`] if either endpoint is not a
+    /// node of the workstation graph. (The seed implementation silently
+    /// served such requests as `OutOfCoverage`; a cell the building does
+    /// not have is a malformed request, not an observation about the
+    /// target.)
+    pub fn shortest_path(
+        &mut self,
+        from_cell: usize,
+        to_cell: usize,
+    ) -> Result<Option<(&[NodeId], f64)>, ProtocolError> {
+        let n = self.apsp.num_nodes();
+        for cell in [from_cell, to_cell] {
+            if cell >= n {
+                return Err(ProtocolError::CellOutOfRange {
+                    cell: cell as u32,
+                    num_cells: n as u32,
+                });
+            }
+        }
+        match self
+            .apsp
+            .path_into(from_cell, to_cell, &mut self.path_scratch)
+        {
+            Some(d) => Ok(Some((&self.path_scratch, d))),
+            None => Ok(None),
+        }
+    }
+
     /// The paper's query, with its §2 precondition checks: *"BIPS
     /// verifies that the target mobile user is logged in and that the
     /// querying user has the right to formulate this question."*
-    fn locate(&self, from: BdAddr, target: &str, from_cell: usize) -> LocateOutcome {
+    fn locate(&mut self, from: BdAddr, target: &str, from_cell: usize) -> LocateOutcome {
         let Some(querier) = self.registry.user_of_addr(from) else {
             return LocateOutcome::QuerierNotLoggedIn;
         };
@@ -197,16 +244,20 @@ impl BipsServer {
         let Some(cell) = self.db.current_cell(target_addr) else {
             return LocateOutcome::OutOfCoverage;
         };
-        if from_cell >= self.apsp.num_nodes() || cell >= self.apsp.num_nodes() {
+        if cell >= self.apsp.num_nodes() {
+            // The *target* sits in a cell beyond the navigable graph (a
+            // workstation the map does not know): served as out of
+            // coverage, exactly like the seed.
             return LocateOutcome::OutOfCoverage;
         }
-        match self.apsp.path(from_cell, cell) {
-            Some((path, distance)) => LocateOutcome::Found {
+        match self.shortest_path(from_cell, cell) {
+            Err(e) => LocateOutcome::BadQuery(e),
+            Ok(Some((path, distance))) => LocateOutcome::Found {
                 cell: cell as u32,
-                path: path.into_iter().map(|n| n as u32).collect(),
+                path: path.iter().map(|&n| n as u32).collect(),
                 distance,
             },
-            None => LocateOutcome::OutOfCoverage,
+            Ok(None) => LocateOutcome::OutOfCoverage,
         }
     }
 }
@@ -408,6 +459,117 @@ mod tests {
         );
         assert_eq!(r1, Response::PresenceAck { changed: true });
         assert_eq!(r2, Response::PresenceAck { changed: false });
+    }
+
+    #[test]
+    fn out_of_range_from_cell_is_a_typed_error() {
+        let mut s = server();
+        login(&mut s, "alice", "pa", A);
+        login(&mut s, "bob", "pb", B);
+        s.handle(
+            Request::Presence {
+                cell: 2,
+                addr: B,
+                present: true,
+            },
+            t(1),
+        );
+        // The graph has 3 nodes; a query "from cell 7" is malformed and
+        // must be reported as such, not silently clamped to coverage.
+        let r = s.handle(
+            Request::Locate {
+                from: A,
+                target: "bob".into(),
+                from_cell: 7,
+            },
+            t(2),
+        );
+        assert_eq!(
+            r,
+            Response::LocateResult(LocateOutcome::BadQuery(ProtocolError::CellOutOfRange {
+                cell: 7,
+                num_cells: 3,
+            }))
+        );
+        // A *target* beyond the graph is still out of coverage (it is an
+        // observation about the target, not about the request).
+        s.handle(
+            Request::Presence {
+                cell: 9,
+                addr: B,
+                present: true,
+            },
+            t(3),
+        );
+        let r = s.handle(
+            Request::Locate {
+                from: A,
+                target: "bob".into(),
+                from_cell: 0,
+            },
+            t(4),
+        );
+        assert_eq!(r, Response::LocateResult(LocateOutcome::OutOfCoverage));
+    }
+
+    #[test]
+    fn shortest_path_is_bounds_checked_and_allocation_free() {
+        let mut s = server();
+        assert_eq!(
+            s.shortest_path(0, 7),
+            Err(ProtocolError::CellOutOfRange {
+                cell: 7,
+                num_cells: 3,
+            })
+        );
+        assert_eq!(
+            s.shortest_path(4, 0),
+            Err(ProtocolError::CellOutOfRange {
+                cell: 4,
+                num_cells: 3,
+            })
+        );
+        let (path, d) = s.shortest_path(0, 2).unwrap().unwrap();
+        assert_eq!(path, &[0, 1, 2]);
+        assert_eq!(d, 20.0);
+        // The scratch buffer is reused between calls.
+        let (path, d) = s.shortest_path(2, 2).unwrap().unwrap();
+        assert_eq!(path, &[2]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn notify_batch_applies_multi_cell_changes() {
+        use crate::protocol::Notice;
+        let mut s = server();
+        let r = s.handle(
+            Request::NotifyBatch {
+                items: vec![
+                    Notice {
+                        cell: 0,
+                        addr: A,
+                        present: true,
+                    },
+                    Notice {
+                        cell: 2,
+                        addr: B,
+                        present: true,
+                    },
+                    // Redundant: A is already known in cell 0.
+                    Notice {
+                        cell: 0,
+                        addr: A,
+                        present: true,
+                    },
+                ],
+            },
+            t(1),
+        );
+        assert_eq!(r, Response::NotifyBatchAck { changed: 2 });
+        assert_eq!(s.db().current_cell(A), Some(0));
+        assert_eq!(s.db().current_cell(B), Some(2));
+        let st = s.db().stats();
+        assert_eq!((st.applied, st.redundant), (2, 1));
     }
 
     #[test]

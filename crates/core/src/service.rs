@@ -1,0 +1,825 @@
+//! The sharded, concurrent serving engine for the location service.
+//!
+//! The seed server ([`BipsServer`](crate::server::BipsServer)) is a
+//! single-threaded handler over string-keyed hash maps: every WhereIs
+//! query resolves two user names, chases three `HashMap`s spread over
+//! hundreds of megabytes at building scale, and allocates a fresh path
+//! vector. That is faithful to the paper's prototype but tops out far
+//! below "every employee queries on every room change".
+//!
+//! This module is the serving-path redesign:
+//!
+//! * **Interned identities.** User ids are dense `u64`s (the registry
+//!   already allocates them densely) and `BD_ADDR`s are interned into a
+//!   sharded address table once at login. The steady-state query path
+//!   never touches a string.
+//! * **Sharded state.** Users are partitioned over `nshards`
+//!   (power-of-two) shards by `uid & (nshards - 1)`. Each shard holds a
+//!   16-byte *hot slot* per user (bound address, current cell, packed
+//!   access flags) behind its own [`RwLock`], so concurrent readers
+//!   proceed in parallel and a write stalls only its own shard.
+//! * **Batched ingestion.** Presence notices buffer into per-shard
+//!   pending queues ([`ShardedService::ingest`]) and are applied by
+//!   [`ShardedService::flush`] with one write-lock acquisition per shard
+//!   — update-on-change traffic amortizes to a fraction of a lock op per
+//!   notice, and a reader never observes a half-applied batch.
+//! * **Zero-allocation queries.** [`ShardedService::where_is`] writes
+//!   the answer path into a caller-owned buffer via
+//!   [`Apsp::path_into`]; once the buffer is warm the query performs no
+//!   heap allocation at all.
+//!
+//! Determinism is preserved: per-shard pending queues apply in ingest
+//! order regardless of how many worker threads [`flush`] uses, and acks
+//! are reassembled by sequence number, so results are bit-identical for
+//! any `jobs` count — the property the differential suite checks against
+//! the seed server.
+//!
+//! [`flush`]: ShardedService::flush
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use bt_baseband::BdAddr;
+use desim::metrics::MetricSet;
+use desim::par;
+
+use crate::graph::{Apsp, NodeId};
+use crate::protocol::ProtocolError;
+use crate::registry::{Registry, Visibility};
+
+/// Sentinel: no device bound to this user.
+const NO_ADDR: u64 = u64::MAX;
+/// Sentinel: the user is in no cell.
+const NO_CELL: u32 = u32::MAX;
+
+/// Flag bit: the user may issue location queries.
+const FLAG_MAY_QUERY: u32 = 1;
+/// Visibility kind shift (bits 1–2).
+const VIS_SHIFT: u32 = 1;
+/// Visibility kind: anyone may locate this user.
+const VIS_EVERYONE: u32 = 0;
+/// Visibility kind: nobody may locate this user.
+const VIS_NOBODY: u32 = 1;
+/// Visibility kind: only the cold-slot allow-list may locate this user.
+const VIS_ONLY: u32 = 2;
+
+/// The 16-byte per-user record every query touches. Kept minimal so a
+/// building's worth of users stays cache-resident: 1M users ≈ 16 MB,
+/// versus ~250 MB of string-keyed maps in the seed server.
+#[derive(Debug, Clone, Copy)]
+struct HotSlot {
+    /// Bound `BD_ADDR` ([`NO_ADDR`] when not logged in).
+    addr: u64,
+    /// Current cell ([`NO_CELL`] when absent everywhere).
+    cell: u32,
+    /// [`FLAG_MAY_QUERY`] plus the visibility kind in bits 1–2.
+    flags: u32,
+}
+
+/// Per-user state off the query hot path: credentials (verified at
+/// login only), the visibility allow-list, and the overlapping-coverage
+/// claim set that backs the current-cell computation.
+#[derive(Debug, Clone, Default)]
+struct ColdSlot {
+    salt: u64,
+    digest: u64,
+    /// Sorted allow-list for [`VIS_ONLY`] users.
+    only: Box<[u32]>,
+    /// Cells currently claiming this user, in claim order:
+    /// `(cell, since_us)`.
+    claims: Vec<(u32, u64)>,
+}
+
+/// One shard's user state. All slots of a shard share a single
+/// [`RwLock`], so the whole shard updates atomically per flush.
+#[derive(Debug, Default)]
+struct ShardState {
+    hot: Vec<HotSlot>,
+    cold: Vec<ColdSlot>,
+    /// Update-on-change accounting, mirrored from
+    /// [`DbStats`](crate::locationdb::DbStats).
+    applied: u64,
+    redundant: u64,
+}
+
+/// A presence notice waiting in a shard's pending queue.
+#[derive(Debug, Clone, Copy)]
+struct PendingNotice {
+    /// Global ingest sequence number (ack reassembly key).
+    seq: u64,
+    /// Slot index within the shard.
+    slot: u32,
+    cell: u32,
+    present: bool,
+    since_us: u64,
+}
+
+/// Session-management errors, mirroring
+/// [`RegistryError`](crate::registry::RegistryError) for the operations
+/// the engine serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// Unknown user id.
+    NoSuchUser,
+    /// Wrong password.
+    BadPassword,
+    /// The device address is already bound to a logged-in user.
+    AddressInUse,
+    /// The user is already logged in from another device.
+    AlreadyLoggedIn,
+    /// The user is not logged in.
+    NotLoggedIn,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            SessionError::NoSuchUser => "no such user",
+            SessionError::BadPassword => "wrong password",
+            SessionError::AddressInUse => "device address already bound",
+            SessionError::AlreadyLoggedIn => "user already logged in",
+            SessionError::NotLoggedIn => "user not logged in",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The outcome of a [`ShardedService::where_is`] query. The path itself
+/// is written into the caller's buffer; this carries the scalars.
+///
+/// Variants mirror [`LocateOutcome`](crate::protocol::LocateOutcome)
+/// minus the owned path, and the precondition checks run in the same
+/// order as the seed server's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WhereIs {
+    /// Target found; the shortest path is in the caller's buffer.
+    Found {
+        /// Target's current cell.
+        cell: u32,
+        /// Walking distance along the path, meters.
+        distance: f64,
+    },
+    /// Target exists but is not logged in.
+    NotLoggedIn,
+    /// Target is logged in but in no (navigable) cell.
+    OutOfCoverage,
+    /// Unknown target user id.
+    NoSuchUser,
+    /// The querier may not locate the target.
+    Denied,
+    /// The querying user is not logged in.
+    QuerierNotLoggedIn,
+    /// Malformed request (e.g. `from_cell` beyond the graph).
+    BadQuery(ProtocolError),
+}
+
+/// The sharded serving engine. See the [module docs](self) for the
+/// design; construction snapshots a [`Registry`], after which the
+/// engine is self-contained and [`Sync`] — share it behind an `&` and
+/// query from as many threads as you like.
+///
+/// # Example
+///
+/// ```
+/// use bips_core::registry::{AccessRights, Registry};
+/// use bips_core::service::{ShardedService, WhereIs};
+/// use bips_core::graph::WsGraph;
+/// use bt_baseband::BdAddr;
+///
+/// let mut reg = Registry::new();
+/// let alice = reg.register("alice", "pa", AccessRights::open()).unwrap();
+/// let bob = reg.register("bob", "pb", AccessRights::open()).unwrap();
+/// let mut g = WsGraph::new(3);
+/// g.add_edge(0, 1, 10.0);
+/// g.add_edge(1, 2, 10.0);
+///
+/// let svc = ShardedService::new(&reg, g.precompute_all_pairs(), 4);
+/// svc.login(alice.value(), "pa", BdAddr::new(0xA)).unwrap();
+/// svc.login(bob.value(), "pb", BdAddr::new(0xB)).unwrap();
+/// svc.ingest(BdAddr::new(0xB), 2, true, 1_000_000);
+/// svc.flush(1);
+///
+/// let mut path = Vec::new();
+/// let out = svc.where_is(alice.value(), bob.value(), 0, &mut path);
+/// assert_eq!(out, WhereIs::Found { cell: 2, distance: 20.0 });
+/// assert_eq!(path, vec![0, 1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedService {
+    shards: Box<[RwLock<ShardState>]>,
+    /// Pending presence notices, per shard, in ingest order.
+    pending: Box<[Mutex<Vec<PendingNotice>>]>,
+    /// Ingested notices whose address was not bound to any user: their
+    /// `(seq)` still occupies an ack position (always `false`).
+    dropped: Mutex<Vec<u64>>,
+    /// Interned `BD_ADDR` → uid bindings, sharded by address hash.
+    addr_shards: Box<[RwLock<HashMap<u64, u32>>]>,
+    /// Per-shard query counters (indexed like `shards`).
+    queries: Box<[AtomicU64]>,
+    /// Notices ignored because their address was unbound.
+    ignored: AtomicU64,
+    next_seq: AtomicU64,
+    num_users: u64,
+    shard_bits: u32,
+    apsp: Apsp,
+}
+
+impl ShardedService {
+    /// Builds the engine from a registry snapshot and the offline path
+    /// table. `nshards` is rounded up to a power of two.
+    ///
+    /// Users keep the registry's dense ids; user `uid` lives in shard
+    /// `uid & (nshards - 1)` at slot `uid >> log2(nshards)`. Live
+    /// sessions are *not* copied — the engine starts with everyone
+    /// logged out, like a freshly restarted server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` is zero or the registry holds more than
+    /// `u32::MAX - 1` users (slot indices are 32-bit).
+    pub fn new(registry: &Registry, apsp: Apsp, nshards: usize) -> ShardedService {
+        assert!(nshards > 0, "need at least one shard");
+        let nshards = nshards.next_power_of_two();
+        let shard_bits = nshards.trailing_zeros();
+        let n = registry.num_users() as u64;
+        assert!(n < u64::from(u32::MAX), "slot indices are 32-bit");
+
+        let mut states: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
+        for id in registry.ids() {
+            let uid = id.value();
+            let rights = registry.rights_of(id).expect("registered user");
+            let (salt, digest) = registry.credential(id).expect("registered user");
+            let (kind, only): (u32, Box<[u32]>) = match &rights.visibility {
+                Visibility::Everyone => (VIS_EVERYONE, Box::new([])),
+                Visibility::Nobody => (VIS_NOBODY, Box::new([])),
+                Visibility::Only(list) => {
+                    let mut l: Vec<u32> = list.iter().map(|u| u.value() as u32).collect();
+                    l.sort_unstable();
+                    (VIS_ONLY, l.into_boxed_slice())
+                }
+            };
+            let flags = (kind << VIS_SHIFT) | u32::from(rights.may_query);
+            let st = &mut states[(uid & (nshards as u64 - 1)) as usize];
+            debug_assert_eq!(st.hot.len() as u64, uid >> shard_bits, "dense ids");
+            st.hot.push(HotSlot {
+                addr: NO_ADDR,
+                cell: NO_CELL,
+                flags,
+            });
+            st.cold.push(ColdSlot {
+                salt,
+                digest,
+                only,
+                claims: Vec::new(),
+            });
+        }
+
+        ShardedService {
+            shards: states.into_iter().map(RwLock::new).collect(),
+            pending: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
+            dropped: Mutex::new(Vec::new()),
+            addr_shards: (0..nshards).map(|_| RwLock::new(HashMap::new())).collect(),
+            queries: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            ignored: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            num_users: n,
+            shard_bits,
+            apsp,
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of users the engine was built with.
+    pub fn num_users(&self) -> u64 {
+        self.num_users
+    }
+
+    /// The offline path table the engine answers from.
+    pub fn apsp(&self) -> &Apsp {
+        &self.apsp
+    }
+
+    #[inline]
+    fn shard_of(&self, uid: u64) -> (usize, usize) {
+        (
+            (uid & (self.shards.len() as u64 - 1)) as usize,
+            (uid >> self.shard_bits) as usize,
+        )
+    }
+
+    /// Address-table shard index: a multiplicative mix so clustered
+    /// `BD_ADDR` assignments still spread over the shards.
+    #[inline]
+    fn addr_shard_of(&self, addr: u64) -> usize {
+        let mixed = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (mixed & (self.addr_shards.len() as u64 - 1)) as usize
+    }
+
+    /// Logs user `uid` in from device `addr`, verifying the password
+    /// against the snapshotted credentials.
+    ///
+    /// Lock order: user shard (write) then address shard (write) —
+    /// every session operation follows this hierarchy, and the query
+    /// and ingest paths never hold both, so the engine cannot deadlock.
+    ///
+    /// # Errors
+    ///
+    /// The same failures, checked in the same order, as
+    /// [`Registry::login`].
+    pub fn login(&self, uid: u64, password: &str, addr: BdAddr) -> Result<(), SessionError> {
+        if uid >= self.num_users {
+            return Err(SessionError::NoSuchUser);
+        }
+        let (shard, slot) = self.shard_of(uid);
+        let mut st = self.shards[shard].write().expect("shard lock");
+        let cold = &st.cold[slot];
+        if crate::registry::digest(cold.salt, password) != cold.digest {
+            return Err(SessionError::BadPassword);
+        }
+        let mut addrs = self.addr_shards[self.addr_shard_of(addr.raw())]
+            .write()
+            .expect("addr lock");
+        if addrs.contains_key(&addr.raw()) {
+            return Err(SessionError::AddressInUse);
+        }
+        if st.hot[slot].addr != NO_ADDR {
+            return Err(SessionError::AlreadyLoggedIn);
+        }
+        addrs.insert(addr.raw(), uid as u32);
+        st.hot[slot].addr = addr.raw();
+        Ok(())
+    }
+
+    /// Ends `uid`'s session and forgets its presence (the seed server's
+    /// logout housekeeping: `LocationDb::forget`).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotLoggedIn`] if no session exists (or the uid is
+    /// unknown).
+    pub fn logout(&self, uid: u64) -> Result<(), SessionError> {
+        if uid >= self.num_users {
+            return Err(SessionError::NotLoggedIn);
+        }
+        let (shard, slot) = self.shard_of(uid);
+        let mut st = self.shards[shard].write().expect("shard lock");
+        let addr = st.hot[slot].addr;
+        if addr == NO_ADDR {
+            return Err(SessionError::NotLoggedIn);
+        }
+        self.addr_shards[self.addr_shard_of(addr)]
+            .write()
+            .expect("addr lock")
+            .remove(&addr);
+        st.hot[slot].addr = NO_ADDR;
+        st.hot[slot].cell = NO_CELL;
+        st.cold[slot].claims.clear();
+        Ok(())
+    }
+
+    /// Buffers one update-on-change presence notice. Nothing is visible
+    /// to queries until [`flush`](ShardedService::flush).
+    ///
+    /// Returns the notice's ack position: index `seq` of the vector the
+    /// next `flush` returns. Notices for addresses not bound to any
+    /// logged-in user are counted as ignored and ack `false`.
+    pub fn ingest(&self, addr: BdAddr, cell: u32, present: bool, since_us: u64) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let uid = self.addr_shards[self.addr_shard_of(addr.raw())]
+            .read()
+            .expect("addr lock")
+            .get(&addr.raw())
+            .copied();
+        match uid {
+            Some(uid) => {
+                let (shard, slot) = self.shard_of(u64::from(uid));
+                self.pending[shard]
+                    .lock()
+                    .expect("pending lock")
+                    .push(PendingNotice {
+                        seq,
+                        slot: slot as u32,
+                        cell,
+                        present,
+                        since_us,
+                    });
+            }
+            None => {
+                self.ignored.fetch_add(1, Ordering::Relaxed);
+                self.dropped.lock().expect("dropped lock").push(seq);
+            }
+        }
+        seq
+    }
+
+    /// Applies every pending notice, using up to `jobs` worker threads
+    /// (one per shard at most; `jobs <= 1` runs inline).
+    ///
+    /// Each shard takes its write lock **once**, applies its queue in
+    /// ingest order, and releases — so a reader observes either none or
+    /// all of a shard's batch, and the result is bit-identical for every
+    /// `jobs` value. Returns the per-notice "changed state" acks indexed
+    /// by the sequence numbers [`ingest`](ShardedService::ingest)
+    /// returned (offset by the count consumed in earlier flushes).
+    pub fn flush(&self, jobs: usize) -> Vec<bool> {
+        let nshards = self.shards.len();
+        let per_shard: Vec<Vec<(u64, bool)>> =
+            par::run_indexed(nshards as u64, jobs.clamp(1, nshards), |s| {
+                self.flush_shard(s as usize)
+            });
+        let mut acks: Vec<(u64, bool)> = per_shard.into_iter().flatten().collect();
+        acks.extend(
+            self.dropped
+                .lock()
+                .expect("dropped lock")
+                .drain(..)
+                .map(|seq| (seq, false)),
+        );
+        acks.sort_unstable_by_key(|&(seq, _)| seq);
+        acks.into_iter().map(|(_, changed)| changed).collect()
+    }
+
+    /// Applies one shard's queue under a single write-lock acquisition.
+    fn flush_shard(&self, shard: usize) -> Vec<(u64, bool)> {
+        let mut queue = std::mem::take(&mut *self.pending[shard].lock().expect("pending lock"));
+        if queue.is_empty() {
+            return Vec::new();
+        }
+        let mut acks = Vec::with_capacity(queue.len());
+        {
+            let mut st = self.shards[shard].write().expect("shard lock");
+            for n in &queue {
+                let changed = Self::apply_notice(&mut st, n);
+                if changed {
+                    st.applied += 1;
+                } else {
+                    st.redundant += 1;
+                }
+                acks.push((n.seq, changed));
+            }
+        }
+        // Hand the drained buffer back so steady-state ingest reuses its
+        // capacity instead of reallocating every tick.
+        queue.clear();
+        let mut pending = self.pending[shard].lock().expect("pending lock");
+        if pending.is_empty() {
+            *pending = queue;
+        }
+        acks
+    }
+
+    /// One notice against one slot, mirroring `LocationDb::apply`:
+    /// a new presence claim becomes the current cell unconditionally; an
+    /// absence falls back to the most recent remaining claim.
+    fn apply_notice(st: &mut ShardState, n: &PendingNotice) -> bool {
+        let slot = n.slot as usize;
+        let cold = &mut st.cold[slot];
+        if n.present {
+            if cold.claims.iter().any(|&(c, _)| c == n.cell) {
+                return false;
+            }
+            cold.claims.push((n.cell, n.since_us));
+            st.hot[slot].cell = n.cell;
+            true
+        } else {
+            let Some(pos) = cold.claims.iter().position(|&(c, _)| c == n.cell) else {
+                return false;
+            };
+            cold.claims.swap_remove(pos);
+            st.hot[slot].cell = cold
+                .claims
+                .iter()
+                .max_by_key(|&&(_, since)| since)
+                .map_or(NO_CELL, |&(c, _)| c);
+            true
+        }
+    }
+
+    /// Answers "where is user `target`?" for querier `querier` standing
+    /// in `from_cell`, writing the shortest path into `path_out`.
+    ///
+    /// Precondition checks run in the seed server's order: querier
+    /// session, target existence, visibility policy, target session,
+    /// target coverage, then request well-formedness. The call takes two
+    /// shard read locks sequentially (never nested) and performs **no
+    /// heap allocation** once `path_out` has warmed to the longest path
+    /// in the building — the property the allocation-counting test in
+    /// the bench crate pins down.
+    pub fn where_is(
+        &self,
+        querier: u64,
+        target: u64,
+        from_cell: usize,
+        path_out: &mut Vec<NodeId>,
+    ) -> WhereIs {
+        let (q_shard, q_slot) = if querier < self.num_users {
+            self.shard_of(querier)
+        } else {
+            (0, usize::MAX)
+        };
+        self.queries[q_shard].fetch_add(1, Ordering::Relaxed);
+        let q_flags = {
+            if q_slot == usize::MAX {
+                return WhereIs::QuerierNotLoggedIn;
+            }
+            let st = self.shards[q_shard].read().expect("shard lock");
+            let hot = st.hot[q_slot];
+            if hot.addr == NO_ADDR {
+                return WhereIs::QuerierNotLoggedIn;
+            }
+            hot.flags
+        };
+        if target >= self.num_users {
+            return WhereIs::NoSuchUser;
+        }
+        let (t_shard, t_slot) = self.shard_of(target);
+        let (t_addr, t_cell) = {
+            let st = self.shards[t_shard].read().expect("shard lock");
+            let hot = st.hot[t_slot];
+            let visible = match hot.flags >> VIS_SHIFT {
+                VIS_EVERYONE => true,
+                VIS_NOBODY => false,
+                _ => st.cold[t_slot]
+                    .only
+                    .binary_search(&(querier as u32))
+                    .is_ok(),
+            };
+            if q_flags & FLAG_MAY_QUERY == 0 || !visible {
+                return WhereIs::Denied;
+            }
+            (hot.addr, hot.cell)
+        };
+        if t_addr == NO_ADDR {
+            return WhereIs::NotLoggedIn;
+        }
+        if t_cell == NO_CELL {
+            return WhereIs::OutOfCoverage;
+        }
+        let n = self.apsp.num_nodes();
+        if t_cell as usize >= n {
+            // Target in a cell beyond the navigable graph: out of
+            // coverage, exactly like the seed.
+            return WhereIs::OutOfCoverage;
+        }
+        if from_cell >= n {
+            return WhereIs::BadQuery(ProtocolError::CellOutOfRange {
+                cell: from_cell as u32,
+                num_cells: n as u32,
+            });
+        }
+        match self.apsp.path_into(from_cell, t_cell as usize, path_out) {
+            Some(distance) => WhereIs::Found {
+                cell: t_cell,
+                distance,
+            },
+            None => WhereIs::OutOfCoverage,
+        }
+    }
+
+    /// The user's current cell (most recent presence), if any.
+    pub fn current_cell(&self, uid: u64) -> Option<u32> {
+        if uid >= self.num_users {
+            return None;
+        }
+        let (shard, slot) = self.shard_of(uid);
+        let cell = self.shards[shard].read().expect("shard lock").hot[slot].cell;
+        (cell != NO_CELL).then_some(cell)
+    }
+
+    /// All cells currently claiming the user, sorted (overlapping
+    /// coverage), for state comparison in tests.
+    pub fn cells_of(&self, uid: u64) -> Vec<u32> {
+        if uid >= self.num_users {
+            return Vec::new();
+        }
+        let (shard, slot) = self.shard_of(uid);
+        let st = self.shards[shard].read().expect("shard lock");
+        let mut v: Vec<u32> = st.cold[slot].claims.iter().map(|&(c, _)| c).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether the user is logged in.
+    pub fn is_logged_in(&self, uid: u64) -> bool {
+        if uid >= self.num_users {
+            return false;
+        }
+        let (shard, slot) = self.shard_of(uid);
+        self.shards[shard].read().expect("shard lock").hot[slot].addr != NO_ADDR
+    }
+
+    /// Exports per-shard counters (`core.service.shard{i}.queries` /
+    /// `.applied` / `.redundant`) plus engine-wide aggregates into a
+    /// [`MetricSet`], for run reports.
+    pub fn export_metrics(&self, metrics: &mut MetricSet) {
+        let mut q_total = 0;
+        let mut a_total = 0;
+        let mut r_total = 0;
+        for (i, lock) in self.shards.iter().enumerate() {
+            let st = lock.read().expect("shard lock");
+            let q = self.queries[i].load(Ordering::Relaxed);
+            metrics.set_counter(&format!("core.service.shard{i}.queries"), q);
+            metrics.set_counter(&format!("core.service.shard{i}.applied"), st.applied);
+            metrics.set_counter(&format!("core.service.shard{i}.redundant"), st.redundant);
+            q_total += q;
+            a_total += st.applied;
+            r_total += st.redundant;
+        }
+        metrics.set_counter("core.service.queries", q_total);
+        metrics.set_counter("core.service.applied", a_total);
+        metrics.set_counter("core.service.redundant", r_total);
+        metrics.set_counter("core.service.ignored", self.ignored.load(Ordering::Relaxed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WsGraph;
+    use crate::registry::AccessRights;
+
+    fn line_graph(n: usize) -> Apsp {
+        let mut g = WsGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 10.0);
+        }
+        g.precompute_all_pairs()
+    }
+
+    fn service(users: usize, shards: usize) -> ShardedService {
+        let mut reg = Registry::new();
+        for i in 0..users {
+            reg.register(&format!("user{i}"), "pw", AccessRights::open())
+                .unwrap();
+        }
+        ShardedService::new(&reg, line_graph(8), shards)
+    }
+
+    fn addr(uid: u64) -> BdAddr {
+        BdAddr::new(1000 + uid)
+    }
+
+    #[test]
+    fn login_checks_in_registry_order() {
+        let svc = service(3, 2);
+        assert_eq!(svc.login(9, "pw", addr(9)), Err(SessionError::NoSuchUser));
+        assert_eq!(svc.login(0, "no", addr(0)), Err(SessionError::BadPassword));
+        svc.login(0, "pw", addr(0)).unwrap();
+        assert_eq!(svc.login(1, "pw", addr(0)), Err(SessionError::AddressInUse));
+        assert_eq!(
+            svc.login(0, "pw", addr(7)),
+            Err(SessionError::AlreadyLoggedIn)
+        );
+        assert!(svc.is_logged_in(0));
+        svc.logout(0).unwrap();
+        assert_eq!(svc.logout(0), Err(SessionError::NotLoggedIn));
+    }
+
+    #[test]
+    fn batched_presence_matches_update_on_change_semantics() {
+        let svc = service(2, 4);
+        svc.login(0, "pw", addr(0)).unwrap();
+        // Overlap: cells 2 then 3 claim the user; newest wins.
+        svc.ingest(addr(0), 2, true, 10);
+        svc.ingest(addr(0), 3, true, 20);
+        // Redundant re-announce of 2.
+        svc.ingest(addr(0), 2, true, 30);
+        assert_eq!(svc.current_cell(0), None, "invisible before flush");
+        assert_eq!(svc.flush(2), vec![true, true, false]);
+        assert_eq!(svc.current_cell(0), Some(3));
+        assert_eq!(svc.cells_of(0), vec![2, 3]);
+        // Leaving the newest cell falls back to the older claim.
+        svc.ingest(addr(0), 3, false, 40);
+        assert_eq!(svc.flush(1), vec![true]);
+        assert_eq!(svc.current_cell(0), Some(2));
+        // Unknown address: ignored, acked false.
+        svc.ingest(BdAddr::new(0xDEAD), 1, true, 50);
+        assert_eq!(svc.flush(1), vec![false]);
+        let mut m = MetricSet::new();
+        svc.export_metrics(&mut m);
+        assert_eq!(m.counter_value("core.service.ignored"), Some(1));
+        assert_eq!(m.counter_value("core.service.applied"), Some(3));
+        assert_eq!(m.counter_value("core.service.redundant"), Some(1));
+    }
+
+    #[test]
+    fn where_is_precondition_order_matches_seed() {
+        let mut reg = Registry::new();
+        let a = reg.register("alice", "pa", AccessRights::open()).unwrap();
+        let b = reg.register("bob", "pb", AccessRights::open()).unwrap();
+        let g = reg
+            .register("ghost", "pg", AccessRights::invisible())
+            .unwrap();
+        let svc = ShardedService::new(&reg, line_graph(3), 2);
+        let (a, b, g) = (a.value(), b.value(), g.value());
+        let mut path = Vec::new();
+
+        assert_eq!(
+            svc.where_is(a, b, 0, &mut path),
+            WhereIs::QuerierNotLoggedIn
+        );
+        svc.login(a, "pa", addr(a)).unwrap();
+        assert_eq!(svc.where_is(a, 99, 0, &mut path), WhereIs::NoSuchUser);
+        assert_eq!(svc.where_is(a, g, 0, &mut path), WhereIs::Denied);
+        assert_eq!(svc.where_is(a, b, 0, &mut path), WhereIs::NotLoggedIn);
+        svc.login(b, "pb", addr(b)).unwrap();
+        assert_eq!(svc.where_is(a, b, 0, &mut path), WhereIs::OutOfCoverage);
+        svc.ingest(addr(b), 2, true, 1);
+        svc.flush(1);
+        // Malformed from_cell is a typed error, like the seed's fix.
+        assert_eq!(
+            svc.where_is(a, b, 7, &mut path),
+            WhereIs::BadQuery(ProtocolError::CellOutOfRange {
+                cell: 7,
+                num_cells: 3
+            })
+        );
+        assert_eq!(
+            svc.where_is(a, b, 0, &mut path),
+            WhereIs::Found {
+                cell: 2,
+                distance: 20.0
+            }
+        );
+        assert_eq!(path, vec![0, 1, 2]);
+        // A target beyond the graph is out of coverage, not an error.
+        svc.ingest(addr(b), 9, true, 2);
+        svc.flush(1);
+        assert_eq!(svc.where_is(a, b, 0, &mut path), WhereIs::OutOfCoverage);
+    }
+
+    #[test]
+    fn only_list_visibility_uses_cold_slot() {
+        let mut reg = Registry::new();
+        let a = reg.register("alice", "pw", AccessRights::open()).unwrap();
+        let _b = reg.register("bob", "pw", AccessRights::open()).unwrap();
+        let f = reg
+            .register(
+                "friend",
+                "pw",
+                AccessRights {
+                    may_query: true,
+                    visibility: Visibility::Only(vec![a]),
+                },
+            )
+            .unwrap();
+        let svc = ShardedService::new(&reg, line_graph(3), 4);
+        let mut path = Vec::new();
+        for uid in [a.value(), 1, f.value()] {
+            svc.login(uid, "pw", addr(uid)).unwrap();
+        }
+        svc.ingest(addr(f.value()), 1, true, 1);
+        svc.flush(1);
+        assert!(matches!(
+            svc.where_is(a.value(), f.value(), 0, &mut path),
+            WhereIs::Found { .. }
+        ));
+        assert_eq!(svc.where_is(1, f.value(), 0, &mut path), WhereIs::Denied);
+    }
+
+    #[test]
+    fn flush_acks_are_job_count_invariant() {
+        let run = |jobs: usize| -> (Vec<bool>, Vec<Option<u32>>) {
+            let svc = service(16, 4);
+            for uid in 0..16 {
+                svc.login(uid, "pw", addr(uid)).unwrap();
+            }
+            let mut acks = Vec::new();
+            let mut ts = 0;
+            for round in 0..5u64 {
+                for uid in 0..16u64 {
+                    ts += 1;
+                    let cell = ((uid + round) % 8) as u32;
+                    svc.ingest(addr(uid), cell, round % 3 != 2, ts);
+                }
+                acks.extend(svc.flush(jobs));
+            }
+            let cells = (0..16).map(|u| svc.current_cell(u)).collect();
+            (acks, cells)
+        };
+        let base = run(1);
+        assert_eq!(run(4), base);
+        assert_eq!(run(8), base);
+    }
+
+    #[test]
+    fn logout_forgets_presence() {
+        let svc = service(2, 2);
+        svc.login(0, "pw", addr(0)).unwrap();
+        svc.ingest(addr(0), 1, true, 1);
+        svc.flush(1);
+        assert_eq!(svc.current_cell(0), Some(1));
+        svc.logout(0).unwrap();
+        assert_eq!(svc.current_cell(0), None);
+        assert!(svc.cells_of(0).is_empty());
+        // The address unbinds: same device can serve another user.
+        svc.login(1, "pw", addr(0)).unwrap();
+    }
+}

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use bips_lan::network::{Lan, LanConfig, LanEvent};
-use bips_lan::rpc::{CorrelationId, RpcCodec, RpcMessage};
+use bips_lan::rpc::{CorrelationId, RpcCodec, RpcFrame};
 use bips_lan::transport::{Reliable, ReliableConfig, TransportEvent};
 use bips_lan::HostId;
 use bips_mobility::model::{MobEvent, MobNotification, MobilityModel, WalkerId};
@@ -827,17 +827,17 @@ impl BipsSystem {
     }
 
     fn on_app_message(&mut self, ctx: &mut Context<SysEvent>, m: bips_lan::transport::AppMessage) {
-        let Some(rpc) = RpcCodec::decode(&m) else {
+        let Some(rpc) = RpcCodec::decode_ref(&m) else {
             return;
         };
         match rpc {
-            RpcMessage::Request {
+            RpcFrame::Request {
                 from,
                 corr,
                 payload,
             } => {
                 debug_assert_eq!(m.dst, self.server_host, "requests go to the server");
-                let Ok(req) = Request::decode(&payload) else {
+                let Ok(req) = Request::decode(payload) else {
                     return;
                 };
                 let presence_items: Vec<(BdAddr, usize, bool)> = match &req {
@@ -851,6 +851,10 @@ impl BipsSystem {
                     Request::PresenceBatch { cell, items } => {
                         items.iter().map(|&(a, p)| (a, *cell as usize, p)).collect()
                     }
+                    Request::NotifyBatch { items } => items
+                        .iter()
+                        .map(|n| (n.addr, n.cell as usize, n.present))
+                        .collect(),
                     _ => Vec::new(),
                 };
                 let resp = self.server.handle(req, ctx.now());
@@ -858,6 +862,7 @@ impl BipsSystem {
                     resp,
                     Response::PresenceAck { changed: true }
                         | Response::PresenceBatchAck { changed: 1.. }
+                        | Response::NotifyBatchAck { changed: 1.. }
                 );
                 if any_changed {
                     let now = ctx.now();
@@ -904,7 +909,7 @@ impl BipsSystem {
                     framed,
                 );
             }
-            RpcMessage::Response { corr, payload, .. } => {
+            RpcFrame::Response { corr, payload, .. } => {
                 let Some(&ws) = self.host_to_ws.get(&m.dst.index()) else {
                     return;
                 };
@@ -912,7 +917,7 @@ impl BipsSystem {
                     return;
                 };
                 self.stats.rpc_round_trips += 1;
-                let mut r = crate::wire::Reader::new(&payload);
+                let mut r = crate::wire::Reader::new(payload);
                 let Ok(epoch) = r.u32() else {
                     return;
                 };

@@ -2,7 +2,7 @@
 //! totality, tracker diff correctness.
 
 use bips_core::handheld::HandheldMsg;
-use bips_core::protocol::LocateOutcome;
+use bips_core::protocol::{LocateOutcome, Notice, Request};
 use bips_core::registry::{AccessRights, Registry};
 use bips_core::workstation::WorkstationTracker;
 use bt_baseband::BdAddr;
@@ -119,6 +119,38 @@ proptest! {
                 }
                 reported.insert(d, model_present);
             }
+        }
+    }
+}
+
+proptest! {
+    /// Gateway-coalesced notify batches round-trip for arbitrary
+    /// contents, and every strict prefix of the encoding is rejected —
+    /// a truncated batch must never decode as a shorter valid one.
+    #[test]
+    fn notify_batches_round_trip_and_reject_truncation(
+        items in proptest::collection::vec(
+            (any::<u32>(), any::<u64>(), any::<bool>()),
+            0..20,
+        ),
+    ) {
+        let req = Request::NotifyBatch {
+            items: items
+                .iter()
+                .map(|&(cell, raw, present)| Notice {
+                    cell,
+                    addr: BdAddr::new(raw & ((1 << 48) - 1)),
+                    present,
+                })
+                .collect(),
+        };
+        let buf = req.encode();
+        prop_assert_eq!(Request::decode(&buf), Ok(req));
+        for cut in 0..buf.len() {
+            prop_assert!(
+                Request::decode(&buf[..cut]).is_err(),
+                "prefix of length {} decoded", cut
+            );
         }
     }
 }

@@ -51,6 +51,30 @@ pub enum RpcMessage {
     },
 }
 
+/// A deframed RPC message borrowing its payload from the transport
+/// message, for serving paths that must not copy per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcFrame<'a> {
+    /// An incoming request to serve.
+    Request {
+        /// Requesting host.
+        from: HostId,
+        /// Correlate the response with this.
+        corr: CorrelationId,
+        /// Request payload, borrowed from the transport message.
+        payload: &'a [u8],
+    },
+    /// A response to a request this host issued.
+    Response {
+        /// Responding host.
+        from: HostId,
+        /// The id returned by [`RpcCodec::encode_request`].
+        corr: CorrelationId,
+        /// Response payload, borrowed from the transport message.
+        payload: &'a [u8],
+    },
+}
+
 /// Stateless-ish codec: allocates correlation ids and frames/deframes RPC
 /// messages. One per host.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -84,23 +108,49 @@ impl RpcCodec {
         out
     }
 
-    /// Decodes a transport message into an RPC message, or `None` if it
-    /// is not RPC-framed.
+    /// Decodes a transport message into an owned RPC message, or `None`
+    /// if it is not RPC-framed.
     pub fn decode(msg: &AppMessage) -> Option<RpcMessage> {
+        match RpcCodec::decode_ref(msg)? {
+            RpcFrame::Request {
+                from,
+                corr,
+                payload,
+            } => Some(RpcMessage::Request {
+                from,
+                corr,
+                payload: payload.to_vec(),
+            }),
+            RpcFrame::Response {
+                from,
+                corr,
+                payload,
+            } => Some(RpcMessage::Response {
+                from,
+                corr,
+                payload: payload.to_vec(),
+            }),
+        }
+    }
+
+    /// Deframes a transport message without copying the payload, or
+    /// `None` if it is not RPC-framed. This is the serving-path variant
+    /// of [`RpcCodec::decode`]: the returned frame borrows from `msg`.
+    pub fn decode_ref(msg: &AppMessage) -> Option<RpcFrame<'_>> {
         if msg.payload.len() < HEADER_LEN {
             return None;
         }
         let corr = CorrelationId(u64::from_le_bytes(
             msg.payload[1..9].try_into().expect("9-byte header"),
         ));
-        let payload = msg.payload[HEADER_LEN..].to_vec();
+        let payload = &msg.payload[HEADER_LEN..];
         match msg.payload[0] {
-            DIR_REQUEST => Some(RpcMessage::Request {
+            DIR_REQUEST => Some(RpcFrame::Request {
                 from: msg.src,
                 corr,
                 payload,
             }),
-            DIR_RESPONSE => Some(RpcMessage::Response {
+            DIR_RESPONSE => Some(RpcFrame::Response {
                 from: msg.src,
                 corr,
                 payload,
@@ -170,6 +220,41 @@ mod tests {
         assert_eq!(RpcCodec::decode(&msg(0, vec![])), None);
         assert_eq!(RpcCodec::decode(&msg(0, vec![7; 20])), None);
         assert_eq!(RpcCodec::decode(&msg(0, vec![0; 5])), None);
+    }
+
+    #[test]
+    fn decode_ref_borrows_and_matches_decode() {
+        let mut codec = RpcCodec::new();
+        let (corr, framed) = codec.encode_request(b"where is bob");
+        let m = msg(3, framed);
+        match RpcCodec::decode_ref(&m).unwrap() {
+            RpcFrame::Request {
+                from,
+                corr: c,
+                payload,
+            } => {
+                assert_eq!(from, HostId::new(3));
+                assert_eq!(c, corr);
+                assert_eq!(payload, b"where is bob");
+                // Borrowed view over the same bytes, not a copy.
+                assert!(std::ptr::eq(payload, &m.payload[HEADER_LEN..]));
+            }
+            other => panic!("{other:?}"),
+        }
+        let resp = msg(1, RpcCodec::encode_response(corr, b"room 42"));
+        match (
+            RpcCodec::decode_ref(&resp).unwrap(),
+            RpcCodec::decode(&resp).unwrap(),
+        ) {
+            (
+                RpcFrame::Response {
+                    payload: borrowed, ..
+                },
+                RpcMessage::Response { payload: owned, .. },
+            ) => assert_eq!(borrowed, owned.as_slice()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(RpcCodec::decode_ref(&msg(0, vec![0; 5])), None);
     }
 
     #[test]
