@@ -20,7 +20,7 @@
 //!   and then exchange data until range loss trips the supervision
 //!   timeout.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use desim::compose::SubScheduler;
 use desim::{EventId, SimDuration, SimRng, SimTime};
@@ -510,8 +510,10 @@ pub struct Baseband {
     in_range: RangeMatrix,
     fhs_buckets: FhsBuckets,
     discoveries: Vec<Discovery>,
-    discovered_pairs: HashSet<(usize, usize)>,
-    links: HashMap<(usize, usize), Link>,
+    discovered_pairs: BTreeSet<(usize, usize)>,
+    /// Ordered map: [`Baseband::active_slaves`] iterates the keys, so
+    /// the order must not depend on a hasher (determinism invariant).
+    links: BTreeMap<(usize, usize), Link>,
     notifications: Vec<BbNotification>,
     stats: BbStats,
     started: bool,
@@ -550,8 +552,8 @@ impl Baseband {
             in_range: RangeMatrix::default(),
             fhs_buckets: FhsBuckets::default(),
             discoveries: Vec::new(),
-            discovered_pairs: HashSet::new(),
-            links: HashMap::new(),
+            discovered_pairs: BTreeSet::new(),
+            links: BTreeMap::new(),
             notifications: Vec::new(),
             stats: BbStats::default(),
             started: false,

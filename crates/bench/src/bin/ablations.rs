@@ -9,6 +9,10 @@
 //! With `--json PATH`, a structured run report (one section per ablation)
 //! is written to `PATH`.
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use bips_bench::ablations;
 use bips_bench::telemetry;
 use desim::{Json, RunReport};

@@ -9,6 +9,10 @@
 //! With `--json PATH`, a structured run report (config, seed, sweep and
 //! trade-off series) is written to `PATH`.
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use bips_bench::duty::{
     render_tradeoff, run_dwell, run_sweep, run_tradeoff, DutySweepConfig, TradeoffConfig,
 };

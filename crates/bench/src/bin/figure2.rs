@@ -13,6 +13,10 @@
 //! readings + series, full metric snapshot) is written to `PATH`; see
 //! `docs/OBSERVABILITY.md`.
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use bips_bench::figure2::{run_with_metrics, Figure2Config};
 use bips_bench::telemetry::{self, SnapshotConfig};
 

@@ -21,6 +21,10 @@
 //! counts are deterministic) or its events-per-wall-second falls >20%
 //! below the baseline figure.
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use bips_bench::telemetry::take_flag;

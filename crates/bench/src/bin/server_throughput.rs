@@ -24,6 +24,10 @@
 //! gates the smoke section's sharded queries/sec against a committed
 //! baseline (>20% regression fails, like `perf_baseline`).
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use bips_bench::telemetry::{take_flag, take_jobs};

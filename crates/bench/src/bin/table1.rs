@@ -9,6 +9,10 @@
 //! With `--json PATH`, a structured run report (config, seed, table rows,
 //! full metric snapshot) is written to `PATH`; see `docs/OBSERVABILITY.md`.
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use bips_bench::table1::{run_with_metrics, Table1Config};
 use bips_bench::telemetry::{self, SnapshotConfig};
 

@@ -9,6 +9,10 @@
 //! With `--json PATH`, a structured run report (config, seed, pipeline
 //! numbers, full metric snapshot) is written to `PATH`.
 
+// Bench binary: wall-clock reads feed the perf report
+// (artifacts.wall_secs), not simulation results.
+#![allow(clippy::disallowed_methods)]
+
 use bips_bench::e2e::{run_with_metrics, E2eConfig};
 use bips_bench::telemetry;
 use desim::SimDuration;

@@ -21,17 +21,25 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: defers all allocation to the system allocator; the counter is
 // a relaxed atomic increment with no other side effects.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded verbatim from our caller.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s pointer/layout contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator (which defers to
+        // `System`) with the same `layout`, per the caller's contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s pointer/layout contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded verbatim from
+        // our caller, and `ptr` was allocated by `System` (see `alloc`).
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

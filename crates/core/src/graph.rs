@@ -183,10 +183,12 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse: BinaryHeap is a max-heap, we need the minimum.
+        // Distances are finite sums of non-negative edge weights, so
+        // `total_cmp` agrees with the mathematical order and stays total
+        // (no NaN panic path) even if an upstream invariant breaks.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("no NaN distances")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

@@ -14,7 +14,7 @@
 //! the time-windowed queries the paper's spatio-temporal phrasing hints
 //! at.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bt_baseband::BdAddr;
 use desim::SimTime;
@@ -47,7 +47,9 @@ pub struct DbStats {
 #[derive(Debug, Clone, Default)]
 struct DeviceState {
     /// Cells currently claiming presence, with the time each claim began.
-    cells: HashMap<CellIndex, SimTime>,
+    /// Ordered map: iteration order (and therefore the `max_by_key`
+    /// tie-break in [`LocationDb::apply`]) must not depend on a hasher.
+    cells: BTreeMap<CellIndex, SimTime>,
     /// Most recent presence claim (cell, since).
     latest: Option<(CellIndex, SimTime)>,
 }
@@ -70,7 +72,7 @@ struct DeviceState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LocationDb {
-    devices: HashMap<BdAddr, DeviceState>,
+    devices: BTreeMap<BdAddr, DeviceState>,
     history: Vec<PresenceEvent>,
     history_cap: usize,
     stats: DbStats,
@@ -100,7 +102,7 @@ impl LocationDb {
     pub fn with_history_cap(cap: usize) -> LocationDb {
         assert!(cap > 0, "zero history capacity");
         LocationDb {
-            devices: HashMap::new(),
+            devices: BTreeMap::new(),
             history: Vec::new(),
             history_cap: cap,
             stats: DbStats::default(),
@@ -112,7 +114,7 @@ impl LocationDb {
     pub fn apply(&mut self, addr: BdAddr, cell: CellIndex, present: bool, at: SimTime) -> bool {
         let dev = self.devices.entry(addr).or_default();
         let changed = if present {
-            if let std::collections::hash_map::Entry::Vacant(e) = dev.cells.entry(cell) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dev.cells.entry(cell) {
                 e.insert(at);
                 dev.latest = Some((cell, at));
                 true
@@ -161,27 +163,22 @@ impl LocationDb {
         self.devices.get(&addr)?.latest.map(|(_, t)| t)
     }
 
-    /// All cells currently claiming the device (overlapping coverage).
+    /// All cells currently claiming the device (overlapping coverage),
+    /// sorted (`BTreeMap` keys come out in order).
     pub fn cells_of(&self, addr: BdAddr) -> Vec<CellIndex> {
-        let mut v: Vec<CellIndex> = self
-            .devices
+        self.devices
             .get(&addr)
             .map(|d| d.cells.keys().copied().collect())
-            .unwrap_or_default();
-        v.sort_unstable();
-        v
+            .unwrap_or_default()
     }
 
-    /// Devices currently present in `cell`.
+    /// Devices currently present in `cell`, sorted by address.
     pub fn devices_in(&self, cell: CellIndex) -> Vec<BdAddr> {
-        let mut v: Vec<BdAddr> = self
-            .devices
+        self.devices
             .iter()
             .filter(|(_, d)| d.cells.contains_key(&cell))
             .map(|(&a, _)| a)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// The recorded history (oldest first), for time-windowed queries.

@@ -236,10 +236,13 @@ impl Registry {
         self.users.iter().map(|u| u.id)
     }
 
-    /// A user's stored `(salt, digest)` pair, for serving structures
-    /// that verify logins without going through the registry.
-    pub(crate) fn credential(&self, id: UserId) -> Option<(u64, u64)> {
-        self.users.get(id.0 as usize).map(|u| (u.salt, u.digest))
+    /// The full snapshot a serving engine needs for user `uid`:
+    /// `(rights, salt, digest)`. One total lookup instead of three
+    /// `Option`-returning calls that would each need a panic path.
+    pub(crate) fn record_parts(&self, uid: u64) -> Option<(&AccessRights, u64, u64)> {
+        self.users
+            .get(uid as usize)
+            .map(|u| (&u.rights, u.salt, u.digest))
     }
 
     /// Logs `name` in from device `addr`, establishing the one-to-one

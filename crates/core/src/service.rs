@@ -38,7 +38,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use bt_baseband::BdAddr;
 use desim::metrics::MetricSet;
@@ -63,6 +63,26 @@ const VIS_EVERYONE: u32 = 0;
 const VIS_NOBODY: u32 = 1;
 /// Visibility kind: only the cold-slot allow-list may locate this user.
 const VIS_ONLY: u32 = 2;
+
+/// Takes a shard read lock, recovering from poisoning. The serving path
+/// is panic-free by construction (the `serve-panic` lint rule), so a
+/// poisoned lock can only come from a panic injected outside this module
+/// (e.g. an allocator abort in another thread); shard state updates
+/// whole-batch under the write lock, so the recovered state is the last
+/// consistent one.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock counterpart of [`read_lock`]: same poisoning argument.
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutex counterpart of [`read_lock`]: same poisoning argument.
+fn lock_mutex<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The 16-byte per-user record every query touches. Kept minimal so a
 /// building's worth of users stays cache-resident: 1M users ≈ 16 MB,
@@ -247,34 +267,49 @@ impl ShardedService {
         let n = registry.num_users() as u64;
         assert!(n < u64::from(u32::MAX), "slot indices are 32-bit");
 
-        let mut states: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
-        for id in registry.ids() {
-            let uid = id.value();
-            let rights = registry.rights_of(id).expect("registered user");
-            let (salt, digest) = registry.credential(id).expect("registered user");
-            let (kind, only): (u32, Box<[u32]>) = match &rights.visibility {
-                Visibility::Everyone => (VIS_EVERYONE, Box::new([])),
-                Visibility::Nobody => (VIS_NOBODY, Box::new([])),
-                Visibility::Only(list) => {
-                    let mut l: Vec<u32> = list.iter().map(|u| u.value() as u32).collect();
-                    l.sort_unstable();
-                    (VIS_ONLY, l.into_boxed_slice())
-                }
-            };
-            let flags = (kind << VIS_SHIFT) | u32::from(rights.may_query);
-            let st = &mut states[(uid & (nshards as u64 - 1)) as usize];
-            debug_assert_eq!(st.hot.len() as u64, uid >> shard_bits, "dense ids");
-            st.hot.push(HotSlot {
-                addr: NO_ADDR,
-                cell: NO_CELL,
-                flags,
-            });
-            st.cold.push(ColdSlot {
-                salt,
-                digest,
-                only,
-                claims: Vec::new(),
-            });
+        // Shard `s` holds uids `s, s + nshards, s + 2*nshards, …` at
+        // slots `0, 1, 2, …` (uid = slot * nshards + s), so filling each
+        // shard in uid order needs no indexed writes at all.
+        let mut states: Vec<ShardState> = Vec::with_capacity(nshards);
+        for s in 0..nshards as u64 {
+            let mut st = ShardState::default();
+            let mut uid = s;
+            while uid < n {
+                // Ids are dense (0..num_users), so the lookup cannot
+                // miss; an inert, unmatchable slot keeps the engine
+                // total without a panic path if that invariant breaks.
+                let (flags, salt, digest, only): (u32, u64, u64, Box<[u32]>) =
+                    match registry.record_parts(uid) {
+                        Some((rights, salt, digest)) => {
+                            let (kind, only): (u32, Box<[u32]>) = match &rights.visibility {
+                                Visibility::Everyone => (VIS_EVERYONE, Box::new([])),
+                                Visibility::Nobody => (VIS_NOBODY, Box::new([])),
+                                Visibility::Only(list) => {
+                                    let mut l: Vec<u32> =
+                                        list.iter().map(|u| u.value() as u32).collect();
+                                    l.sort_unstable();
+                                    (VIS_ONLY, l.into_boxed_slice())
+                                }
+                            };
+                            let flags = (kind << VIS_SHIFT) | u32::from(rights.may_query);
+                            (flags, salt, digest, only)
+                        }
+                        None => (VIS_NOBODY << VIS_SHIFT, 0, u64::MAX, Box::new([])),
+                    };
+                st.hot.push(HotSlot {
+                    addr: NO_ADDR,
+                    cell: NO_CELL,
+                    flags,
+                });
+                st.cold.push(ColdSlot {
+                    salt,
+                    digest,
+                    only,
+                    claims: Vec::new(),
+                });
+                uid += nshards as u64;
+            }
+            states.push(st);
         }
 
         ShardedService {
@@ -338,22 +373,31 @@ impl ShardedService {
             return Err(SessionError::NoSuchUser);
         }
         let (shard, slot) = self.shard_of(uid);
-        let mut st = self.shards[shard].write().expect("shard lock");
-        let cold = &st.cold[slot];
+        let Some(lock) = self.shards.get(shard) else {
+            return Err(SessionError::NoSuchUser);
+        };
+        let mut st = write_lock(lock);
+        let Some(cold) = st.cold.get(slot) else {
+            return Err(SessionError::NoSuchUser);
+        };
         if crate::registry::digest(cold.salt, password) != cold.digest {
             return Err(SessionError::BadPassword);
         }
-        let mut addrs = self.addr_shards[self.addr_shard_of(addr.raw())]
-            .write()
-            .expect("addr lock");
+        let Some(addr_lock) = self.addr_shards.get(self.addr_shard_of(addr.raw())) else {
+            return Err(SessionError::AddressInUse);
+        };
+        let mut addrs = write_lock(addr_lock);
         if addrs.contains_key(&addr.raw()) {
             return Err(SessionError::AddressInUse);
         }
-        if st.hot[slot].addr != NO_ADDR {
+        let Some(hot) = st.hot.get_mut(slot) else {
+            return Err(SessionError::NoSuchUser);
+        };
+        if hot.addr != NO_ADDR {
             return Err(SessionError::AlreadyLoggedIn);
         }
         addrs.insert(addr.raw(), uid as u32);
-        st.hot[slot].addr = addr.raw();
+        hot.addr = addr.raw();
         Ok(())
     }
 
@@ -369,18 +413,25 @@ impl ShardedService {
             return Err(SessionError::NotLoggedIn);
         }
         let (shard, slot) = self.shard_of(uid);
-        let mut st = self.shards[shard].write().expect("shard lock");
-        let addr = st.hot[slot].addr;
+        let Some(lock) = self.shards.get(shard) else {
+            return Err(SessionError::NotLoggedIn);
+        };
+        let mut st = write_lock(lock);
+        let Some(hot) = st.hot.get_mut(slot) else {
+            return Err(SessionError::NotLoggedIn);
+        };
+        let addr = hot.addr;
         if addr == NO_ADDR {
             return Err(SessionError::NotLoggedIn);
         }
-        self.addr_shards[self.addr_shard_of(addr)]
-            .write()
-            .expect("addr lock")
-            .remove(&addr);
-        st.hot[slot].addr = NO_ADDR;
-        st.hot[slot].cell = NO_CELL;
-        st.cold[slot].claims.clear();
+        hot.addr = NO_ADDR;
+        hot.cell = NO_CELL;
+        if let Some(addr_lock) = self.addr_shards.get(self.addr_shard_of(addr)) {
+            write_lock(addr_lock).remove(&addr);
+        }
+        if let Some(cold) = st.cold.get_mut(slot) {
+            cold.claims.clear();
+        }
         Ok(())
     }
 
@@ -392,29 +443,32 @@ impl ShardedService {
     /// logged-in user are counted as ignored and ack `false`.
     pub fn ingest(&self, addr: BdAddr, cell: u32, present: bool, since_us: u64) -> u64 {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let uid = self.addr_shards[self.addr_shard_of(addr.raw())]
-            .read()
-            .expect("addr lock")
-            .get(&addr.raw())
-            .copied();
-        match uid {
+        let uid = self
+            .addr_shards
+            .get(self.addr_shard_of(addr.raw()))
+            .and_then(|lock| read_lock(lock).get(&addr.raw()).copied());
+        let queued = match uid {
             Some(uid) => {
                 let (shard, slot) = self.shard_of(u64::from(uid));
-                self.pending[shard]
-                    .lock()
-                    .expect("pending lock")
-                    .push(PendingNotice {
-                        seq,
-                        slot: slot as u32,
-                        cell,
-                        present,
-                        since_us,
-                    });
+                match self.pending.get(shard) {
+                    Some(queue) => {
+                        lock_mutex(queue).push(PendingNotice {
+                            seq,
+                            slot: slot as u32,
+                            cell,
+                            present,
+                            since_us,
+                        });
+                        true
+                    }
+                    None => false,
+                }
             }
-            None => {
-                self.ignored.fetch_add(1, Ordering::Relaxed);
-                self.dropped.lock().expect("dropped lock").push(seq);
-            }
+            None => false,
+        };
+        if !queued {
+            self.ignored.fetch_add(1, Ordering::Relaxed);
+            lock_mutex(&self.dropped).push(seq);
         }
         seq
     }
@@ -435,26 +489,25 @@ impl ShardedService {
                 self.flush_shard(s as usize)
             });
         let mut acks: Vec<(u64, bool)> = per_shard.into_iter().flatten().collect();
-        acks.extend(
-            self.dropped
-                .lock()
-                .expect("dropped lock")
-                .drain(..)
-                .map(|seq| (seq, false)),
-        );
+        acks.extend(lock_mutex(&self.dropped).drain(..).map(|seq| (seq, false)));
         acks.sort_unstable_by_key(|&(seq, _)| seq);
         acks.into_iter().map(|(_, changed)| changed).collect()
     }
 
     /// Applies one shard's queue under a single write-lock acquisition.
     fn flush_shard(&self, shard: usize) -> Vec<(u64, bool)> {
-        let mut queue = std::mem::take(&mut *self.pending[shard].lock().expect("pending lock"));
+        let (Some(queue_lock), Some(state_lock)) =
+            (self.pending.get(shard), self.shards.get(shard))
+        else {
+            return Vec::new();
+        };
+        let mut queue = std::mem::take(&mut *lock_mutex(queue_lock));
         if queue.is_empty() {
             return Vec::new();
         }
         let mut acks = Vec::with_capacity(queue.len());
         {
-            let mut st = self.shards[shard].write().expect("shard lock");
+            let mut st = write_lock(state_lock);
             for n in &queue {
                 let changed = Self::apply_notice(&mut st, n);
                 if changed {
@@ -468,7 +521,7 @@ impl ShardedService {
         // Hand the drained buffer back so steady-state ingest reuses its
         // capacity instead of reallocating every tick.
         queue.clear();
-        let mut pending = self.pending[shard].lock().expect("pending lock");
+        let mut pending = lock_mutex(queue_lock);
         if pending.is_empty() {
             *pending = queue;
         }
@@ -480,26 +533,29 @@ impl ShardedService {
     /// absence falls back to the most recent remaining claim.
     fn apply_notice(st: &mut ShardState, n: &PendingNotice) -> bool {
         let slot = n.slot as usize;
-        let cold = &mut st.cold[slot];
-        if n.present {
+        let Some(cold) = st.cold.get_mut(slot) else {
+            return false;
+        };
+        let new_cell = if n.present {
             if cold.claims.iter().any(|&(c, _)| c == n.cell) {
                 return false;
             }
             cold.claims.push((n.cell, n.since_us));
-            st.hot[slot].cell = n.cell;
-            true
+            n.cell
         } else {
             let Some(pos) = cold.claims.iter().position(|&(c, _)| c == n.cell) else {
                 return false;
             };
             cold.claims.swap_remove(pos);
-            st.hot[slot].cell = cold
-                .claims
+            cold.claims
                 .iter()
                 .max_by_key(|&&(_, since)| since)
-                .map_or(NO_CELL, |&(c, _)| c);
-            true
+                .map_or(NO_CELL, |&(c, _)| c)
+        };
+        if let Some(hot) = st.hot.get_mut(slot) {
+            hot.cell = new_cell;
         }
+        true
     }
 
     /// Answers "where is user `target`?" for querier `querier` standing
@@ -524,13 +580,20 @@ impl ShardedService {
         } else {
             (0, usize::MAX)
         };
-        self.queries[q_shard].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.queries.get(q_shard) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         let q_flags = {
             if q_slot == usize::MAX {
                 return WhereIs::QuerierNotLoggedIn;
             }
-            let st = self.shards[q_shard].read().expect("shard lock");
-            let hot = st.hot[q_slot];
+            let Some(lock) = self.shards.get(q_shard) else {
+                return WhereIs::QuerierNotLoggedIn;
+            };
+            let st = read_lock(lock);
+            let Some(&hot) = st.hot.get(q_slot) else {
+                return WhereIs::QuerierNotLoggedIn;
+            };
             if hot.addr == NO_ADDR {
                 return WhereIs::QuerierNotLoggedIn;
             }
@@ -541,15 +604,20 @@ impl ShardedService {
         }
         let (t_shard, t_slot) = self.shard_of(target);
         let (t_addr, t_cell) = {
-            let st = self.shards[t_shard].read().expect("shard lock");
-            let hot = st.hot[t_slot];
+            let Some(lock) = self.shards.get(t_shard) else {
+                return WhereIs::NoSuchUser;
+            };
+            let st = read_lock(lock);
+            let Some(&hot) = st.hot.get(t_slot) else {
+                return WhereIs::NoSuchUser;
+            };
             let visible = match hot.flags >> VIS_SHIFT {
                 VIS_EVERYONE => true,
                 VIS_NOBODY => false,
-                _ => st.cold[t_slot]
-                    .only
-                    .binary_search(&(querier as u32))
-                    .is_ok(),
+                _ => st
+                    .cold
+                    .get(t_slot)
+                    .is_some_and(|c| c.only.binary_search(&(querier as u32)).is_ok()),
             };
             if q_flags & FLAG_MAY_QUERY == 0 || !visible {
                 return WhereIs::Denied;
@@ -589,7 +657,8 @@ impl ShardedService {
             return None;
         }
         let (shard, slot) = self.shard_of(uid);
-        let cell = self.shards[shard].read().expect("shard lock").hot[slot].cell;
+        let st = read_lock(self.shards.get(shard)?);
+        let cell = st.hot.get(slot)?.cell;
         (cell != NO_CELL).then_some(cell)
     }
 
@@ -600,8 +669,15 @@ impl ShardedService {
             return Vec::new();
         }
         let (shard, slot) = self.shard_of(uid);
-        let st = self.shards[shard].read().expect("shard lock");
-        let mut v: Vec<u32> = st.cold[slot].claims.iter().map(|&(c, _)| c).collect();
+        let Some(lock) = self.shards.get(shard) else {
+            return Vec::new();
+        };
+        let st = read_lock(lock);
+        let mut v: Vec<u32> = st
+            .cold
+            .get(slot)
+            .map(|c| c.claims.iter().map(|&(cell, _)| cell).collect())
+            .unwrap_or_default();
         v.sort_unstable();
         v
     }
@@ -612,7 +688,12 @@ impl ShardedService {
             return false;
         }
         let (shard, slot) = self.shard_of(uid);
-        self.shards[shard].read().expect("shard lock").hot[slot].addr != NO_ADDR
+        self.shards.get(shard).is_some_and(|lock| {
+            read_lock(lock)
+                .hot
+                .get(slot)
+                .is_some_and(|h| h.addr != NO_ADDR)
+        })
     }
 
     /// Exports per-shard counters (`core.service.shard{i}.queries` /
@@ -622,9 +703,9 @@ impl ShardedService {
         let mut q_total = 0;
         let mut a_total = 0;
         let mut r_total = 0;
-        for (i, lock) in self.shards.iter().enumerate() {
-            let st = lock.read().expect("shard lock");
-            let q = self.queries[i].load(Ordering::Relaxed);
+        for (i, (lock, counter)) in self.shards.iter().zip(self.queries.iter()).enumerate() {
+            let st = read_lock(lock);
+            let q = counter.load(Ordering::Relaxed);
             metrics.set_counter(&format!("core.service.shard{i}.queries"), q);
             metrics.set_counter(&format!("core.service.shard{i}.applied"), st.applied);
             metrics.set_counter(&format!("core.service.shard{i}.redundant"), st.redundant);

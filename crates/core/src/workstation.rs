@@ -15,7 +15,7 @@
 //! computes what a non-diffing workstation would have sent, for the
 //! update-on-change accounting in experiment E2E.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bt_baseband::BdAddr;
 use desim::{SimDuration, SimTime};
@@ -63,9 +63,11 @@ pub struct TrackerStats {
 pub struct WorkstationTracker {
     /// How long a device stays "present" after its last sighting.
     absence_timeout: SimDuration,
-    last_seen: HashMap<BdAddr, SimTime>,
+    /// Ordered maps: sweeps iterate these, and the emitted change order
+    /// must not depend on a hasher (workspace determinism invariant).
+    last_seen: BTreeMap<BdAddr, SimTime>,
     /// Devices currently reported present to the server.
-    reported: HashMap<BdAddr, bool>,
+    reported: BTreeMap<BdAddr, bool>,
     stats: TrackerStats,
 }
 
@@ -82,8 +84,8 @@ impl WorkstationTracker {
         assert!(!absence_timeout.is_zero(), "zero absence timeout");
         WorkstationTracker {
             absence_timeout,
-            last_seen: HashMap::new(),
-            reported: HashMap::new(),
+            last_seen: BTreeMap::new(),
+            reported: BTreeMap::new(),
             stats: TrackerStats::default(),
         }
     }
@@ -154,11 +156,10 @@ impl WorkstationTracker {
         self.reported.clear();
     }
 
-    /// Devices currently considered present (reported or pending report).
+    /// Devices currently considered present (reported or pending
+    /// report), sorted by address (`BTreeMap` keys come out in order).
     pub fn present_now(&self) -> Vec<BdAddr> {
-        let mut v: Vec<BdAddr> = self.last_seen.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.last_seen.keys().copied().collect()
     }
 
     /// Counters.

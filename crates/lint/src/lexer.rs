@@ -1,0 +1,446 @@
+//! A minimal token-level Rust scanner.
+//!
+//! `bips-lint` must build with no registry access, so it cannot use
+//! `syn`/`proc-macro2`. The rules it implements only need a faithful
+//! token stream — identifiers, punctuation, and literals, with string
+//! and comment contents kept *out* of the token stream so that a
+//! `"thread_rng"` inside a doc string never trips the entropy rule.
+//!
+//! The scanner handles the lexical corners that matter for that goal:
+//! nested block comments, raw strings with arbitrary `#` fences, byte
+//! and raw-byte strings, raw identifiers, char literals versus
+//! lifetimes, and escapes inside string/char literals. Comment *text*
+//! is preserved per line (for `// SAFETY:` and `// lint:allow(...)`
+//! detection) but never tokenized.
+
+use std::collections::BTreeMap;
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers keep their `r#` prefix
+    /// stripped: `r#type` lexes as `type`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `[`, …). Multi-char
+    /// operators appear as consecutive tokens.
+    Punct,
+    /// String literal (normal/raw/byte); `text` holds the *contents*
+    /// without quotes or fences.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), text without the tick.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A lexed file: the token stream plus comment text per line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// Comment text by 1-based line. A block comment contributes each
+    /// of its lines; several comments on one line are concatenated.
+    pub comments: BTreeMap<u32, String>,
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+/// Lexes Rust source. Never fails: unterminated literals are tolerated
+/// (the remainder of the file is consumed as that literal), which is
+/// the right behaviour for a linter that must not panic on fixtures.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    s.run();
+    s.out
+}
+
+impl Scanner<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn add_comment(&mut self, line: u32, text: &str) {
+        let slot = self.out.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokKind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.add_comment(line, text.trim());
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        let mut cur_line = self.line;
+        let mut seg = String::new();
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                seg.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                if depth > 0 {
+                    seg.push_str("*/");
+                }
+                self.bump();
+                self.bump();
+            } else {
+                let c = self.bump();
+                if c == b'\n' {
+                    let t = seg.trim();
+                    if !t.is_empty() {
+                        self.add_comment(cur_line, t);
+                    }
+                    seg.clear();
+                    cur_line = self.line;
+                } else {
+                    seg.push(c as char);
+                }
+            }
+        }
+        let t = seg.trim();
+        if !t.is_empty() {
+            self.add_comment(cur_line, t);
+        }
+    }
+
+    /// Normal (escaped) string literal; the opening quote is current.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // '"'
+        let mut text = String::new();
+        while self.pos < self.src.len() {
+            let c = self.bump();
+            match c {
+                b'"' => break,
+                b'\\' => {
+                    // Keep the escaped char raw; rules only pattern-match
+                    // metric names, which contain no escapes.
+                    let e = self.bump();
+                    text.push('\\');
+                    text.push(e as char);
+                }
+                _ => text.push(c as char),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string starting at the current `"` after `hashes` fences.
+    fn raw_string(&mut self, hashes: usize) {
+        let line = self.line;
+        self.bump(); // '"'
+        let start = self.pos;
+        'outer: while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                self.push(TokKind::Str, text, line);
+                return;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // '\''
+                     // Lifetime: '\'' ident-start, not closed by another '\'' right
+                     // after one char ('a' is a char literal, 'a.cmp(..) a lifetime).
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            let start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        let mut text = String::new();
+        while self.pos < self.src.len() {
+            let c = self.bump();
+            match c {
+                b'\'' => break,
+                b'\\' => {
+                    let e = self.bump();
+                    text.push('\\');
+                    text.push(e as char);
+                }
+                _ => text.push(c as char),
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` continues the number; `0..n` and `1.max(2)` don't.
+                self.bump();
+            } else if (c == b'+' || c == b'-')
+                && matches!(
+                    self.src.get(self.pos.wrapping_sub(1)),
+                    Some(b'e') | Some(b'E')
+                )
+                && self.peek(1).is_ascii_digit()
+            {
+                // Exponent sign: `1e-3`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        // String-literal prefixes: r"", r#""#, b"", br"", br#""#, b''.
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        if c0 == b'r' || c0 == b'b' {
+            let (raw, after) = match (c0, c1) {
+                (b'r', _) => (true, 1),
+                (b'b', b'r') => (true, 2),
+                (b'b', _) => (false, 1),
+                _ => unreachable!(),
+            };
+            if raw {
+                // Count fences; a raw *identifier* (r#foo) has ident
+                // chars after the single '#' instead of a quote.
+                let mut h = 0usize;
+                while self.peek(after + h) == b'#' {
+                    h += 1;
+                }
+                if self.peek(after + h) == b'"' {
+                    // Distinguish r#"…"# (raw string) from r#ident: a
+                    // quote right after the fences means raw string.
+                    for _ in 0..after + h {
+                        self.bump();
+                    }
+                    self.raw_string(h);
+                    return;
+                }
+                if c0 == b'r' && h == 1 && is_ident_start(self.peek(after + h)) {
+                    // Raw identifier r#foo: skip the prefix, lex as ident.
+                    self.bump();
+                    self.bump();
+                    self.plain_ident(line);
+                    return;
+                }
+            } else if self.peek(after) == b'"' {
+                self.bump(); // 'b'
+                self.string();
+                return;
+            } else if self.peek(after) == b'\'' {
+                self.bump(); // 'b'
+                self.char_or_lifetime();
+                return;
+            }
+        }
+        self.plain_ident(line);
+    }
+
+    fn plain_ident(&mut self, line: u32) {
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// `true` if token `t` is an identifier with exactly this text.
+pub fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// `true` if token `t` is this punctuation character.
+pub fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct && t.text.len() == 1 && t.text.as_bytes()[0] == c as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // thread_rng in a comment
+            /* Instant::now in /* a nested */ block */
+            let s = "SystemTime inside a string";
+            let r = r#"partial_cmp "quoted" raw"#;
+            let b = b"unwrap";
+            call(real_ident);
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for bad in [
+            "thread_rng",
+            "Instant",
+            "SystemTime",
+            "partial_cmp",
+            "unwrap",
+        ] {
+            assert!(!ids.contains(&bad.to_string()), "{bad} leaked from literal");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }").toks;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn comment_text_is_recorded_per_line() {
+        let src = "let a = 1; // SAFETY: fine\n/* block\nspans lines */\nlet b = 2;";
+        let lexed = lex(src);
+        assert!(lexed
+            .comments
+            .get(&1)
+            .is_some_and(|c| c.contains("SAFETY:")));
+        assert!(lexed.comments.get(&2).is_some_and(|c| c.contains("block")));
+        assert!(lexed
+            .comments
+            .get(&3)
+            .is_some_and(|c| c.contains("spans lines")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = lex("for i in 0..10 { x = 1.5 + 2.max(3) + 1e-3; }").toks;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2", "3", "1e-3"]);
+        assert!(toks.iter().any(|t| is_ident(t, "max")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain() {
+        let ids = idents("let r#type = r#match;");
+        assert_eq!(ids, vec!["let", "type", "match"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_strings() {
+        let lexed = lex("let s = \"a\nb\nc\";\nlet t = 1;");
+        let t = lexed.toks.iter().find(|t| is_ident(t, "t")).unwrap();
+        assert_eq!(t.line, 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! CLI for `bips-lint`. Usage:
+//!
+//! ```console
+//! $ cargo run -p bips-lint -- --check
+//! $ cargo run -p bips-lint -- --check --format json
+//! $ cargo run -p bips-lint -- --list-rules
+//! ```
+//!
+//! `--check` lints the workspace against the committed baseline and
+//! exits 1 if any finding survives — the CI `lint` job gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bips_lint::{apply_baseline, check_workspace, rules, Finding};
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: bips-lint --check [--root DIR] [--baseline FILE] \
+                     [--format text|json] | --list-rules";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut saw_check = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => saw_check = true,
+            "--list-rules" => out.list_rules = true,
+            "--root" => {
+                out.root = PathBuf::from(argv.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                out.baseline = Some(PathBuf::from(argv.next().ok_or("--baseline needs a file")?));
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("text") => out.json = false,
+                Some("json") => out.json = true,
+                _ => return Err("--format needs `text` or `json`".to_string()),
+            },
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !saw_check && !out.list_rules {
+        return Err(USAGE.to_string());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, desc) in rules::RULES {
+            println!("{id:16} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default baseline location; a missing default file means "empty".
+    // An explicitly named baseline must exist.
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("crates/lint/baseline.txt"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) if args.baseline.is_none() && e.kind() == std::io::ErrorKind::NotFound => {
+            String::new()
+        }
+        Err(e) => {
+            eprintln!("bips-lint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match check_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bips-lint: workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = apply_baseline(findings, &baseline);
+
+    if args.json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("bips-lint: clean ({} rules)", rules::RULES.len());
+        } else {
+            println!("bips-lint: {} finding(s)", findings.len());
+        }
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.snippet)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,11 @@
+//! Fixture: malformed suppressions (linted as if it were
+//! `crates/desim/src/engine.rs`).
+
+pub fn misuse() -> u32 {
+    // lint:allow(no-such-rule): the rule id is not real — finding: bad-suppression
+    let a = 1;
+    // lint:allow(entropy)
+    let b = 2; // ^ missing `: reason` — finding: bad-suppression
+    // lint:allow(wall-clock): nothing here trips wall-clock — finding: bad-suppression (unused)
+    a + b
+}

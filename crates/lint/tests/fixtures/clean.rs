@@ -1,0 +1,23 @@
+//! Fixture: idiomatic simulation-path code — zero findings (linted as
+//! if it were `crates/core/src/system.rs`).
+
+use std::collections::BTreeMap;
+
+pub struct Census {
+    members: BTreeMap<u64, u32>,
+}
+
+impl Census {
+    pub fn total(&self) -> u64 {
+        // Ordered iteration: deterministic by construction.
+        self.members.keys().sum()
+    }
+
+    pub fn sorted_rates(rates: &mut [f64]) {
+        rates.sort_by(f64::total_cmp);
+    }
+
+    pub fn export_metrics(&self, metrics: &mut MetricSet) {
+        metrics.gauge("core.census.members", self.members.len() as f64);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: ambient entropy (linted as if it were
+//! `crates/mobility/src/walker.rs`). Never compiled.
+
+pub fn shuffle_route(route: &mut Vec<usize>) {
+    let mut rng = rand::thread_rng(); // finding: entropy
+    let _ = &mut rng;
+    route.reverse();
+}
+
+pub fn reseed() -> u64 {
+    // Strings and comments must not trip the rule: "thread_rng".
+    let label = "from_entropy in a string is fine";
+    label.len() as u64
+}

@@ -1,0 +1,44 @@
+//! Fixture: HashMap/HashSet iteration in a simulation crate (linted
+//! as if it were `crates/core/src/system.rs`). Never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Piconets {
+    members: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+impl Piconets {
+    pub fn census(&self) -> u64 {
+        let mut total = 0;
+        for (&addr, &cell) in self.members.iter() {
+            // finding: hash-iter (method call)
+            total += addr ^ u64::from(cell);
+        }
+        for addr in &self.seen {
+            // finding: hash-iter (for-loop over the set)
+            total ^= addr;
+        }
+        total
+    }
+
+    pub fn lookups_are_fine(&self, addr: u64) -> Option<u32> {
+        // Point lookups don't leak hash order: no finding.
+        if self.seen.contains(&addr) {
+            self.members.get(&addr).copied()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let m: HashMap<u64, u32> = HashMap::new();
+        assert_eq!(m.values().count(), 0);
+    }
+}

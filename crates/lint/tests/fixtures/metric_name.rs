@@ -1,0 +1,13 @@
+//! Fixture: metric-name discipline (linted as if it were
+//! `crates/baseband/src/medium.rs`). Never compiled.
+
+pub fn export_metrics(metrics: &mut MetricSet, shard: usize) {
+    metrics.set_counter("FramesSent", 1); // finding: metric-name (no dots, uppercase)
+    metrics.inc("baseband"); // finding: metric-name (one segment)
+    metrics.gauge("baseband.link.rssi.mean.db", 0.0); // finding: metric-name (5 segments)
+    metrics.observe("lan.Frames.sent", 2.0); // finding: metric-name (uppercase segment)
+
+    // Well-formed names, including a format! placeholder: no findings.
+    metrics.set_counter("baseband.inquiry.ids_heard", 3);
+    metrics.set_counter(&format!("core.service.shard{shard}.queries"), 4);
+}

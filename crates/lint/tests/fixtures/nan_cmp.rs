@@ -1,0 +1,18 @@
+//! Fixture: NaN-unsafe float comparisons (linted as if it were
+//! `crates/desim/src/stats.rs`). Never compiled.
+
+pub fn worst_latency(samples: &mut Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap()); // finding: nan-cmp (sort_by + partial_cmp)
+    let max = samples
+        .last()
+        .copied()
+        .unwrap_or(0.0);
+    let other = 1.5_f64;
+    let _ord = max.partial_cmp(&other).expect("comparable"); // finding: nan-cmp
+    max
+}
+
+pub fn safe_version(samples: &mut [f64]) {
+    // total_cmp is the sanctioned spelling: no finding.
+    samples.sort_by(f64::total_cmp);
+}

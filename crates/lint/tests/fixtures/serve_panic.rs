@@ -1,0 +1,33 @@
+//! Fixture: panics on the serving path (linted as if it were
+//! `crates/core/src/service.rs`). Never compiled.
+
+pub fn answer_query(shards: &[u32], shard: usize, cell: Option<u32>) -> u32 {
+    let c = cell.unwrap(); // finding: serve-panic
+    let s = shards[shard]; // finding: serve-panic (unchecked index)
+    if s == 0 {
+        panic!("empty shard"); // finding: serve-panic
+    }
+    let fallback = cell.expect("checked above"); // finding: serve-panic
+    s + c + fallback
+}
+
+pub fn total_version(shards: &[u32], shard: usize, cell: Option<u32>) -> Option<u32> {
+    // The sanctioned spellings: no findings.
+    let c = cell?;
+    let s = shards.get(shard)?;
+    for probe in [c, *s] {
+        // Array literals after `in` are not indexing.
+        let _ = probe;
+    }
+    Some(s + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: every violation carries a valid suppression — the file
+//! must lint clean (linted as if it were `crates/desim/src/engine.rs`).
+
+use std::time::Instant; // an import alone is fine (only `::now` trips)
+
+pub fn profiled_dispatch() -> u64 {
+    // lint:allow(wall-clock): one-off local profiling aid, not merged telemetry
+    let t0 = Instant::now();
+    let rng = rand::thread_rng(); // lint:allow(entropy): fixture exercises trailing-comment form
+    let _ = rng;
+    t0.elapsed().as_nanos() as u64
+}

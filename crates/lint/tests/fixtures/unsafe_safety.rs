@@ -1,0 +1,24 @@
+//! Fixture: unsafe without justification (linted as if it were
+//! `crates/lan/src/transport.rs`). Never compiled.
+
+pub fn peek_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() } // finding: unsafe-safety
+}
+
+pub fn peek_justified(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds. No finding here.
+    unsafe { *bytes.as_ptr() }
+}
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+///
+/// Caller must guarantee `bytes` is non-empty. (Rustdoc `# Safety`
+/// sections count as justification: no finding.)
+pub unsafe fn peek_unchecked(bytes: &[u8]) -> u8 {
+    // SAFETY: non-emptiness is the caller's contract (see `# Safety`).
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,20 @@
+//! Fixture: wall-clock reads on a simulation path (linted as if it
+//! were `crates/desim/src/engine.rs`). Never compiled — parsed only.
+
+use std::time::{Instant, SystemTime};
+
+pub fn dispatch_timing() -> f64 {
+    let start = Instant::now(); // finding: wall-clock
+    let _epoch = SystemTime::now(); // finding: wall-clock (x2: type + now is one token hit)
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may time itself: no finding in here.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,225 @@
+//! Golden-fixture tests: each file under `tests/fixtures/` trips
+//! exactly its own rule (and the clean/suppressed fixtures trip
+//! nothing). Fixtures are linted under synthetic workspace paths so
+//! the path-scoped rules activate; the files themselves are never
+//! compiled.
+
+use bips_lint::{apply_baseline, check_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lints a fixture as if it lived at `as_path` and asserts every
+/// finding is `rule`, returning the findings.
+fn expect_only(name: &str, as_path: &str, rule: &str, at_least: usize) -> Vec<Finding> {
+    let findings = check_source(as_path, &fixture(name));
+    assert!(
+        findings.len() >= at_least,
+        "{name}: expected ≥{at_least} findings, got {findings:#?}"
+    );
+    for f in &findings {
+        assert_eq!(f.rule, rule, "{name}: unexpected rule in {f}");
+        assert_eq!(f.path, as_path);
+        assert!(f.line > 0, "{name}: finding without a line: {f}");
+        assert!(
+            !f.snippet.is_empty(),
+            "{name}: finding without a snippet: {f}"
+        );
+    }
+    findings
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let f = expect_only(
+        "wall_clock.rs",
+        "crates/desim/src/engine.rs",
+        "wall-clock",
+        2,
+    );
+    // The cfg(test) module's Instant::now must not be flagged.
+    assert!(
+        f.iter().all(|f| f.line < 13),
+        "test-region finding leaked: {f:#?}"
+    );
+}
+
+#[test]
+fn wall_clock_fixture_is_clean_on_sanctioned_paths() {
+    for path in [
+        "crates/desim/src/probe.rs",
+        "crates/bench/src/telemetry.rs",
+        "src/bin/bips-sim.rs",
+    ] {
+        let findings = check_source(path, &fixture("wall_clock.rs"));
+        assert!(
+            findings.is_empty(),
+            "{path} should allow wall-clock: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn hash_iter_fixture() {
+    let f = expect_only("hash_iter.rs", "crates/core/src/system.rs", "hash-iter", 2);
+    // One method-iteration finding, one for-loop finding.
+    assert!(f.iter().any(|f| f.message.contains(".iter()")), "{f:#?}");
+    assert!(f.iter().any(|f| f.message.contains("for-loop")), "{f:#?}");
+}
+
+#[test]
+fn hash_iter_only_applies_to_simulation_crates() {
+    // The same source outside the scoped crates (e.g. the bench
+    // harness) is fine: report assembly order doesn't replay events.
+    let findings = check_source("crates/bench/src/report.rs", &fixture("hash_iter.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn entropy_fixture() {
+    expect_only("entropy.rs", "crates/mobility/src/walker.rs", "entropy", 1);
+}
+
+#[test]
+fn nan_cmp_fixture() {
+    let f = expect_only("nan_cmp.rs", "crates/desim/src/stats.rs", "nan-cmp", 2);
+    assert!(f.iter().any(|f| f.message.contains("sort")), "{f:#?}");
+    assert!(
+        f.iter().any(|f| f.message.contains("unwrap/expect")),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn serve_panic_fixture() {
+    let f = expect_only(
+        "serve_panic.rs",
+        "crates/core/src/service.rs",
+        "serve-panic",
+        4,
+    );
+    // unwrap, expect, panic!, and the unchecked index — but nothing
+    // from `total_version` (the sanctioned spellings) or the tests.
+    assert!(
+        f.iter().all(|f| f.line < 14),
+        "sanctioned code flagged: {f:#?}"
+    );
+}
+
+#[test]
+fn serve_panic_only_applies_to_the_serving_path() {
+    let findings = check_source("crates/core/src/graph.rs", &fixture("serve_panic.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn unsafe_safety_fixture() {
+    let f = expect_only(
+        "unsafe_safety.rs",
+        "crates/lan/src/transport.rs",
+        "unsafe-safety",
+        1,
+    );
+    assert_eq!(f.len(), 1, "only the unjustified block: {f:#?}");
+    assert_eq!(f[0].line, 5);
+}
+
+#[test]
+fn metric_name_fixture() {
+    let f = expect_only(
+        "metric_name.rs",
+        "crates/baseband/src/medium.rs",
+        "metric-name",
+        4,
+    );
+    assert_eq!(f.len(), 4, "{f:#?}");
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let findings = check_source("crates/desim/src/engine.rs", &fixture("suppressed.rs"));
+    assert!(
+        findings.is_empty(),
+        "valid suppressions must absorb findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn bad_suppression_fixture() {
+    let f = check_source("crates/desim/src/engine.rs", &fixture("bad_suppression.rs"));
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|f| f.rule == "bad-suppression"), "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|f| f.message.contains("unknown rule `no-such-rule`")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter().any(|f| f.message.contains("needs a reason")),
+        "{f:#?}"
+    );
+    assert!(f.iter().any(|f| f.message.contains("unused")), "{f:#?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let findings = check_source("crates/core/src/system.rs", &fixture("clean.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn baseline_absorbs_and_reports_stale() {
+    let findings = check_source("crates/mobility/src/walker.rs", &fixture("entropy.rs"));
+    assert!(!findings.is_empty());
+
+    // A baseline holding every finding absorbs them all.
+    let baseline: String = findings
+        .iter()
+        .map(|f| format!("{}\n", f.baseline_entry()))
+        .collect();
+    let remaining = apply_baseline(findings.clone(), &baseline);
+    assert!(remaining.is_empty(), "{remaining:#?}");
+
+    // An entry matching nothing resurfaces as stale-baseline.
+    let with_stale = format!("{baseline}entropy\tcrates/gone.rs\tlet r = OsRng;\n");
+    let remaining = apply_baseline(findings, &with_stale);
+    assert_eq!(remaining.len(), 1, "{remaining:#?}");
+    assert_eq!(remaining[0].rule, "stale-baseline");
+    assert!(remaining[0].message.contains("crates/gone.rs"));
+}
+
+#[test]
+fn metric_doc_drift_both_directions() {
+    let doc = "## Metric catalog\n\n| name | kind |\n|---|---|\n\
+               | `core.census.members` | gauge |\n\
+               | `core.census.ghost` | counter |\n";
+    // Registered + documented: clean. Registered-only and
+    // documented-only: one finding each, pointing at the right side.
+    let regs = vec![
+        (
+            "core.census.members".to_string(),
+            "crates/core/src/system.rs".to_string(),
+            20,
+        ),
+        (
+            "core.census.rogue".to_string(),
+            "crates/core/src/system.rs".to_string(),
+            21,
+        ),
+    ];
+    let f = bips_lint::metric_doc_drift(doc, &regs);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|f| f.rule == "metric-doc"));
+    assert!(
+        f.iter()
+            .any(|f| f.path == "crates/core/src/system.rs" && f.message.contains("rogue")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|f| f.path == "docs/OBSERVABILITY.md" && f.message.contains("ghost")),
+        "{f:#?}"
+    );
+}

@@ -1,0 +1,42 @@
+//! The self-test the CI gate rides on: the live workspace lints clean
+//! against the committed baseline, and the baseline itself is empty —
+//! real findings get fixed, not grandfathered.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let findings = bips_lint::check_workspace(root).expect("workspace walk");
+    let baseline =
+        std::fs::read_to_string(root.join("crates/lint/baseline.txt")).unwrap_or_default();
+    let remaining = bips_lint::apply_baseline(findings, &baseline);
+    assert!(
+        remaining.is_empty(),
+        "bips-lint found {} problem(s) in the live workspace:\n{}",
+        remaining.len(),
+        remaining
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_is_empty() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline.txt");
+    let baseline = std::fs::read_to_string(path).expect("committed baseline");
+    let entries: Vec<&str> = baseline
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert!(
+        entries.is_empty(),
+        "the baseline must stay empty — fix findings instead of grandfathering them: {entries:#?}"
+    );
+}

@@ -12,7 +12,7 @@
 //! Like the other substrates, the model is written against
 //! [`SubScheduler`] for embedding in the full-system simulation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use desim::compose::SubScheduler;
 use desim::stats::OnlineStats;
@@ -144,7 +144,9 @@ struct WalkerRt {
     /// Next index into the route (Route/Loop modes).
     route_pos: usize,
     /// Cells the walker is currently inside (room indices).
-    inside: HashSet<usize>,
+    /// Ordered set: `cells_of` iterates it, and iteration order
+    /// must not depend on a hasher (workspace determinism).
+    inside: BTreeSet<usize>,
 }
 
 /// The mobility process over one building.
@@ -218,7 +220,7 @@ impl MobilityModel {
             at_room,
             leg: None,
             route_pos: 0,
-            inside: HashSet::new(),
+            inside: BTreeSet::new(),
         });
         id
     }
@@ -248,13 +250,12 @@ impl MobilityModel {
 
     /// The cells a walker is currently inside.
     pub fn cells_of(&self, w: WalkerId) -> Vec<RoomId> {
-        let mut v: Vec<RoomId> = self.walkers[w.0]
+        // BTreeSet iterates in ascending order: already sorted.
+        self.walkers[w.0]
             .inside
             .iter()
             .map(|&i| RoomId::new(i))
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// Drains accumulated notifications, oldest first.

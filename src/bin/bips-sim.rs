@@ -16,6 +16,10 @@
 //! as one compact line, for accumulating sweeps. The JSON schema and the
 //! metric catalog are documented in `docs/OBSERVABILITY.md`.
 
+// Operator-facing binary: timing the run for the human at the
+// terminal is fine; simulation results never depend on it.
+#![allow(clippy::disallowed_methods)]
+
 use bips::core::system::{BipsSystem, SysEvent, SystemConfig, UserSpec};
 use bips::mobility::{Building, Point, RoomId};
 use bips::sim::probe::{EngineProbe, ProbeHandle};
