@@ -1,0 +1,64 @@
+//! `bips-top` — terminal dashboard for the serving engine.
+//!
+//! Renders per-shard queries/sec, HDR latency quantiles, and
+//! trace-ring occupancy from a `bips-run-report/v1` document written by
+//! `server_throughput --json`:
+//!
+//!   cargo run -p bips-bench --bin bips-top -- report.json
+//!   cargo run -p bips-bench --bin bips-top -- report.json --section full
+//!   cargo run -p bips-bench --bin bips-top -- report.json --watch 2
+//!
+//! `--watch SECS` re-reads and re-renders the file every `SECS`
+//! seconds — point it at the report path a long bench run is writing
+//! to and it becomes a live snapshot view.
+
+// Operator binary: sleeping between refreshes is its whole job.
+#![allow(clippy::disallowed_methods)]
+
+use bips_bench::telemetry::take_flag;
+use bips_bench::toprender::render;
+use desim::report::Json;
+
+fn render_once(path: &str, section: Option<&str>) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    render(&json, section)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, section) = take_flag(args, "--section");
+    let (args, watch) = take_flag(args, "--watch");
+    let Some(path) = args.first() else {
+        eprintln!("usage: bips-top REPORT.json [--section NAME] [--watch SECS]");
+        std::process::exit(2);
+    };
+    let period = watch.map(|w| {
+        w.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("--watch wants whole seconds, got {w:?}");
+            std::process::exit(2);
+        })
+    });
+
+    loop {
+        match render_once(path, section.as_deref()) {
+            Ok(out) => {
+                if period.is_some() {
+                    // Clear screen + home, like top(1).
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{out}");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                if period.is_none() {
+                    std::process::exit(1);
+                }
+            }
+        }
+        match period {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+            None => break,
+        }
+    }
+}

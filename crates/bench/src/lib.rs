@@ -19,8 +19,10 @@ pub mod ablations;
 pub mod duty;
 pub mod e2e;
 pub mod figure2;
+pub mod loadgen;
 pub mod table1;
 pub mod telemetry;
+pub mod toprender;
 
 /// Formats a probability in the paper's percent style.
 pub fn pct(p: f64) -> String {

@@ -1,0 +1,583 @@
+//! Shared serving-path load generator.
+//!
+//! The deterministic WhereIs workload driver behind the
+//! `server_throughput` binary and the tracing differential tests. A
+//! [`Workload`] describes a building's worth of users moving between
+//! cells while a pool of queriers asks where everyone is; a [`Trace`]
+//! is the pre-generated, mode-independent schedule of moves and
+//! queries derived from the seed. Three replay modes exist:
+//!
+//! * [`run_baseline`] — the seed [`BipsServer`] (string-keyed, fresh
+//!   allocations per answer);
+//! * [`run_sharded`] — the sharded engine with tracing off;
+//! * [`run_sharded_traced`] — the same engine with a
+//!   [`Tracer`] attached and a fresh span per query.
+//!
+//! Every answer is folded into an FNV-1a checksum and every flush ack
+//! into a second one, so "tracing is non-perturbing" is a one-line
+//! assertion: the sharded and traced runs must produce bit-identical
+//! `checksum` and `ack_checksum` for any `--jobs` value.
+
+// Bench library: wall-clock reads feed perf reports (queries/sec,
+// latency histograms), never simulation results.
+#![allow(clippy::disallowed_methods)]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bips_core::graph::WsGraph;
+use bips_core::protocol::{LocateOutcome, Request, Response};
+use bips_core::registry::{AccessRights, Registry};
+use bips_core::service::{ShardedService, WhereIs};
+use bips_core::BipsServer;
+use bt_baseband::BdAddr;
+use desim::hdr::HdrHistogram;
+use desim::metrics::MetricSet;
+use desim::tracing::{FlightRecorder, SpanId, Tracer};
+use desim::{SeedDeriver, SimTime};
+
+/// FNV-1a 64 offset basis: the initial value of every checksum fold.
+pub const CHECKSUM_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// One load-bench workload: a population on a square-grid building.
+pub struct Workload {
+    /// Section name in reports (`full`, `smoke`, `tiny`).
+    pub name: &'static str,
+    /// Registered user population.
+    pub users: u64,
+    /// Grid side; the building has `side * side` cells.
+    pub side: usize,
+    /// Moves applied per tick (each move = present(new) + absent(old)).
+    pub updates_per_tick: usize,
+    /// Queries served per tick (4x the updates: an 80:20 mix).
+    pub queries_per_tick: usize,
+    /// Number of ticks replayed.
+    pub ticks: usize,
+    /// Queriers are drawn from the first `pool` users — the handful of
+    /// receptionists and dispatchers who actually run queries all day.
+    pub pool: u64,
+    /// Shard count for the sharded engine (power of two).
+    pub shards: usize,
+    /// Root seed; everything else derives from it.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The paper-scale workload: 1M users, 2M ops.
+    pub fn full() -> Workload {
+        Workload {
+            name: "full",
+            users: 1_000_000,
+            side: 16,
+            updates_per_tick: 64,
+            queries_per_tick: 256,
+            ticks: 6250, // 1.6M queries + 400k moves = 2M ops, 80:20
+            pool: 4096,
+            shards: 16,
+            seed: 2003,
+        }
+    }
+
+    /// The CI-speed workload: 100k users, 200k ops.
+    pub fn smoke() -> Workload {
+        Workload {
+            name: "smoke",
+            users: 100_000,
+            side: 8,
+            updates_per_tick: 64,
+            queries_per_tick: 256,
+            ticks: 625, // 160k queries + 40k moves = 200k ops
+            pool: 1024,
+            shards: 8,
+            seed: 2003,
+        }
+    }
+
+    /// A seconds-scale workload for differential tests.
+    pub fn tiny() -> Workload {
+        Workload {
+            name: "tiny",
+            users: 2_048,
+            side: 4,
+            updates_per_tick: 8,
+            queries_per_tick: 32,
+            ticks: 50,
+            pool: 64,
+            shards: 4,
+            seed: 2003,
+        }
+    }
+
+    /// Number of cells in the building.
+    pub fn cells(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Total queries replayed.
+    pub fn queries(&self) -> u64 {
+        (self.ticks * self.queries_per_tick) as u64
+    }
+}
+
+/// A pre-generated, mode-independent trace: per tick, a block of moves
+/// and a block of queries.
+pub struct Trace {
+    /// `(uid, old_cell, new_cell)` per move, tick-major.
+    pub moves: Vec<(u64, u32, u32)>,
+    /// `(querier_uid, target_uid, from_cell)` per query, tick-major.
+    pub queries: Vec<(u64, u64, u32)>,
+    /// Initial cell per user.
+    pub initial: Vec<u32>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the move/query schedule from the workload seed.
+pub fn generate_trace(w: &Workload) -> Trace {
+    let seeds = SeedDeriver::new(w.seed);
+    let cells = w.cells() as u64;
+    let initial: Vec<u32> = (0..w.users).map(|u| (u % cells) as u32).collect();
+    let mut current = initial.clone();
+
+    let mut mv_state = seeds.derive(1);
+    let mut moves = Vec::with_capacity(w.ticks * w.updates_per_tick);
+    let mut q_state = seeds.derive(2);
+    let mut queries = Vec::with_capacity(w.ticks * w.queries_per_tick);
+    for _tick in 0..w.ticks {
+        for _ in 0..w.updates_per_tick {
+            let r = splitmix(&mut mv_state);
+            let uid = r % w.users;
+            let old = current[uid as usize];
+            // Step to a different cell (never a redundant re-announce).
+            let new = (u64::from(old) + 1 + (r >> 32) % (cells - 1)) % cells;
+            current[uid as usize] = new as u32;
+            moves.push((uid, old, new as u32));
+        }
+        for _ in 0..w.queries_per_tick {
+            let r = splitmix(&mut q_state);
+            let querier = r % w.pool;
+            let target = (r >> 20) % w.users;
+            let from_cell = (r >> 52) % cells;
+            queries.push((querier, target, from_cell as u32));
+        }
+    }
+    Trace {
+        moves,
+        queries,
+        initial,
+    }
+}
+
+/// The Bluetooth address registered for user `uid`.
+pub fn addr(uid: u64) -> BdAddr {
+    BdAddr::new(0x1_0000 + uid)
+}
+
+/// Folds one answer into the cross-mode checksum (FNV-1a 64).
+pub fn fold(sum: &mut u64, kind: u64, cell: u64, dist_bits: u64, path: &[u32]) {
+    let mut h = *sum;
+    for word in [kind, cell, dist_bits, path.len() as u64] {
+        h = (h ^ word).wrapping_mul(FNV_PRIME);
+    }
+    for &c in path {
+        h = (h ^ u64::from(c)).wrapping_mul(FNV_PRIME);
+    }
+    *sum = h;
+}
+
+/// Folds one flush's acks into the ack checksum (FNV-1a 64).
+pub fn fold_acks(sum: &mut u64, acks: &[bool]) {
+    let mut h = *sum;
+    h = (h ^ acks.len() as u64).wrapping_mul(FNV_PRIME);
+    for &a in acks {
+        h = (h ^ u64::from(a)).wrapping_mul(FNV_PRIME);
+    }
+    *sum = h;
+}
+
+/// Result of one mode over one workload.
+pub struct ModeResult {
+    /// Wall seconds spent inside query blocks only.
+    pub query_secs: f64,
+    /// Wall seconds for the whole replay (updates included).
+    pub total_secs: f64,
+    /// Per-query latencies, nanoseconds, in trace order.
+    pub latencies_ns: Vec<u64>,
+    /// FNV-1a fold of every answer (kind, cell, distance, path).
+    pub checksum: u64,
+    /// FNV-1a fold of every flush's acks. [`CHECKSUM_INIT`] for the
+    /// baseline mode, which has no batched flushes.
+    pub ack_checksum: u64,
+    /// Queries answered `Found`.
+    pub found: u64,
+}
+
+impl ModeResult {
+    /// Queries per wall second, counting query blocks only.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.latencies_ns.len() as f64 / self.query_secs
+    }
+
+    /// Exact percentile (microseconds) from the sorted latency vector.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted.get(idx).copied().unwrap_or(0) as f64 / 1000.0
+    }
+
+    /// All latencies folded into a log-linear HDR histogram at the
+    /// default resolution (relative error < 1.5625%).
+    pub fn latency_hdr(&self) -> HdrHistogram {
+        let mut h = HdrHistogram::with_default_resolution();
+        for &ns in &self.latencies_ns {
+            h.record(ns);
+        }
+        h
+    }
+}
+
+/// Per-shard latency HDR histograms: query latencies attributed to the
+/// querier's shard (`querier & (shards - 1)`), exactly as
+/// `ShardedService` routes them. Computed post-hoc from the trace so
+/// the replay itself stays untouched.
+pub fn shard_latency_hdrs(w: &Workload, trace: &Trace, r: &ModeResult) -> Vec<HdrHistogram> {
+    let mask = (w.shards as u64).saturating_sub(1);
+    let mut hdrs: Vec<HdrHistogram> = (0..w.shards)
+        .map(|_| HdrHistogram::with_default_resolution())
+        .collect();
+    for (&(querier, _, _), &ns) in trace.queries.iter().zip(&r.latencies_ns) {
+        let shard = (querier & mask) as usize;
+        if let Some(h) = hdrs.get_mut(shard) {
+            h.record(ns);
+        }
+    }
+    hdrs
+}
+
+/// Index-ordered merge of per-shard histograms into one. The order is
+/// fixed (shard 0, 1, 2, …) so the merged histogram is bit-identical
+/// however the shards were populated.
+pub fn merge_shard_hdrs(shards: &[HdrHistogram]) -> HdrHistogram {
+    let mut merged = HdrHistogram::with_default_resolution();
+    for h in shards {
+        // Same resolution by construction; a mismatch would be a bug
+        // worth surfacing in the bench output, not worth panicking for.
+        if let Err(e) = merged.merge(h) {
+            eprintln!("shard hdr merge failed: {e}");
+        }
+    }
+    merged
+}
+
+/// The square-grid workspace graph.
+pub fn grid(side: usize) -> WsGraph {
+    let mut g = WsGraph::new(side * side);
+    for r in 0..side {
+        for c in 0..side {
+            let at = r * side + c;
+            if c + 1 < side {
+                g.add_edge(at, at + 1, 10.0);
+            }
+            if r + 1 < side {
+                g.add_edge(at, at + side, 10.0);
+            }
+        }
+    }
+    g
+}
+
+/// A registry with `users` open-rights accounts (`user0`, `user1`, …).
+pub fn registry(users: u64) -> Registry {
+    let mut reg = Registry::new();
+    for i in 0..users {
+        reg.register(&format!("user{i}"), "pw", AccessRights::open())
+            .unwrap();
+    }
+    reg
+}
+
+/// Replays the trace against the seed server.
+pub fn run_baseline(w: &Workload, trace: &Trace) -> ModeResult {
+    let g = grid(w.side);
+    let mut server = BipsServer::new(registry(w.users), &g);
+    let names: Vec<String> = (0..w.users).map(|i| format!("user{i}")).collect();
+    let mut ts: u64 = 0;
+    for uid in 0..w.users {
+        server
+            .registry_mut()
+            .login(&names[uid as usize], "pw", addr(uid))
+            .expect("setup login");
+    }
+    for uid in 0..w.users {
+        ts += 1;
+        server.handle(
+            Request::Presence {
+                cell: trace.initial[uid as usize],
+                addr: addr(uid),
+                present: true,
+            },
+            SimTime::from_micros(ts),
+        );
+    }
+
+    let mut latencies_ns = Vec::with_capacity(trace.queries.len());
+    let mut checksum = CHECKSUM_INIT;
+    let mut found = 0u64;
+    let mut query_secs = 0.0;
+    let start = Instant::now();
+    for tick in 0..w.ticks {
+        for &(uid, old, new) in
+            &trace.moves[tick * w.updates_per_tick..(tick + 1) * w.updates_per_tick]
+        {
+            ts += 1;
+            server.handle(
+                Request::Presence {
+                    cell: new,
+                    addr: addr(uid),
+                    present: true,
+                },
+                SimTime::from_micros(ts),
+            );
+            ts += 1;
+            server.handle(
+                Request::Presence {
+                    cell: old,
+                    addr: addr(uid),
+                    present: false,
+                },
+                SimTime::from_micros(ts),
+            );
+        }
+        let block = Instant::now();
+        let mut prev = block;
+        for &(querier, target, from_cell) in
+            &trace.queries[tick * w.queries_per_tick..(tick + 1) * w.queries_per_tick]
+        {
+            let resp = server.handle(
+                Request::Locate {
+                    from: addr(querier),
+                    target: names[target as usize].clone(),
+                    from_cell,
+                },
+                SimTime::from_micros(ts),
+            );
+            let now = Instant::now();
+            latencies_ns.push((now - prev).as_nanos() as u64);
+            prev = now;
+            let Response::LocateResult(out) = resp else {
+                panic!("unexpected response");
+            };
+            match out {
+                LocateOutcome::Found {
+                    cell,
+                    path,
+                    distance,
+                } => {
+                    found += 1;
+                    fold(&mut checksum, 0, u64::from(cell), distance.to_bits(), &path);
+                }
+                other => fold(&mut checksum, 1 + other_code(&other), 0, 0, &[]),
+            }
+        }
+        query_secs += block.elapsed().as_secs_f64();
+    }
+    ModeResult {
+        query_secs,
+        total_secs: start.elapsed().as_secs_f64(),
+        latencies_ns,
+        checksum,
+        ack_checksum: CHECKSUM_INIT,
+        found,
+    }
+}
+
+/// Stable discriminant for non-Found [`LocateOutcome`]s.
+pub fn other_code(out: &LocateOutcome) -> u64 {
+    match out {
+        LocateOutcome::Found { .. } => 0,
+        LocateOutcome::NotLoggedIn => 1,
+        LocateOutcome::OutOfCoverage => 2,
+        LocateOutcome::NoSuchUser => 3,
+        LocateOutcome::Denied => 4,
+        LocateOutcome::QuerierNotLoggedIn => 5,
+        LocateOutcome::BadQuery(_) => 6,
+    }
+}
+
+/// Replays the trace against the sharded engine, tracing off.
+pub fn run_sharded(w: &Workload, trace: &Trace, jobs: usize) -> (ModeResult, MetricSet) {
+    run_sharded_impl(w, trace, jobs, None)
+}
+
+/// Replays the trace against the sharded engine with `tracer`
+/// attached: every query gets a fresh span, every ingest and flush is
+/// recorded on its shard's ring. When `recorder` is armed with a
+/// latency threshold, each query latency is fed to it.
+pub fn run_sharded_traced(
+    w: &Workload,
+    trace: &Trace,
+    jobs: usize,
+    tracer: &Arc<Tracer>,
+    recorder: Option<&FlightRecorder>,
+) -> (ModeResult, MetricSet) {
+    run_sharded_impl(w, trace, jobs, Some((tracer, recorder)))
+}
+
+fn run_sharded_impl(
+    w: &Workload,
+    trace: &Trace,
+    jobs: usize,
+    tracing: Option<(&Arc<Tracer>, Option<&FlightRecorder>)>,
+) -> (ModeResult, MetricSet) {
+    let g = grid(w.side);
+    let reg = registry(w.users);
+    let mut svc = ShardedService::new(&reg, g.precompute_all_pairs(), w.shards);
+    if let Some((tracer, _)) = tracing {
+        svc.attach_tracer(Arc::clone(tracer));
+    }
+    let shard_mask = (w.shards as u64).saturating_sub(1);
+    let mut ts: u64 = 0;
+    let mut ack_checksum = CHECKSUM_INIT;
+    for uid in 0..w.users {
+        svc.login(uid, "pw", addr(uid)).expect("setup login");
+    }
+    for uid in 0..w.users {
+        ts += 1;
+        svc.ingest(addr(uid), trace.initial[uid as usize], true, ts);
+    }
+    fold_acks(&mut ack_checksum, &svc.flush(jobs));
+
+    let mut latencies_ns = Vec::with_capacity(trace.queries.len());
+    let mut checksum = CHECKSUM_INIT;
+    let mut found = 0u64;
+    let mut query_secs = 0.0;
+    let mut path = Vec::new();
+    let mut path32 = Vec::new();
+    let start = Instant::now();
+    for tick in 0..w.ticks {
+        for &(uid, old, new) in
+            &trace.moves[tick * w.updates_per_tick..(tick + 1) * w.updates_per_tick]
+        {
+            ts += 1;
+            svc.ingest(addr(uid), new, true, ts);
+            ts += 1;
+            svc.ingest(addr(uid), old, false, ts);
+        }
+        fold_acks(&mut ack_checksum, &svc.flush(jobs));
+        let block = Instant::now();
+        let mut prev = block;
+        for &(querier, target, from_cell) in
+            &trace.queries[tick * w.queries_per_tick..(tick + 1) * w.queries_per_tick]
+        {
+            let span = match tracing {
+                Some((tracer, _)) => tracer.next_span(),
+                None => SpanId::NONE,
+            };
+            let out = svc.where_is_traced(querier, target, from_cell as usize, &mut path, span);
+            let now = Instant::now();
+            let lat = (now - prev).as_nanos() as u64;
+            latencies_ns.push(lat);
+            prev = now;
+            if let Some((_, Some(rec))) = tracing {
+                rec.observe_latency_ns(span, (querier & shard_mask) as usize, lat);
+            }
+            match out {
+                WhereIs::Found { cell, distance } => {
+                    found += 1;
+                    path32.clear();
+                    path32.extend(path.iter().map(|&n| n as u32));
+                    fold(
+                        &mut checksum,
+                        0,
+                        u64::from(cell),
+                        distance.to_bits(),
+                        &path32,
+                    );
+                }
+                other => fold(&mut checksum, 1 + where_code(&other), 0, 0, &[]),
+            }
+        }
+        query_secs += block.elapsed().as_secs_f64();
+    }
+    let mut metrics = MetricSet::new();
+    svc.export_metrics(&mut metrics);
+    if let Some((tracer, _)) = tracing {
+        tracer.export_metrics(&mut metrics);
+    }
+    (
+        ModeResult {
+            query_secs,
+            total_secs: start.elapsed().as_secs_f64(),
+            latencies_ns,
+            checksum,
+            ack_checksum,
+            found,
+        },
+        metrics,
+    )
+}
+
+/// Stable discriminant for non-Found [`WhereIs`] outcomes.
+pub fn where_code(out: &WhereIs) -> u64 {
+    match out {
+        WhereIs::Found { .. } => 0,
+        WhereIs::NotLoggedIn => 1,
+        WhereIs::OutOfCoverage => 2,
+        WhereIs::NoSuchUser => 3,
+        WhereIs::Denied => 4,
+        WhereIs::QuerierNotLoggedIn => 5,
+        WhereIs::BadQuery(_) => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let w = Workload::tiny();
+        let a = generate_trace(&w);
+        let b = generate_trace(&w);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.queries.len() as u64, w.queries());
+    }
+
+    #[test]
+    fn fold_acks_depends_on_order_and_length() {
+        let mut a = CHECKSUM_INIT;
+        let mut b = CHECKSUM_INIT;
+        fold_acks(&mut a, &[true, false]);
+        fold_acks(&mut b, &[false, true]);
+        assert_ne!(a, b);
+        let mut c = CHECKSUM_INIT;
+        fold_acks(&mut c, &[true]);
+        fold_acks(&mut c, &[false]);
+        assert_ne!(a, c, "batch boundaries are part of the fold");
+    }
+
+    #[test]
+    fn shard_hdrs_merge_to_overall() {
+        let w = Workload::tiny();
+        let trace = generate_trace(&w);
+        let (r, _) = run_sharded(&w, &trace, 1);
+        let shards = shard_latency_hdrs(&w, &trace, &r);
+        assert_eq!(shards.len(), w.shards);
+        let merged = merge_shard_hdrs(&shards);
+        assert_eq!(merged.count(), r.latencies_ns.len() as u64);
+        assert_eq!(merged.count(), r.latency_hdr().count());
+        assert_eq!(merged.min(), r.latency_hdr().min());
+        assert_eq!(merged.max(), r.latency_hdr().max());
+    }
+}

@@ -1,0 +1,200 @@
+//! Rendering for `bips-top`, the serving-engine operator view.
+//!
+//! Takes a `bips-run-report/v1` document produced by
+//! `server_throughput --json` and renders a terminal dashboard: one
+//! header block with the three modes' throughput and the tracing
+//! overhead, then one row per shard with queries/sec, HDR latency
+//! quantiles, and trace-ring occupancy. Pure string-in/string-out so
+//! the binary stays a thin I/O shell and the layout is unit-testable.
+
+use desim::report::Json;
+
+/// Reads a number out of any numeric [`Json`] variant.
+fn num(j: &Json) -> Option<f64> {
+    match j {
+        Json::UInt(v) => Some(*v as f64),
+        Json::Int(v) => Some(*v as f64),
+        Json::Num(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn get_num(obj: &Json, key: &str) -> Option<f64> {
+    obj.get(key).and_then(num)
+}
+
+/// A fixed-width unicode occupancy bar in `[0, 1]`.
+fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Picks the section to render: `name` if given, else the first
+/// top-level object that carries a `shards` array.
+fn pick_section<'a>(
+    report: &'a Json,
+    name: Option<&'a str>,
+) -> Result<(&'a str, &'a Json), String> {
+    if let Some(n) = name {
+        let s = report
+            .get(n)
+            .ok_or_else(|| format!("no section {n:?} in report"))?;
+        return Ok((n, s));
+    }
+    let Json::Obj(pairs) = report else {
+        return Err("report root is not an object".to_string());
+    };
+    pairs
+        .iter()
+        .find(|(_, v)| v.get("shards").is_some())
+        .map(|(k, v)| (k.as_str(), v))
+        .ok_or_else(|| "report has no section with a shards array".to_string())
+}
+
+/// Renders the dashboard for one section of `report`.
+///
+/// `section`: section name to render (e.g. `full`, `smoke`); `None`
+/// picks the first section that has a per-shard breakdown.
+pub fn render(report: &Json, section: Option<&str>) -> Result<String, String> {
+    let (name, sec) = pick_section(report, section)?;
+    let experiment = match report.get("experiment") {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => "?",
+    };
+    let mut out = String::new();
+    out.push_str(&format!("bips-top — {experiment} [{name}]\n"));
+
+    if let Some(cfg) = sec.get("config") {
+        out.push_str(&format!(
+            "workload: {:.0} users, {:.0} cells, {:.0} shards, seed {:.0}\n",
+            get_num(cfg, "users").unwrap_or(0.0),
+            get_num(cfg, "cells").unwrap_or(0.0),
+            get_num(cfg, "shards").unwrap_or(0.0),
+            get_num(cfg, "seed").unwrap_or(0.0),
+        ));
+    }
+    for mode in ["baseline", "sharded", "traced"] {
+        let Some(m) = sec.get(mode) else { continue };
+        let qps = get_num(m, "queries_per_sec").unwrap_or(0.0);
+        let p99 = get_num(m, "p99_us").unwrap_or(0.0);
+        let p999 = m
+            .get("latency_hdr_ns")
+            .and_then(|h| get_num(h, "p999"))
+            .map(|ns| ns / 1000.0);
+        match p999 {
+            Some(p999) => out.push_str(&format!(
+                "{mode:>9}: {qps:>10.0} q/s   p99 {p99:>8.2} us   p999 {p999:>8.2} us\n"
+            )),
+            None => out.push_str(&format!("{mode:>9}: {qps:>10.0} q/s   p99 {p99:>8.2} us\n")),
+        }
+    }
+    if let Some(speedup) = sec.get("speedup") {
+        if let Some(ovh) = get_num(speedup, "tracing_overhead") {
+            out.push_str(&format!(
+                "tracing overhead: {:.1}% of untraced throughput\n",
+                (1.0 - ovh) * 100.0
+            ));
+        }
+    }
+    if let Some(tr) = sec.get("tracing") {
+        out.push_str(&format!(
+            "trace events: {:.0} recorded, {:.0} dropped\n",
+            get_num(tr, "recorded").unwrap_or(0.0),
+            get_num(tr, "dropped").unwrap_or(0.0),
+        ));
+    }
+
+    let Some(Json::Arr(rows)) = sec.get("shards") else {
+        return Err(format!("section {name:?} has no shards array"));
+    };
+    out.push('\n');
+    out.push_str("shard      q/s   queries   p50 us   p999 us  ring occupancy\n");
+    for row in rows {
+        let shard = get_num(row, "shard").unwrap_or(-1.0);
+        let qps = get_num(row, "queries_per_sec").unwrap_or(0.0);
+        let queries = get_num(row, "queries").unwrap_or(0.0);
+        let p50 = get_num(row, "p50_us").unwrap_or(0.0);
+        let p999 = get_num(row, "p999_us").unwrap_or(0.0);
+        let occ = get_num(row, "ring_occupancy").unwrap_or(0.0);
+        out.push_str(&format!(
+            "{shard:>5.0} {qps:>8.0} {queries:>9.0} {p50:>8.2} {p999:>9.2}  [{}] {:>3.0}%\n",
+            bar(occ, 20),
+            occ * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Json {
+        Json::parse(
+            r#"{
+              "schema": "bips-run-report/v1",
+              "experiment": "server_throughput",
+              "smoke": {
+                "config": {"users": 100000, "cells": 64, "shards": 2, "seed": 2003},
+                "baseline": {"queries_per_sec": 12000.5, "p99_us": 80.0},
+                "sharded": {"queries_per_sec": 2000000.0, "p99_us": 1.5},
+                "traced": {"queries_per_sec": 1900000.0, "p99_us": 1.6,
+                           "latency_hdr_ns": {"p999": 9000}},
+                "speedup": {"queries_per_sec": 166.0, "tracing_overhead": 0.95},
+                "tracing": {"recorded": 360000, "dropped": 0},
+                "shards": [
+                  {"shard": 0, "queries": 80000, "queries_per_sec": 950000.0,
+                   "p50_us": 0.4, "p999_us": 9.0,
+                   "ring_recorded": 180000, "ring_occupancy": 1.0},
+                  {"shard": 1, "queries": 80000, "queries_per_sec": 950000.0,
+                   "p50_us": 0.4, "p999_us": 8.0,
+                   "ring_recorded": 180000, "ring_occupancy": 0.5}
+                ]
+              }
+            }"#,
+        )
+        .expect("sample parses")
+    }
+
+    #[test]
+    fn renders_header_modes_and_shard_rows() {
+        let out = render(&sample_report(), None).expect("render");
+        assert!(out.contains("server_throughput [smoke]"));
+        assert!(out.contains("baseline:"));
+        assert!(out.contains("traced:"));
+        assert!(out.contains("p999     9.00 us"));
+        assert!(out.contains("tracing overhead: 5.0%"));
+        assert!(out.contains("360000 recorded"));
+        // Two shard rows, occupancy bars at 100% and 50%.
+        assert!(out.contains("[####################] 100%"));
+        assert!(out.contains("[##########..........]  50%"));
+    }
+
+    #[test]
+    fn explicit_section_and_missing_section() {
+        let r = sample_report();
+        assert!(render(&r, Some("smoke")).is_ok());
+        let err = render(&r, Some("full")).expect_err("missing section");
+        assert!(err.contains("no section"));
+    }
+
+    #[test]
+    fn report_without_shards_is_an_error() {
+        let r = Json::parse(r#"{"experiment": "x", "smoke": {"config": {}}}"#).expect("parses");
+        assert!(render(&r, None).is_err());
+        assert!(render(&r, Some("smoke")).is_err());
+    }
+
+    #[test]
+    fn bar_clamps_and_scales() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(7.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+}

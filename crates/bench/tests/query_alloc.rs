@@ -8,11 +8,13 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bips_core::graph::WsGraph;
 use bips_core::registry::{AccessRights, Registry};
 use bips_core::service::{ShardedService, WhereIs};
 use bt_baseband::BdAddr;
+use desim::tracing::Tracer;
 
 struct CountingAlloc;
 
@@ -47,11 +49,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_queries_do_not_allocate() {
-    const USERS: u64 = 512;
-    const CELLS: usize = 64;
+const USERS: u64 = 512;
+const CELLS: usize = 64;
 
+/// The shared fixture: a line-graph building with the whole outcome
+/// spectrum reachable. With `tracer`, trace rings are attached and
+/// every query gets a fresh span — the hot path must stay
+/// allocation-free either way.
+fn build_service(tracer: Option<Arc<Tracer>>) -> ShardedService {
     let mut reg = Registry::new();
     for i in 0..USERS {
         reg.register(&format!("user{i}"), "pw", AccessRights::open())
@@ -61,7 +66,10 @@ fn steady_state_queries_do_not_allocate() {
     for i in 0..CELLS - 1 {
         g.add_edge(i, i + 1, 10.0);
     }
-    let svc = ShardedService::new(&reg, g.precompute_all_pairs(), 8);
+    let mut svc = ShardedService::new(&reg, g.precompute_all_pairs(), 8);
+    if let Some(t) = tracer {
+        svc.attach_tracer(t);
+    }
     let mut ts = 0;
     // User 0 stays logged out (NotLoggedIn answers); user 1 stays out
     // of coverage (no presence).
@@ -78,46 +86,58 @@ fn steady_state_queries_do_not_allocate() {
         );
     }
     svc.flush(1);
+    svc
+}
 
+/// 400 queries across the outcome spectrum; fresh spans when traced.
+fn run_burst(svc: &ShardedService, path: &mut Vec<usize>, count: &mut u64) {
+    let mut state = 7u64;
+    for q in 0..400u64 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let querier = 2 + state % (USERS - 2);
+        // Mix of found, not-logged-in, out-of-coverage, no-such-user
+        // and malformed queries: the whole spectrum must be
+        // allocation-free, worst paths included (the line graph's
+        // longest path is CELLS nodes).
+        let (target, from_cell) = match q % 8 {
+            0 => (0, 0),               // NotLoggedIn
+            1 => (1, 0),               // OutOfCoverage
+            2 => (USERS + 5, 0),       // NoSuchUser
+            3 => (querier, CELLS + 3), // BadQuery
+            _ => ((state >> 7) % USERS, (state >> 13) as usize % CELLS),
+        };
+        let out = match svc.tracer() {
+            Some(t) => {
+                let span = t.next_span();
+                svc.where_is_traced(querier, target, from_cell, path, span)
+            }
+            None => svc.where_is(querier, target, from_cell, path),
+        };
+        match out {
+            WhereIs::Found { cell, distance } => {
+                assert!((cell as usize) < CELLS && distance.is_finite());
+                *count += 1;
+            }
+            WhereIs::NotLoggedIn
+            | WhereIs::OutOfCoverage
+            | WhereIs::NoSuchUser
+            | WhereIs::BadQuery(_)
+            | WhereIs::Denied
+            | WhereIs::QuerierNotLoggedIn => {}
+        }
+    }
+}
+
+fn assert_zero_alloc_burst(svc: &ShardedService) {
     let mut path = Vec::new();
     let mut answered = 0u64;
-    let mut run = |count: &mut u64| {
-        let mut state = 7u64;
-        for q in 0..400u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let querier = 2 + state % (USERS - 2);
-            // Mix of found, not-logged-in, out-of-coverage, no-such-user
-            // and malformed queries: the whole spectrum must be
-            // allocation-free, worst paths included (the line graph's
-            // longest path is CELLS nodes).
-            let (target, from_cell) = match q % 8 {
-                0 => (0, 0),               // NotLoggedIn
-                1 => (1, 0),               // OutOfCoverage
-                2 => (USERS + 5, 0),       // NoSuchUser
-                3 => (querier, CELLS + 3), // BadQuery
-                _ => ((state >> 7) % USERS, (state >> 13) as usize % CELLS),
-            };
-            match svc.where_is(querier, target, from_cell, &mut path) {
-                WhereIs::Found { cell, distance } => {
-                    assert!((cell as usize) < CELLS && distance.is_finite());
-                    *count += 1;
-                }
-                WhereIs::NotLoggedIn
-                | WhereIs::OutOfCoverage
-                | WhereIs::NoSuchUser
-                | WhereIs::BadQuery(_)
-                | WhereIs::Denied
-                | WhereIs::QuerierNotLoggedIn => {}
-            }
-        }
-    };
 
     // Warm-up: grows the path buffer to the longest answer once.
-    run(&mut answered);
+    run_burst(svc, &mut path, &mut answered);
     assert!(answered > 0, "warm-up answered no queries");
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    run(&mut answered);
+    run_burst(svc, &mut path, &mut answered);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(
         after - before,
@@ -125,4 +145,21 @@ fn steady_state_queries_do_not_allocate() {
         "steady-state where_is allocated {} times over 400 queries",
         after - before
     );
+}
+
+#[test]
+fn steady_state_queries_do_not_allocate() {
+    let svc = build_service(None);
+    assert_zero_alloc_burst(&svc);
+}
+
+/// Tracing records two ring events and allocates a span per query; the
+/// rings are preallocated, so the pin holds with tracing on too.
+#[test]
+fn steady_state_traced_queries_do_not_allocate() {
+    let tracer = Arc::new(Tracer::new(8, 1024));
+    let svc = build_service(Some(Arc::clone(&tracer)));
+    assert_zero_alloc_burst(&svc);
+    assert!(tracer.recorded() >= 800, "traced burst recorded no events");
+    assert_eq!(tracer.dropped(), 0);
 }

@@ -1,0 +1,107 @@
+//! End-to-end span propagation: client → RPC frame → shard → response.
+//!
+//! A span allocated at the client rides the traced RPC request frame,
+//! is extracted at `decode_ref_recorded` (recording `frame_decode`),
+//! is handed to the sharded engine's `where_is_traced` (recording
+//! `query_start`/`query_end` on the querier's shard ring), and rides
+//! the traced response frame back (recording `frame_encode`). The
+//! trace then tells the whole story of the request in global sequence
+//! order, all attributed to the one span.
+
+use std::sync::Arc;
+
+use bips_core::graph::WsGraph;
+use bips_core::registry::{AccessRights, Registry};
+use bips_core::service::{ShardedService, WhereIs};
+use bips_lan::network::HostId;
+use bips_lan::rpc::{RpcCodec, RpcFrame};
+use bips_lan::transport::AppMessage;
+use bt_baseband::BdAddr;
+use desim::tracing::{TraceKind, Tracer};
+
+const SHARDS: usize = 4;
+
+fn app_msg(src: usize, dst: usize, payload: Vec<u8>) -> AppMessage {
+    AppMessage {
+        src: HostId::new(src),
+        dst: HostId::new(dst),
+        payload,
+    }
+}
+
+#[test]
+fn span_travels_client_to_shard_and_back() {
+    let tracer = Arc::new(Tracer::new(SHARDS, 64));
+
+    // The serving side: a small sharded engine with the tracer attached.
+    let mut reg = Registry::new();
+    for i in 0..32u64 {
+        reg.register(&format!("user{i}"), "pw", AccessRights::open())
+            .unwrap();
+    }
+    let mut g = WsGraph::new(8);
+    for i in 0..7 {
+        g.add_edge(i, i + 1, 10.0);
+    }
+    let mut svc = ShardedService::new(&reg, g.precompute_all_pairs(), SHARDS);
+    svc.attach_tracer(Arc::clone(&tracer));
+    for uid in 0..32 {
+        svc.login(uid, "pw", BdAddr::new(500 + uid)).unwrap();
+    }
+    for uid in 0..32 {
+        svc.ingest(BdAddr::new(500 + uid), (uid % 8) as u32, true, uid + 1);
+    }
+    svc.flush(1);
+
+    // Client side: allocate a span, frame a traced request.
+    let mut client = RpcCodec::new();
+    let span = tracer.next_span();
+    let querier = 6u64; // shard = 6 & 3 = 2
+    let target = 9u64;
+    let ring = (querier as usize) % SHARDS;
+    let (corr, wire) = client.encode_request_traced(span, &[querier as u8, target as u8]);
+
+    // Server side: deframe (records frame_decode), serve (records
+    // query_start/query_end), respond (records frame_encode).
+    let request = app_msg(1, 2, wire);
+    let frame = RpcCodec::decode_ref_recorded(&request, &tracer, ring).expect("request decodes");
+    let RpcFrame::Request {
+        corr: got_corr,
+        span: got_span,
+        payload,
+        ..
+    } = frame
+    else {
+        panic!("not a request: {frame:?}");
+    };
+    assert_eq!(got_corr, corr);
+    assert_eq!(got_span, span, "the span survives the wire");
+    let (q, t) = (u64::from(payload[0]), u64::from(payload[1]));
+    let mut path = Vec::new();
+    let out = svc.where_is_traced(q, t, 0, &mut path, got_span);
+    assert!(matches!(out, WhereIs::Found { .. }), "{out:?}");
+    let resp_wire = RpcCodec::encode_response_recorded(got_corr, got_span, &[1], &tracer, ring);
+
+    // Client side again: the span rides the response home.
+    let response = app_msg(2, 1, resp_wire);
+    let back = RpcCodec::decode_ref_recorded(&response, &tracer, ring).expect("response decodes");
+    assert_eq!(back.span(), span);
+
+    // The ring now tells the request's whole story, in causal order.
+    let story: Vec<TraceKind> = tracer
+        .last_events(64)
+        .into_iter()
+        .filter(|e| e.span == span)
+        .map(|e| e.kind)
+        .collect();
+    assert_eq!(
+        story,
+        vec![
+            TraceKind::FrameDecode,
+            TraceKind::QueryStart,
+            TraceKind::QueryEnd,
+            TraceKind::FrameEncode,
+            TraceKind::FrameDecode,
+        ]
+    );
+}

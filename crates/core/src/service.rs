@@ -38,11 +38,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use bt_baseband::BdAddr;
 use desim::metrics::MetricSet;
 use desim::par;
+use desim::tracing::{SpanId, TraceKind, Tracer};
 
 use crate::graph::{Apsp, NodeId};
 use crate::protocol::ProtocolError;
@@ -196,6 +198,22 @@ pub enum WhereIs {
     BadQuery(ProtocolError),
 }
 
+impl WhereIs {
+    /// `(code, arg)` for a [`TraceKind::QueryEnd`] event: a stable
+    /// outcome discriminant plus the found cell (or `u64::MAX`).
+    fn trace_code(&self) -> (u32, u64) {
+        match self {
+            WhereIs::Found { cell, .. } => (0, u64::from(*cell)),
+            WhereIs::NotLoggedIn => (1, u64::MAX),
+            WhereIs::OutOfCoverage => (2, u64::MAX),
+            WhereIs::NoSuchUser => (3, u64::MAX),
+            WhereIs::Denied => (4, u64::MAX),
+            WhereIs::QuerierNotLoggedIn => (5, u64::MAX),
+            WhereIs::BadQuery(_) => (6, u64::MAX),
+        }
+    }
+}
+
 /// The sharded serving engine. See the [module docs](self) for the
 /// design; construction snapshots a [`Registry`], after which the
 /// engine is self-contained and [`Sync`] — share it behind an `&` and
@@ -245,6 +263,9 @@ pub struct ShardedService {
     num_users: u64,
     shard_bits: u32,
     apsp: Apsp,
+    /// Optional request tracer; `None` (the default) keeps the hot
+    /// path at a single untaken branch.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ShardedService {
@@ -323,7 +344,27 @@ impl ShardedService {
             num_users: n,
             shard_bits,
             apsp,
+            tracer: None,
         }
+    }
+
+    /// Attaches a request tracer. Events for shard `s` are recorded on
+    /// ring `s`, so the tracer should be built with at least
+    /// [`num_shards`](ShardedService::num_shards) rings (events against
+    /// missing rings are counted as dropped, never panic). Takes `&mut
+    /// self`: attach before the engine is shared across threads.
+    ///
+    /// Tracing is observational only — it writes lock-free,
+    /// allocation-free ring events and reads nothing back, so answers
+    /// and acks are bit-identical with and without a tracer (the
+    /// differential test in the bench crate pins this down).
+    pub fn attach_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Number of shards (a power of two).
@@ -442,6 +483,22 @@ impl ShardedService {
     /// next `flush` returns. Notices for addresses not bound to any
     /// logged-in user are counted as ignored and ack `false`.
     pub fn ingest(&self, addr: BdAddr, cell: u32, present: bool, since_us: u64) -> u64 {
+        self.ingest_traced(addr, cell, present, since_us, SpanId::NONE)
+    }
+
+    /// [`ingest`](ShardedService::ingest) carrying the request's span
+    /// id (e.g. from a `NotifyBatch` RPC frame): when a tracer is
+    /// attached, a [`TraceKind::Ingest`] event is recorded on the
+    /// target shard's ring for every notice that reaches a pending
+    /// queue.
+    pub fn ingest_traced(
+        &self,
+        addr: BdAddr,
+        cell: u32,
+        present: bool,
+        since_us: u64,
+        span: SpanId,
+    ) -> u64 {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let uid = self
             .addr_shards
@@ -459,6 +516,9 @@ impl ShardedService {
                             present,
                             since_us,
                         });
+                        if let Some(t) = &self.tracer {
+                            t.record(shard, TraceKind::Ingest, span, shard as u16, cell, seq);
+                        }
                         true
                     }
                     None => false,
@@ -525,6 +585,16 @@ impl ShardedService {
         if pending.is_empty() {
             *pending = queue;
         }
+        if let Some(t) = &self.tracer {
+            t.record(
+                shard,
+                TraceKind::Flush,
+                SpanId::NONE,
+                shard as u16,
+                shard as u32,
+                acks.len() as u64,
+            );
+        }
         acks
     }
 
@@ -569,6 +639,52 @@ impl ShardedService {
     /// in the building — the property the allocation-counting test in
     /// the bench crate pins down.
     pub fn where_is(
+        &self,
+        querier: u64,
+        target: u64,
+        from_cell: usize,
+        path_out: &mut Vec<NodeId>,
+    ) -> WhereIs {
+        self.where_is_traced(querier, target, from_cell, path_out, SpanId::NONE)
+    }
+
+    /// [`where_is`](ShardedService::where_is) carrying the request's
+    /// span id: when a tracer is attached, [`TraceKind::QueryStart`] /
+    /// [`TraceKind::QueryEnd`] events bracket the query on the
+    /// querier's shard ring. Recording is lock-free and
+    /// allocation-free, so the zero-allocs-per-query pin holds with
+    /// tracing enabled.
+    pub fn where_is_traced(
+        &self,
+        querier: u64,
+        target: u64,
+        from_cell: usize,
+        path_out: &mut Vec<NodeId>,
+        span: SpanId,
+    ) -> WhereIs {
+        let Some(t) = &self.tracer else {
+            return self.where_is_inner(querier, target, from_cell, path_out);
+        };
+        let ring = if querier < self.num_users {
+            self.shard_of(querier).0
+        } else {
+            0
+        };
+        t.record(
+            ring,
+            TraceKind::QueryStart,
+            span,
+            ring as u16,
+            from_cell as u32,
+            target,
+        );
+        let out = self.where_is_inner(querier, target, from_cell, path_out);
+        let (code, arg) = out.trace_code();
+        t.record(ring, TraceKind::QueryEnd, span, ring as u16, code, arg);
+        out
+    }
+
+    fn where_is_inner(
         &self,
         querier: u64,
         target: u64,

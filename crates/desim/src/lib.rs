@@ -31,6 +31,10 @@
 //!   [`probe::EngineProbe`]) that provably cannot perturb a run; and a
 //!   dependency-free JSON/JSONL [`report`] exporter for structured run
 //!   reports. See `docs/OBSERVABILITY.md`.
+//! * **Request tracing** ([`tracing`]) adds zero-allocation, lock-free
+//!   per-shard trace rings with span ids, a panic/latency-anomaly
+//!   flight recorder, and log-linear HDR latency histograms ([`hdr`])
+//!   with bounded relative error for tail percentiles.
 //!
 //! # Example
 //!
@@ -64,6 +68,7 @@
 
 pub mod compose;
 pub mod engine;
+pub mod hdr;
 pub mod metrics;
 pub mod par;
 pub mod probe;
@@ -72,9 +77,12 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod tracing;
 
 pub use engine::{Context, Engine, EventId, Observer, World};
+pub use hdr::{HdrHistogram, HdrMergeError};
 pub use metrics::{Metric, MetricSet};
 pub use report::{Json, RunReport};
 pub use rng::{SeedDeriver, SimRng};
 pub use time::{SimDuration, SimTime};
+pub use tracing::{FlightRecorder, SpanId, TraceKind, Tracer};

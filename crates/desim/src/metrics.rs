@@ -256,9 +256,11 @@ impl MetricSet {
     ///
     /// Two histograms under one name with different bounds or bin counts
     /// are *not* summed: the merge is skipped and recorded on the
-    /// receiving histogram's
+    /// receiving histogram as the
     /// [`merge_mismatches`](crate::stats::Histogram::merge_mismatches)
-    /// counter (a `debug_assert` fires in debug builds) — see
+    /// counter plus a typed
+    /// [`HistMergeError`](crate::stats::HistMergeError) naming both
+    /// shapes, which run reports surface — see
     /// [`Histogram::merge`](crate::stats::Histogram::merge).
     ///
     /// # Panics
@@ -375,10 +377,10 @@ mod tests {
     }
 
     /// Histograms under one name with different shapes must never be
-    /// summed bin-by-bin: debug builds assert, release builds skip the
-    /// merge and surface it on the `merge_mismatches` counter.
+    /// summed bin-by-bin: the merge is skipped in every build profile
+    /// and surfaced as the `merge_mismatches` counter plus the typed
+    /// `HistMergeError` retained on the receiving histogram.
     #[test]
-    #[cfg_attr(debug_assertions, should_panic(expected = "incompatible histograms"))]
     fn merge_hist_shape_mismatch_is_surfaced() {
         let mut a = MetricSet::new();
         a.histogram("h", 0.0, 1.0, 2).push(0.5);
@@ -389,6 +391,9 @@ mod tests {
             Metric::Hist(h) => {
                 assert_eq!(h.merge_mismatches(), 1);
                 assert_eq!(h.total(), 1, "mismatched merge must not add counts");
+                let err = h.last_merge_error().expect("typed error retained");
+                assert_eq!(err.ours.hi, 1.0);
+                assert_eq!(err.theirs.hi, 2.0);
             }
             other => panic!("wrong kind: {other:?}"),
         }

@@ -37,6 +37,7 @@
 //! assert!(line.starts_with("{\"schema\":\"bips-run-report/v1\""));
 //! ```
 
+use std::fmt;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -227,6 +228,283 @@ impl Json {
     }
 }
 
+/// Error from [`Json::parse`]: where in the input, and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Maximum container nesting [`Json::parse`] accepts; deeper documents
+/// error out instead of risking parser stack exhaustion.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(format!("unexpected byte `{}`", c as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect the low half.
+                                if !self.eat_literal("\\u") {
+                                    return self.err("unpaired surrogate");
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            // hex4 leaves pos past the digits; skip the
+                            // `self.pos += 1` below.
+                            continue;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next());
+                    match s {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return self.err("invalid utf-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return self.err("expected 4 hex digits"),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Num(v)),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+}
+
+impl Json {
+    /// Parses a JSON document — the inverse of
+    /// [`render_compact`](Json::render_compact) /
+    /// [`render_pretty`](Json::render_pretty), used by operator tooling
+    /// (`bips-top`) to read reports back. Integers without fraction or
+    /// exponent parse as [`Json::UInt`] / [`Json::Int`]; everything
+    /// else numeric parses as [`Json::Num`]. Trailing non-whitespace is
+    /// an error.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters");
+        }
+        Ok(v)
+    }
+}
+
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
         out.push('\n');
@@ -281,6 +559,27 @@ fn histogram_json(h: &Histogram) -> Json {
     if h.merge_mismatches() > 0 {
         o.set("merge_mismatches", h.merge_mismatches());
     }
+    if let Some(err) = h.last_merge_error() {
+        o.set("merge_error", err.to_string());
+    }
+    o
+}
+
+/// Converts an HDR histogram into its report form: resolution, the
+/// documented relative-error bound, and the tail quantiles the
+/// fixed-bucket histogram cannot resolve.
+pub fn hdr_json(h: &crate::hdr::HdrHistogram) -> Json {
+    let mut o = Json::object();
+    o.set("sub_bucket_bits", u64::from(h.sub_bucket_bits()));
+    o.set("rel_error_bound", h.relative_error_bound());
+    o.set("count", h.count());
+    o.set("min", h.min());
+    o.set("max", h.max());
+    o.set("p50", h.quantile(0.50));
+    o.set("p90", h.quantile(0.90));
+    o.set("p99", h.quantile(0.99));
+    o.set("p999", h.quantile(0.999));
+    o.set("p9999", h.quantile(0.9999));
     o
 }
 
@@ -461,6 +760,86 @@ mod tests {
         assert_eq!(counter.get("value"), Some(&Json::UInt(1)));
         let hist = metrics.get("a.h").unwrap().get("value").unwrap();
         assert_eq!(hist.get("underflow"), Some(&Json::UInt(0)));
+    }
+
+    #[test]
+    fn parse_round_trips_compact_rendering() {
+        let mut o = Json::object();
+        o.set("name", "bips");
+        o.set("count", 3u64);
+        o.set("delta", -4i64);
+        o.set("rate", 2.5);
+        o.set("ok", true);
+        o.set("missing", Json::Null);
+        o.set(
+            "items",
+            Json::Arr(vec![Json::UInt(1), Json::Str("x".into())]),
+        );
+        let text = o.render_compact();
+        assert_eq!(Json::parse(&text), Ok(o.clone()));
+        // Pretty rendering parses back to the same document.
+        assert_eq!(Json::parse(&o.render_pretty()), Ok(o));
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let j = Json::parse(r#""tab\t quote\" A 😀""#).unwrap();
+        assert_eq!(j, Json::Str("tab\t quote\" A 😀".to_string()));
+    }
+
+    #[test]
+    fn parse_number_forms() {
+        assert_eq!(
+            Json::parse("18446744073709551615"),
+            Ok(Json::UInt(u64::MAX))
+        );
+        assert_eq!(Json::parse("-7"), Ok(Json::Int(-7)));
+        assert_eq!(Json::parse("2.5e3"), Ok(Json::Num(2500.0)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err(), "accepted unbounded nesting");
+    }
+
+    #[test]
+    fn histogram_merge_error_is_surfaced_in_report() {
+        let mut m = MetricSet::new();
+        m.histogram("h", 0.0, 1.0, 2).push(0.5);
+        let mut other = MetricSet::new();
+        other.histogram("h", 0.0, 2.0, 2).push(1.5);
+        m.merge(&other);
+        let j = metrics_to_json(&m);
+        let hist = j.get("h").unwrap().get("value").unwrap();
+        assert_eq!(hist.get("merge_mismatches"), Some(&Json::UInt(1)));
+        let err = hist.get("merge_error").expect("typed error surfaced");
+        assert_eq!(
+            err,
+            &Json::from("incompatible histograms: [0, 1)×2 vs [0, 2)×2")
+        );
+    }
+
+    #[test]
+    fn hdr_json_reports_quantiles_and_bound() {
+        let mut h = crate::hdr::HdrHistogram::new(7);
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let j = hdr_json(&h);
+        assert_eq!(j.get("sub_bucket_bits"), Some(&Json::UInt(7)));
+        assert_eq!(j.get("count"), Some(&Json::UInt(1000)));
+        let Some(&Json::Num(bound)) = j.get("rel_error_bound") else {
+            panic!("missing rel_error_bound");
+        };
+        assert!((bound - 0.015625).abs() < 1e-12);
+        let Some(&Json::UInt(p99)) = j.get("p99") else {
+            panic!("missing p99");
+        };
+        assert!(p99 >= 990_000 && p99 as f64 <= 990_000.0 * (1.0 + bound));
     }
 
     #[test]

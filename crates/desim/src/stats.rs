@@ -335,7 +335,49 @@ pub struct Histogram {
     overflow: u64,
     nans: u64,
     merge_mismatches: u64,
+    last_merge_error: Option<HistMergeError>,
 }
+
+/// The shape of a [`Histogram`]: its bounds and bin count. Two
+/// histograms are mergeable exactly when their shapes are equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistShape {
+    /// Inclusive lower bound of the binned range.
+    pub lo: f64,
+    /// Exclusive upper bound of the binned range.
+    pub hi: f64,
+    /// Number of uniform buckets.
+    pub bins: usize,
+}
+
+impl fmt::Display for HistShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})×{}", self.lo, self.hi, self.bins)
+    }
+}
+
+/// A rejected [`Histogram::try_merge`]: the two shapes that failed to
+/// line up. Carried on the receiving histogram (see
+/// [`Histogram::last_merge_error`]) and surfaced in exported reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistMergeError {
+    /// Shape of the receiving histogram.
+    pub ours: HistShape,
+    /// Shape of the histogram that was being merged in.
+    pub theirs: HistShape,
+}
+
+impl fmt::Display for HistMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible histograms: {} vs {}",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for HistMergeError {}
 
 impl Histogram {
     /// A histogram over `[lo, hi)` with `bins` uniform buckets.
@@ -354,6 +396,7 @@ impl Histogram {
             overflow: 0,
             nans: 0,
             merge_mismatches: 0,
+            last_merge_error: None,
         }
     }
 
@@ -413,34 +456,32 @@ impl Histogram {
     ///
     /// Mismatched shapes are a programming error: merging `[0,1)×4`
     /// counts into `[0,10)×8` counts would silently relabel every
-    /// observation. In debug builds this fails a `debug_assert`; in
-    /// release builds the merge is **skipped** and recorded in
-    /// [`merge_mismatches`](Histogram::merge_mismatches), which surfaces
-    /// in the rendered/exported telemetry instead of corrupting bins.
+    /// observation. The merge is therefore **skipped**, counted in
+    /// [`merge_mismatches`](Histogram::merge_mismatches), and the typed
+    /// [`HistMergeError`] is retained (see
+    /// [`last_merge_error`](Histogram::last_merge_error)) so exported
+    /// telemetry names both offending shapes instead of corrupting
+    /// bins — identically in debug and release builds. Callers that
+    /// want to handle the error use
+    /// [`try_merge`](Histogram::try_merge).
     pub fn merge(&mut self, other: &Histogram) {
-        let result = self.try_merge(other);
-        debug_assert!(
-            result.is_ok(),
-            "incompatible histograms: {}",
-            result.unwrap_err()
-        );
+        let _ = self.try_merge(other);
     }
 
-    /// Fallible [`merge`](Histogram::merge): returns `Err` (and bumps the
-    /// [`merge_mismatches`](Histogram::merge_mismatches) counter, leaving
-    /// every bin untouched) when the bounds or bin counts differ.
-    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), String> {
+    /// Fallible [`merge`](Histogram::merge): returns the typed
+    /// [`HistMergeError`] (and bumps the
+    /// [`merge_mismatches`](Histogram::merge_mismatches) counter,
+    /// leaving every bin untouched) when the bounds or bin counts
+    /// differ.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), HistMergeError> {
         if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            let err = HistMergeError {
+                ours: self.shape(),
+                theirs: other.shape(),
+            };
             self.merge_mismatches += 1;
-            return Err(format!(
-                "[{}, {})×{} vs [{}, {})×{}",
-                self.lo,
-                self.hi,
-                self.bins.len(),
-                other.lo,
-                other.hi,
-                other.bins.len()
-            ));
+            self.last_merge_error = Some(err);
+            return Err(err);
         }
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
@@ -449,13 +490,32 @@ impl Histogram {
         self.overflow += other.overflow;
         self.nans += other.nans;
         self.merge_mismatches += other.merge_mismatches;
+        if self.last_merge_error.is_none() {
+            self.last_merge_error = other.last_merge_error;
+        }
         Ok(())
+    }
+
+    /// This histogram's shape (bounds and bin count).
+    pub fn shape(&self) -> HistShape {
+        HistShape {
+            lo: self.lo,
+            hi: self.hi,
+            bins: self.bins.len(),
+        }
     }
 
     /// Merges rejected because the other histogram's bounds or bin count
     /// differed (0 in a healthy run).
     pub fn merge_mismatches(&self) -> u64 {
         self.merge_mismatches
+    }
+
+    /// The most recent rejected merge, if any — the detail behind
+    /// [`merge_mismatches`](Histogram::merge_mismatches), surfaced in
+    /// run reports.
+    pub fn last_merge_error(&self) -> Option<HistMergeError> {
+        self.last_merge_error
     }
 
     /// The `[lo, hi)` bounds of bucket `i`.
@@ -628,15 +688,42 @@ mod tests {
         assert_eq!(a.total(), 5);
     }
 
+    /// Regression: mismatched-bucket merges used to be a
+    /// `debug_assert` panic (debug builds) or a bare counter bump
+    /// (release builds). Now both build profiles behave identically:
+    /// the merge is skipped and the typed error names both shapes.
     #[test]
-    #[cfg_attr(debug_assertions, should_panic(expected = "incompatible histograms"))]
     fn histogram_merge_rejects_mismatched_shapes() {
         let mut a = Histogram::new(0.0, 1.0, 2);
+        a.push(0.5);
         a.merge(&Histogram::new(0.0, 1.0, 3));
+        assert_eq!(a.merge_mismatches(), 1);
+        assert_eq!(a.total(), 1, "rejected merge must not add counts");
+        let err = a.last_merge_error().expect("typed error retained");
+        assert_eq!(
+            err.ours,
+            HistShape {
+                lo: 0.0,
+                hi: 1.0,
+                bins: 2
+            }
+        );
+        assert_eq!(
+            err.theirs,
+            HistShape {
+                lo: 0.0,
+                hi: 1.0,
+                bins: 3
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "incompatible histograms: [0, 1)×2 vs [0, 1)×3"
+        );
     }
 
     /// Regression: mismatched-shape merges used to be a hard panic in
-    /// every build; now they surface as a counter (and a debug assert)
+    /// every build; now they surface as a counter plus a typed error
     /// instead of either corrupting bins or killing a release sweep.
     #[test]
     fn histogram_try_merge_counts_mismatches_and_leaves_bins_alone() {
@@ -647,19 +734,36 @@ mod tests {
             Histogram::new(0.0, 2.0, 2),  // upper bound differs
             Histogram::new(-1.0, 1.0, 2), // lower bound differs
         ] {
-            assert!(a.try_merge(&other).is_err());
+            let err = a.try_merge(&other).expect_err("shape differs");
+            assert_eq!(err.theirs, other.shape());
+            assert_eq!(a.last_merge_error(), Some(err));
         }
         assert_eq!(a.merge_mismatches(), 3);
         assert_eq!(a.count(0), 1, "failed merges must not touch bins");
         assert_eq!(a.count(1), 0);
+        // The retained error describes the most recent rejection.
+        let last = a.last_merge_error().expect("retained");
+        assert_eq!(
+            last.theirs,
+            HistShape {
+                lo: -1.0,
+                hi: 1.0,
+                bins: 2
+            }
+        );
 
-        // A compatible merge still works and carries mismatch counts.
+        // A compatible merge still works and carries mismatch state.
         let mut b = Histogram::new(0.0, 1.0, 2);
         b.push(0.9);
         assert!(b.try_merge(&a).is_ok());
         assert_eq!(b.count(0), 1);
         assert_eq!(b.count(1), 1);
         assert_eq!(b.merge_mismatches(), 3, "mismatch count must merge too");
+        assert_eq!(
+            b.last_merge_error(),
+            Some(last),
+            "mismatch detail must propagate through compatible merges"
+        );
     }
 
     /// Regression: `probability_at` used to sort with

@@ -1,0 +1,119 @@
+//! Property tests for the log-linear HDR histogram: quantiles stay
+//! within the documented relative-error bound of an exact sorted
+//! oracle, and shard merging is associative and bit-identical however
+//! the work is split across jobs.
+
+use desim::hdr::HdrHistogram;
+use desim::par;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted copy of `values`.
+fn oracle_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// `1..=max` spread over several octaves, with duplicates likely.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..1 << 40, 1..500)
+}
+
+proptest! {
+    /// Every reported quantile is within the documented relative error
+    /// bound of the exact sorted-oracle quantile.
+    #[test]
+    fn quantiles_are_within_documented_error(values in samples(), sub_bits in 2u32..10) {
+        let mut h = HdrHistogram::new(sub_bits);
+        for &v in &values {
+            h.record(v);
+        }
+        let bound = h.relative_error_bound();
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = oracle_quantile(&values, q) as f64;
+            let approx = h.quantile(q) as f64;
+            // The histogram reports a bucket upper edge clamped to the
+            // recorded [min, max], so it never under-reports the exact
+            // value by more than one bucket's width.
+            prop_assert!(
+                (approx - exact).abs() <= exact * bound + 1.0,
+                "q={q}: approx {approx} vs exact {exact}, bound {bound}"
+            );
+        }
+    }
+
+    /// Recording order never matters, and merging is associative:
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c) bucket for bucket.
+    #[test]
+    fn merge_is_associative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = HdrHistogram::with_default_resolution();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb).expect("same resolution");
+        left.merge(&hc).expect("same resolution");
+
+        let mut bc = hb.clone();
+        bc.merge(&hc).expect("same resolution");
+        let mut right = ha.clone();
+        right.merge(&bc).expect("same resolution");
+
+        prop_assert_eq!(&left, &right);
+
+        // And equal to recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = build(&all);
+        prop_assert_eq!(&left, &direct);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    /// Sharded recording + index-ordered merge is bit-identical for
+    /// every jobs count: the same per-shard histograms come back from
+    /// `par::run_indexed` however the shards are scheduled, and the
+    /// deterministic merge erases the scheduling entirely.
+    #[test]
+    fn sharded_merge_is_bit_identical_across_jobs(
+        values in proptest::collection::vec(1u64..1 << 32, 1..400),
+        shards in 1u64..9,
+    ) {
+        let merged_at = |jobs: usize| {
+            let per_shard: Vec<HdrHistogram> = par::run_indexed(shards, jobs, |s| {
+                let mut h = HdrHistogram::with_default_resolution();
+                for (i, &v) in values.iter().enumerate() {
+                    if i as u64 % shards == s {
+                        h.record(v);
+                    }
+                }
+                h
+            });
+            let mut merged = HdrHistogram::with_default_resolution();
+            for h in &per_shard {
+                merged.merge(h).expect("same resolution");
+            }
+            merged
+        };
+        let j1 = merged_at(1);
+        let j4 = merged_at(4);
+        let j8 = merged_at(8);
+        prop_assert_eq!(&j1, &j4);
+        prop_assert_eq!(&j1, &j8);
+        prop_assert_eq!(j1.count(), values.len() as u64);
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(j1.quantile(q), j8.quantile(q));
+        }
+    }
+}

@@ -8,14 +8,26 @@
 //!
 //! Wire format (inside a transport message):
 //! `[dir: u8][corr: u64 LE][payload…]` with dir 0 = request,
-//! 1 = response.
+//! 1 = response. Traced frames use dir 2 = request, 3 = response and
+//! carry a trace span id between the correlation id and the payload:
+//! `[dir: u8][corr: u64 LE][span: u64 LE][payload…]` — so one request's
+//! [`SpanId`] survives the hop from the client
+//! through frame decode to the serving shard and back in the response.
+//! Untraced decoders reject traced frames (unknown dir byte) rather
+//! than misreading the span as payload, and traced decoders accept
+//! both forms (legacy frames decode with span
+//! [`SpanId::NONE`](desim::tracing::SpanId::NONE)).
 
 use crate::network::HostId;
 use crate::transport::AppMessage;
+use desim::tracing::{SpanId, TraceKind, Tracer};
 
 const DIR_REQUEST: u8 = 0;
 const DIR_RESPONSE: u8 = 1;
+const DIR_REQUEST_TRACED: u8 = 2;
+const DIR_RESPONSE_TRACED: u8 = 3;
 const HEADER_LEN: usize = 9;
+const TRACED_HEADER_LEN: usize = 17;
 
 /// A correlation id scoped to the issuing host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,6 +49,9 @@ pub enum RpcMessage {
         from: HostId,
         /// Correlate the response with this.
         corr: CorrelationId,
+        /// Trace span carried by the frame ([`SpanId::NONE`] for
+        /// untraced frames).
+        span: SpanId,
         /// Request payload.
         payload: Vec<u8>,
     },
@@ -46,6 +61,9 @@ pub enum RpcMessage {
         from: HostId,
         /// The id returned by [`RpcCodec::encode_request`].
         corr: CorrelationId,
+        /// Trace span carried by the frame ([`SpanId::NONE`] for
+        /// untraced frames).
+        span: SpanId,
         /// Response payload.
         payload: Vec<u8>,
     },
@@ -61,6 +79,9 @@ pub enum RpcFrame<'a> {
         from: HostId,
         /// Correlate the response with this.
         corr: CorrelationId,
+        /// Trace span carried by the frame ([`SpanId::NONE`] for
+        /// untraced frames).
+        span: SpanId,
         /// Request payload, borrowed from the transport message.
         payload: &'a [u8],
     },
@@ -70,9 +91,22 @@ pub enum RpcFrame<'a> {
         from: HostId,
         /// The id returned by [`RpcCodec::encode_request`].
         corr: CorrelationId,
+        /// Trace span carried by the frame ([`SpanId::NONE`] for
+        /// untraced frames).
+        span: SpanId,
         /// Response payload, borrowed from the transport message.
         payload: &'a [u8],
     },
+}
+
+impl RpcFrame<'_> {
+    /// The span the frame carries ([`SpanId::NONE`] for untraced
+    /// frames).
+    pub fn span(&self) -> SpanId {
+        match self {
+            RpcFrame::Request { span, .. } | RpcFrame::Response { span, .. } => *span,
+        }
+    }
 }
 
 /// Stateless-ish codec: allocates correlation ids and frames/deframes RPC
@@ -90,22 +124,36 @@ impl RpcCodec {
 
     /// Frames a request, allocating its correlation id.
     pub fn encode_request(&mut self, payload: &[u8]) -> (CorrelationId, Vec<u8>) {
+        self.encode_request_inner(SpanId::NONE, payload)
+    }
+
+    /// Frames a traced request: like
+    /// [`encode_request`](RpcCodec::encode_request), but the frame
+    /// carries `span` so the server can attribute its shard-side trace
+    /// events to this request.
+    pub fn encode_request_traced(
+        &mut self,
+        span: SpanId,
+        payload: &[u8],
+    ) -> (CorrelationId, Vec<u8>) {
+        self.encode_request_inner(span, payload)
+    }
+
+    fn encode_request_inner(&mut self, span: SpanId, payload: &[u8]) -> (CorrelationId, Vec<u8>) {
         let corr = CorrelationId(self.next_corr);
         self.next_corr += 1;
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.push(DIR_REQUEST);
-        out.extend_from_slice(&corr.0.to_le_bytes());
-        out.extend_from_slice(payload);
-        (corr, out)
+        (corr, encode_frame(DIR_REQUEST, corr, span, payload))
     }
 
     /// Frames a response to a previously decoded request.
     pub fn encode_response(corr: CorrelationId, payload: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.push(DIR_RESPONSE);
-        out.extend_from_slice(&corr.0.to_le_bytes());
-        out.extend_from_slice(payload);
-        out
+        encode_frame(DIR_RESPONSE, corr, SpanId::NONE, payload)
+    }
+
+    /// Frames a traced response: the request's span rides back so the
+    /// client can close the loop on its trace.
+    pub fn encode_response_traced(corr: CorrelationId, span: SpanId, payload: &[u8]) -> Vec<u8> {
+        encode_frame(DIR_RESPONSE, corr, span, payload)
     }
 
     /// Decodes a transport message into an owned RPC message, or `None`
@@ -115,19 +163,23 @@ impl RpcCodec {
             RpcFrame::Request {
                 from,
                 corr,
+                span,
                 payload,
             } => Some(RpcMessage::Request {
                 from,
                 corr,
+                span,
                 payload: payload.to_vec(),
             }),
             RpcFrame::Response {
                 from,
                 corr,
+                span,
                 payload,
             } => Some(RpcMessage::Response {
                 from,
                 corr,
+                span,
                 payload: payload.to_vec(),
             }),
         }
@@ -136,27 +188,119 @@ impl RpcCodec {
     /// Deframes a transport message without copying the payload, or
     /// `None` if it is not RPC-framed. This is the serving-path variant
     /// of [`RpcCodec::decode`]: the returned frame borrows from `msg`.
+    /// Both untraced (9-byte header, span
+    /// [`NONE`](SpanId::NONE)) and traced (17-byte header) frames
+    /// decode.
     pub fn decode_ref(msg: &AppMessage) -> Option<RpcFrame<'_>> {
-        if msg.payload.len() < HEADER_LEN {
+        let dir = *msg.payload.first()?;
+        let traced = match dir {
+            DIR_REQUEST | DIR_RESPONSE => false,
+            DIR_REQUEST_TRACED | DIR_RESPONSE_TRACED => true,
+            _ => return None,
+        };
+        let header = if traced {
+            TRACED_HEADER_LEN
+        } else {
+            HEADER_LEN
+        };
+        if msg.payload.len() < header {
             return None;
         }
-        let corr = CorrelationId(u64::from_le_bytes(
-            msg.payload[1..9].try_into().expect("9-byte header"),
-        ));
-        let payload = &msg.payload[HEADER_LEN..];
-        match msg.payload[0] {
-            DIR_REQUEST => Some(RpcFrame::Request {
+        let corr = CorrelationId(u64::from_le_bytes(msg.payload.get(1..9)?.try_into().ok()?));
+        let span = if traced {
+            SpanId(u64::from_le_bytes(msg.payload.get(9..17)?.try_into().ok()?))
+        } else {
+            SpanId::NONE
+        };
+        let payload = msg.payload.get(header..)?;
+        if dir == DIR_REQUEST || dir == DIR_REQUEST_TRACED {
+            Some(RpcFrame::Request {
                 from: msg.src,
                 corr,
+                span,
                 payload,
-            }),
-            DIR_RESPONSE => Some(RpcFrame::Response {
+            })
+        } else {
+            Some(RpcFrame::Response {
                 from: msg.src,
                 corr,
+                span,
                 payload,
-            }),
-            _ => None,
+            })
         }
+    }
+
+    /// [`decode_ref`](RpcCodec::decode_ref) plus observability: traced
+    /// frames record a [`TraceKind::FrameDecode`] event on `ring`
+    /// (`code` = direction byte, `arg` = correlation id). Untraced
+    /// frames decode without touching the tracer.
+    pub fn decode_ref_recorded<'a>(
+        msg: &'a AppMessage,
+        tracer: &Tracer,
+        ring: usize,
+    ) -> Option<RpcFrame<'a>> {
+        let frame = RpcCodec::decode_ref(msg)?;
+        let span = frame.span();
+        if !span.is_none() {
+            let (dir, corr) = match &frame {
+                RpcFrame::Request { corr, .. } => (DIR_REQUEST_TRACED, corr.0),
+                RpcFrame::Response { corr, .. } => (DIR_RESPONSE_TRACED, corr.0),
+            };
+            tracer.record(
+                ring,
+                TraceKind::FrameDecode,
+                span,
+                ring as u16,
+                u32::from(dir),
+                corr,
+            );
+        }
+        Some(frame)
+    }
+
+    /// [`encode_response_traced`](RpcCodec::encode_response_traced)
+    /// plus observability: a non-[`NONE`](SpanId::NONE) span records a
+    /// [`TraceKind::FrameEncode`] event on `ring` before the frame is
+    /// built, closing the request's span at the wire.
+    pub fn encode_response_recorded(
+        corr: CorrelationId,
+        span: SpanId,
+        payload: &[u8],
+        tracer: &Tracer,
+        ring: usize,
+    ) -> Vec<u8> {
+        if !span.is_none() {
+            tracer.record(
+                ring,
+                TraceKind::FrameEncode,
+                span,
+                ring as u16,
+                u32::from(DIR_RESPONSE_TRACED),
+                corr.0,
+            );
+        }
+        encode_frame(DIR_RESPONSE, corr, span, payload)
+    }
+}
+
+/// Frames one direction+correlation(+span) header and payload. `dir` is
+/// the *untraced* direction byte; a non-[`NONE`](SpanId::NONE) span
+/// upgrades it to the traced form, so untraced traffic stays
+/// byte-identical to the legacy format.
+fn encode_frame(dir: u8, corr: CorrelationId, span: SpanId, payload: &[u8]) -> Vec<u8> {
+    if span.is_none() {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.push(dir);
+        out.extend_from_slice(&corr.0.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    } else {
+        let mut out = Vec::with_capacity(TRACED_HEADER_LEN + payload.len());
+        out.push(dir + 2);
+        out.extend_from_slice(&corr.0.to_le_bytes());
+        out.extend_from_slice(&span.0.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
     }
 }
 
@@ -180,14 +324,87 @@ mod tests {
             RpcMessage::Request {
                 from,
                 corr: c,
+                span,
                 payload,
             } => {
                 assert_eq!(from, HostId::new(3));
                 assert_eq!(c, corr);
+                assert_eq!(span, SpanId::NONE);
                 assert_eq!(payload, b"where is bob");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_request_round_trip() {
+        let mut codec = RpcCodec::new();
+        let span = SpanId(0xDEAD_BEEF);
+        let (corr, framed) = codec.encode_request_traced(span, b"where is bob");
+        assert_eq!(framed[0], DIR_REQUEST_TRACED);
+        let m = msg(3, framed);
+        match RpcCodec::decode_ref(&m).unwrap() {
+            RpcFrame::Request {
+                from,
+                corr: c,
+                span: s,
+                payload,
+            } => {
+                assert_eq!(from, HostId::new(3));
+                assert_eq!(c, corr);
+                assert_eq!(s, span);
+                assert_eq!(payload, b"where is bob");
+                assert!(std::ptr::eq(payload, &m.payload[TRACED_HEADER_LEN..]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_response_round_trip() {
+        let mut codec = RpcCodec::new();
+        let span = SpanId(7);
+        let (corr, _) = codec.encode_request_traced(span, b"q");
+        let framed = RpcCodec::encode_response_traced(corr, span, b"room 42");
+        assert_eq!(framed[0], DIR_RESPONSE_TRACED);
+        let decoded = RpcCodec::decode(&msg(1, framed)).unwrap();
+        match decoded {
+            RpcMessage::Response {
+                corr: c,
+                span: s,
+                payload,
+                ..
+            } => {
+                assert_eq!(c, corr);
+                assert_eq!(s, span);
+                assert_eq!(payload, b"room 42");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn none_span_keeps_legacy_wire_format() {
+        // A traced encode with SpanId::NONE must stay byte-identical to
+        // the untraced form — tracing off means bytes unchanged.
+        let mut a = RpcCodec::new();
+        let mut b = RpcCodec::new();
+        let (_, legacy) = a.encode_request(b"payload");
+        let (_, traced_none) = b.encode_request_traced(SpanId::NONE, b"payload");
+        assert_eq!(legacy, traced_none);
+        let (ca, _) = a.encode_request(b"");
+        assert_eq!(
+            RpcCodec::encode_response(ca, b"r"),
+            RpcCodec::encode_response_traced(ca, SpanId::NONE, b"r")
+        );
+    }
+
+    #[test]
+    fn traced_frames_reject_short_headers() {
+        // 10 bytes is a full legacy header but a truncated traced one.
+        let mut short = vec![DIR_REQUEST_TRACED];
+        short.extend_from_slice(&[0; 9]);
+        assert_eq!(RpcCodec::decode(&msg(0, short)), None);
     }
 
     #[test]
@@ -231,10 +448,12 @@ mod tests {
             RpcFrame::Request {
                 from,
                 corr: c,
+                span,
                 payload,
             } => {
                 assert_eq!(from, HostId::new(3));
                 assert_eq!(c, corr);
+                assert_eq!(span, SpanId::NONE);
                 assert_eq!(payload, b"where is bob");
                 // Borrowed view over the same bytes, not a copy.
                 assert!(std::ptr::eq(payload, &m.payload[HEADER_LEN..]));
@@ -270,5 +489,47 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn recorded_decode_and_encode_emit_frame_events() {
+        let tracer = Tracer::new(2, 8);
+        let mut codec = RpcCodec::new();
+        let span = SpanId(77);
+        let (corr, framed) = codec.encode_request_traced(span, b"q");
+        let request = msg(3, framed);
+        let frame = RpcCodec::decode_ref_recorded(&request, &tracer, 1).expect("decodes");
+        assert_eq!(frame.span(), span);
+        let resp = msg(
+            9,
+            RpcCodec::encode_response_recorded(corr, span, b"a", &tracer, 1),
+        );
+        match RpcCodec::decode_ref_recorded(&resp, &tracer, 1).expect("decodes") {
+            RpcFrame::Response { span: s, .. } => assert_eq!(s, span),
+            other => panic!("{other:?}"),
+        }
+        let evs = tracer.last_events(8);
+        let kinds: Vec<TraceKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::FrameDecode,
+                TraceKind::FrameEncode,
+                TraceKind::FrameDecode
+            ]
+        );
+        assert!(evs.iter().all(|e| e.span == span && e.arg == corr.value()));
+    }
+
+    #[test]
+    fn recorded_variants_skip_untraced_frames() {
+        let tracer = Tracer::new(1, 8);
+        let mut codec = RpcCodec::new();
+        let (corr, framed) = codec.encode_request(b"q");
+        assert!(RpcCodec::decode_ref_recorded(&msg(0, framed), &tracer, 0).is_some());
+        let resp = RpcCodec::encode_response_recorded(corr, SpanId::NONE, b"a", &tracer, 0);
+        assert_eq!(resp, RpcCodec::encode_response(corr, b"a"));
+        assert_eq!(tracer.recorded(), 0);
+        assert_eq!(tracer.dropped(), 0);
     }
 }

@@ -390,6 +390,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 
     let mut findings = Vec::new();
     let mut registrations: Vec<(String, String, u32)> = Vec::new(); // (name, path, line)
+    let mut trace_kinds: Vec<(String, u32)> = Vec::new();
     for path in &files {
         let rel = rel_path(root, path);
         let source = fs::read_to_string(path)?;
@@ -401,11 +402,15 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                     .map(|(name, line)| (name, rel.clone(), line)),
             );
         }
+        if rel == TRACE_KIND_FILE {
+            trace_kinds = collect_trace_kinds(&source);
+        }
     }
 
     let doc_path = root.join("docs/OBSERVABILITY.md");
     if let Ok(doc) = fs::read_to_string(&doc_path) {
         findings.extend(metric_doc_drift(&doc, &registrations));
+        findings.extend(trace_doc_drift(&doc, &trace_kinds));
     }
 
     findings
@@ -589,6 +594,135 @@ pub fn metric_doc_drift(doc: &str, registrations: &[(String, String, u32)]) -> V
                 path: "docs/OBSERVABILITY.md".to_string(),
                 line: *line,
                 message: format!("documented metric `{name}` is not registered anywhere"),
+                snippet: format!("`{name}`"),
+            });
+        }
+    }
+    findings
+}
+
+/// Where the workspace's trace-event registry lives: the `TraceKind`
+/// enum. The `trace-doc` rule cross-checks its variants against the
+/// doc catalog.
+pub const TRACE_KIND_FILE: &str = "crates/desim/src/tracing.rs";
+
+/// `FrameDecode` → `frame_decode`: the stable snake_case names
+/// `TraceKind::name()` uses in JSONL artifacts and the doc catalog.
+pub fn trace_kind_snake(variant: &str) -> String {
+    let mut out = String::with_capacity(variant.len() + 4);
+    for c in variant.chars() {
+        if c.is_ascii_uppercase() {
+            if !out.is_empty() {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Variants of the `TraceKind` enum in `source`, as snake_case names
+/// with the declaration line. Token-level: an uppercase identifier at
+/// brace depth 1 inside `enum TraceKind { … }` is a variant.
+pub fn collect_trace_kinds(source: &str) -> Vec<(String, u32)> {
+    let lexed = lexer::lex(source);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(is_ident(&toks[i], "enum") && is_ident(&toks[i + 1], "TraceKind")) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 2;
+        while j < toks.len() && !is_punct(&toks[j], '{') {
+            j += 1;
+        }
+        let mut depth = 0u32;
+        while let Some(t) = toks.get(j) {
+            if is_punct(t, '{') {
+                depth += 1;
+            } else if is_punct(t, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && t.kind == TokKind::Ident
+                && t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                out.push((trace_kind_snake(&t.text), t.line));
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// Names documented in the `## Trace event catalog` section: table
+/// rows only, first cell only, backticked snake_case idents.
+pub fn doc_trace_kinds(doc: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_catalog = false;
+    for (idx, raw) in doc.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(h) = line.strip_prefix("## ") {
+            in_catalog = h.trim() == "Trace event catalog";
+            continue;
+        }
+        if !in_catalog || !line.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        for span in backtick_spans(cell) {
+            if !span.is_empty()
+                && span
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                out.push((span, idx as u32 + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Both-direction drift between the `TraceKind` registry and the doc
+/// catalog: every variant needs a catalog row, every row a variant.
+pub fn trace_doc_drift(doc: &str, kinds: &[(String, u32)]) -> Vec<Finding> {
+    let doc_names = doc_trace_kinds(doc);
+    let mut findings = Vec::new();
+
+    for (name, line) in kinds {
+        if !doc_names.iter().any(|(d, _)| d == name) {
+            findings.push(Finding {
+                rule: "trace-doc",
+                path: TRACE_KIND_FILE.to_string(),
+                line: *line,
+                message: format!(
+                    "trace event kind `{name}` is registered here but missing from \
+                     docs/OBSERVABILITY.md's trace event catalog"
+                ),
+                snippet: format!("`{name}`"),
+            });
+        }
+    }
+
+    for (name, line) in &doc_names {
+        if !kinds.iter().any(|(k, _)| k == name) {
+            findings.push(Finding {
+                rule: "trace-doc",
+                path: "docs/OBSERVABILITY.md".to_string(),
+                line: *line,
+                message: format!("documented trace event kind `{name}` has no `TraceKind` variant"),
                 snippet: format!("`{name}`"),
             });
         }

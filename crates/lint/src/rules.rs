@@ -41,6 +41,10 @@ pub const RULES: &[(&str, &str)] = &[
         "metric registrations and docs/OBSERVABILITY.md's catalog must agree",
     ),
     (
+        "trace-doc",
+        "TraceKind variants and docs/OBSERVABILITY.md's trace event catalog must agree",
+    ),
+    (
         "bad-suppression",
         "lint:allow must name a real rule, give a reason, and suppress something",
     ),

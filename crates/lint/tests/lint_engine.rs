@@ -223,3 +223,57 @@ fn metric_doc_drift_both_directions() {
         "{f:#?}"
     );
 }
+
+#[test]
+fn trace_kinds_are_collected_as_snake_case() {
+    let source = "/// Registry.\n\
+                  #[repr(u8)]\n\
+                  pub enum TraceKind {\n\
+                      /// A frame was decoded (`code` = Direction).\n\
+                      FrameDecode = 0,\n\
+                      QueryStart = 1,\n\
+                      Anomaly = 6,\n\
+                  }\n\
+                  impl TraceKind { pub const ALL: [TraceKind; 1] = [TraceKind::Anomaly]; }\n";
+    let kinds = bips_lint::collect_trace_kinds(source);
+    let names: Vec<&str> = kinds.iter().map(|(n, _)| n.as_str()).collect();
+    // Only variants inside the enum body count — not the doc-comment
+    // words, not the `ALL` table in the impl block.
+    assert_eq!(names, vec!["frame_decode", "query_start", "anomaly"]);
+    assert_eq!(kinds[0].1, 5, "line of the first variant");
+}
+
+#[test]
+fn trace_doc_drift_both_directions() {
+    let doc = "## Trace event catalog\n\n| event | meaning |\n|---|---|\n\
+               | `query_start` | a query entered its shard |\n\
+               | `phantom_kind` | documented but never emitted |\n\
+               \n## Metric catalog\n\n| name | kind |\n|---|---|\n";
+    let kinds = vec![
+        ("query_start".to_string(), 55),
+        ("rogue_kind".to_string(), 60),
+    ];
+    let f = bips_lint::trace_doc_drift(doc, &kinds);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|f| f.rule == "trace-doc"));
+    assert!(
+        f.iter().any(|f| f.path == bips_lint::TRACE_KIND_FILE
+            && f.line == 60
+            && f.message.contains("rogue_kind")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|f| f.path == "docs/OBSERVABILITY.md" && f.message.contains("phantom_kind")),
+        "{f:#?}"
+    );
+    // Clean when registry and catalog agree.
+    let clean = bips_lint::trace_doc_drift(
+        doc,
+        &[
+            ("query_start".to_string(), 55),
+            ("phantom_kind".to_string(), 56),
+        ],
+    );
+    assert!(clean.is_empty(), "{clean:#?}");
+}
