@@ -20,6 +20,7 @@ pub mod duty;
 pub mod e2e;
 pub mod figure2;
 pub mod loadgen;
+pub mod serve;
 pub mod table1;
 pub mod telemetry;
 pub mod toprender;

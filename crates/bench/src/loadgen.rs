@@ -11,7 +11,9 @@
 //!   allocations per answer);
 //! * [`run_sharded`] — the sharded engine with tracing off;
 //! * [`run_sharded_traced`] — the same engine with a
-//!   [`Tracer`] attached and a fresh span per query.
+//!   [`Tracer`] attached and a fresh span per query;
+//! * [`run_socket`] — the same engine behind `bips-serve`, driven over
+//!   a real socket by a closed-loop multi-connection client.
 //!
 //! Every answer is folded into an FNV-1a checksum and every flush ack
 //! into a second one, so "tracing is non-perturbing" is a one-line
@@ -22,14 +24,21 @@
 // latency histograms), never simulation results.
 #![allow(clippy::disallowed_methods)]
 
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bips_core::graph::WsGraph;
-use bips_core::protocol::{LocateOutcome, Request, Response};
+use bips_core::protocol::{LocateOutcome, Notice, Request, Response};
 use bips_core::registry::{AccessRights, Registry};
 use bips_core::service::{ShardedService, WhereIs};
 use bips_core::BipsServer;
+use bips_lan::network::HostId;
+use bips_lan::rpc::{RpcCodec, RpcFrame};
+use bips_lan::stream::{encode_stream_frame, StreamReframer};
 use bt_baseband::BdAddr;
 use desim::hdr::HdrHistogram;
 use desim::metrics::MetricSet;
@@ -524,6 +533,314 @@ fn run_sharded_impl(
         },
         metrics,
     )
+}
+
+/// A [`ShardedService`] for the workload with every user logged in —
+/// the server-side state `bips-serve` starts from. Presence is NOT
+/// pre-applied: the socket client ingests the initial cells itself, so
+/// its ack checksum covers the same flushes as [`run_sharded`]'s.
+pub fn build_service(w: &Workload) -> ShardedService {
+    let g = grid(w.side);
+    let reg = registry(w.users);
+    let svc = ShardedService::new(&reg, g.precompute_all_pairs(), w.shards);
+    for uid in 0..w.users {
+        svc.login(uid, "pw", addr(uid)).expect("setup login");
+    }
+    svc
+}
+
+// ---------------------------------------------------------------------
+// Socket client mode
+// ---------------------------------------------------------------------
+
+/// Where the socket client connects: loopback TCP or a Unix-domain
+/// socket path (mirroring `bips-serve`'s two listeners).
+#[derive(Debug, Clone)]
+pub enum Dial {
+    /// `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+/// One client connection: an RPC codec over a length-delimited byte
+/// stream, driven strictly request-by-request (closed loop).
+struct ClientConn {
+    stream: ClientStream,
+    codec: RpcCodec,
+    reframer: StreamReframer,
+    rbuf: Vec<u8>,
+}
+
+fn proto_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl ClientConn {
+    fn dial(d: &Dial) -> io::Result<ClientConn> {
+        let stream = match d {
+            Dial::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                // Closed-loop RTTs: never let Nagle hold a request back.
+                s.set_nodelay(true)?;
+                ClientStream::Tcp(s)
+            }
+            Dial::Uds(path) => ClientStream::Uds(UnixStream::connect(path)?),
+        };
+        Ok(ClientConn {
+            stream,
+            codec: RpcCodec::new(),
+            reframer: StreamReframer::new(),
+            rbuf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match &mut self.stream {
+            ClientStream::Tcp(s) => s.write_all(bytes),
+            ClientStream::Uds(s) => s.write_all(bytes),
+        }
+    }
+
+    fn read(&mut self) -> io::Result<usize> {
+        match &mut self.stream {
+            ClientStream::Tcp(s) => s.read(&mut self.rbuf),
+            ClientStream::Uds(s) => s.read(&mut self.rbuf),
+        }
+    }
+
+    /// Sends one request payload and blocks for its response — the
+    /// closed-loop primitive. Checks the correlation id round-trips.
+    fn call(&mut self, payload: &[u8]) -> io::Result<Response> {
+        let (corr, framed) = self.codec.encode_request(payload);
+        let mut msg = Vec::with_capacity(framed.len() + 4);
+        encode_stream_frame(&mut msg, &framed);
+        self.write_all(&msg)?;
+        loop {
+            let got = self
+                .reframer
+                .next_frame()
+                .map_err(|e| proto_err(&e.to_string()))?;
+            if let Some(frame) = got {
+                let Some(RpcFrame::Response {
+                    corr: rc, payload, ..
+                }) = RpcCodec::decode_ref_bytes(HostId::new(0), frame)
+                else {
+                    return Err(proto_err("stream frame is not an rpc response"));
+                };
+                if rc.value() != corr.value() {
+                    return Err(proto_err("correlation id mismatch"));
+                }
+                return Response::decode(payload)
+                    .map_err(|e| proto_err(&format!("bad response payload: {e}")));
+            }
+            let n = self.read()?;
+            if n == 0 {
+                return Err(proto_err("server closed mid-request"));
+            }
+            self.reframer.extend(&self.rbuf[..n]);
+        }
+    }
+}
+
+/// Batch size for streaming the initial 1-presence-per-user state in.
+const INGEST_CHUNK: usize = 8192;
+
+/// Replays the trace against a `bips-serve` instance over a real
+/// socket: the networked analogue of [`run_sharded`].
+///
+/// One *control* connection carries all ingest batches and flushes in
+/// trace order (so the global presence sequence — and therefore every
+/// flush's ack vector — is identical to the in-process run), while
+/// `conns` *query* connections serve the tick's queries closed-loop:
+/// query `i` of a tick rides connection `i % conns`, each connection
+/// has exactly one request in flight, and a scoped join between ticks
+/// is the barrier that keeps queries reading the tick's flushed state.
+/// Answers are re-folded in global trace order afterwards, so
+/// `checksum`/`ack_checksum` must be bit-identical to [`run_sharded`]
+/// for any `conns` — that is the proof the networked path serves the
+/// same answers.
+///
+/// Unlike the in-process modes, `latencies_ns` holds true end-to-end
+/// RTTs (encode → socket → serve → socket → decode) per request.
+///
+/// When `send_shutdown` is set, a [`Request::Shutdown`] goes out on
+/// the control connection after the replay and the server's ack is
+/// awaited — the graceful-drain path.
+pub fn run_socket(
+    w: &Workload,
+    trace: &Trace,
+    dial: &Dial,
+    conns: usize,
+    send_shutdown: bool,
+) -> io::Result<ModeResult> {
+    assert!(conns >= 1, "need at least one query connection");
+    let mut control = ClientConn::dial(dial)?;
+    let mut query_conns = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        query_conns.push(ClientConn::dial(dial)?);
+    }
+
+    let mut ts: u64 = 0;
+    let mut ack_checksum = CHECKSUM_INIT;
+
+    // Initial presence, batched over the control connection. The
+    // since_us stamps replay run_sharded's setup sequence (1..=users).
+    let mut uid = 0u64;
+    while uid < w.users {
+        let end = (uid + INGEST_CHUNK as u64).min(w.users);
+        let items: Vec<Notice> = (uid..end)
+            .map(|u| Notice {
+                cell: trace.initial[u as usize],
+                addr: addr(u),
+                present: true,
+            })
+            .collect();
+        let sent = items.len() as u32;
+        let resp = control.call(
+            &Request::IngestBatch {
+                base_us: ts + 1,
+                items,
+            }
+            .encode(),
+        )?;
+        let Response::IngestAck { queued } = resp else {
+            return Err(proto_err("expected IngestAck"));
+        };
+        if queued != sent {
+            return Err(proto_err("server queued a different batch size"));
+        }
+        ts += u64::from(sent);
+        uid = end;
+    }
+    let Response::FlushAck { acks } = control.call(&Request::Flush.encode())? else {
+        return Err(proto_err("expected FlushAck"));
+    };
+    fold_acks(&mut ack_checksum, &acks);
+
+    let qpt = w.queries_per_tick;
+    let mut latencies_ns = vec![0u64; trace.queries.len()];
+    let mut checksum = CHECKSUM_INIT;
+    let mut found = 0u64;
+    let mut query_secs = 0.0;
+    let mut outcomes: Vec<Option<LocateOutcome>> = (0..qpt).map(|_| None).collect();
+    let start = Instant::now();
+    for tick in 0..w.ticks {
+        // Moves: one batch, then a flush, on the control connection.
+        let mvs = &trace.moves[tick * w.updates_per_tick..(tick + 1) * w.updates_per_tick];
+        let mut items = Vec::with_capacity(mvs.len() * 2);
+        for &(uid, old, new) in mvs {
+            items.push(Notice {
+                cell: new,
+                addr: addr(uid),
+                present: true,
+            });
+            items.push(Notice {
+                cell: old,
+                addr: addr(uid),
+                present: false,
+            });
+        }
+        let base_us = ts + 1;
+        ts += items.len() as u64;
+        let Response::IngestAck { .. } =
+            control.call(&Request::IngestBatch { base_us, items }.encode())?
+        else {
+            return Err(proto_err("expected IngestAck"));
+        };
+        let Response::FlushAck { acks } = control.call(&Request::Flush.encode())? else {
+            return Err(proto_err("expected FlushAck"));
+        };
+        fold_acks(&mut ack_checksum, &acks);
+
+        // Queries: closed-loop, round-robin over the query conns. The
+        // scope join is the tick barrier.
+        let queries = &trace.queries[tick * qpt..(tick + 1) * qpt];
+        let block = Instant::now();
+        let worker_results: Vec<io::Result<Vec<(usize, u64, LocateOutcome)>>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = query_conns
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, conn)| {
+                        s.spawn(move || {
+                            let mut res = Vec::with_capacity(queries.len() / conns + 1);
+                            let mut i = k;
+                            while i < queries.len() {
+                                let (querier, target, from_cell) = queries[i];
+                                let payload = Request::WhereIs {
+                                    querier,
+                                    target,
+                                    from_cell,
+                                }
+                                .encode();
+                                let t0 = Instant::now();
+                                let resp = conn.call(&payload)?;
+                                let lat = t0.elapsed().as_nanos() as u64;
+                                let Response::LocateResult(out) = resp else {
+                                    return Err(proto_err("expected LocateResult"));
+                                };
+                                res.push((i, lat, out));
+                                i += conns;
+                            }
+                            Ok(res)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|_| Err(proto_err("query worker panicked")))
+                    })
+                    .collect()
+            });
+        query_secs += block.elapsed().as_secs_f64();
+        for r in worker_results {
+            for (i, lat, out) in r? {
+                latencies_ns[tick * qpt + i] = lat;
+                outcomes[i] = Some(out);
+            }
+        }
+        // Re-fold in global trace order — connection interleaving must
+        // not be visible in the checksum.
+        for slot in outcomes.iter_mut() {
+            let Some(out) = slot.take() else {
+                return Err(proto_err("missing query result"));
+            };
+            match out {
+                LocateOutcome::Found {
+                    cell,
+                    path,
+                    distance,
+                } => {
+                    found += 1;
+                    fold(&mut checksum, 0, u64::from(cell), distance.to_bits(), &path);
+                }
+                other => fold(&mut checksum, 1 + other_code(&other), 0, 0, &[]),
+            }
+        }
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+    drop(query_conns);
+    if send_shutdown {
+        let Response::ShutdownAck = control.call(&Request::Shutdown.encode())? else {
+            return Err(proto_err("expected ShutdownAck"));
+        };
+    }
+    Ok(ModeResult {
+        query_secs,
+        total_secs,
+        latencies_ns,
+        checksum,
+        ack_checksum,
+        found,
+    })
 }
 
 /// Stable discriminant for non-Found [`WhereIs`] outcomes.

@@ -77,6 +77,39 @@ pub enum Request {
         /// Presence changes in arrival order.
         items: Vec<Notice>,
     },
+    /// Uid-based location query on the socket serving path: the client
+    /// already holds dense user ids (it logged the users in), so the
+    /// query skips the name lookup and maps 1:1 onto
+    /// [`ShardedService::where_is`](crate::service::ShardedService::where_is).
+    /// Answered with [`Response::LocateResult`].
+    WhereIs {
+        /// Querying user id.
+        querier: u64,
+        /// Target user id.
+        target: u64,
+        /// Cell of the querier, for path computation.
+        from_cell: u32,
+    },
+    /// A batch of presence notices for the sharded engine's ingest
+    /// queue. Notice `i` is stamped `base_us + i`, so one message
+    /// carries a strictly increasing slice of the sender's clock and
+    /// ingest order over the socket reproduces in-process order.
+    /// Answered with [`Response::IngestAck`]; nothing is visible to
+    /// queries until a [`Request::Flush`].
+    IngestBatch {
+        /// Timestamp of the first notice, microseconds.
+        base_us: u64,
+        /// Presence notices in ingest order.
+        items: Vec<Notice>,
+    },
+    /// Applies everything ingested since the previous flush. Answered
+    /// with [`Response::FlushAck`] carrying the per-notice acks in
+    /// global ingest order.
+    Flush,
+    /// Graceful-shutdown request: the server answers
+    /// [`Response::ShutdownAck`], finishes in-flight work and stops
+    /// accepting new connections.
+    Shutdown,
     /// Spatio-temporal history query: where was `target` between two
     /// instants? (The paper's current-piconet query is the degenerate
     /// `[now, now]` case; this is the generalization its "spatio-temporal
@@ -129,6 +162,23 @@ pub enum Response {
         /// Number of items that were not redundant.
         changed: u32,
     },
+    /// [`Request::IngestBatch`] acknowledgment: the batch is queued.
+    IngestAck {
+        /// Number of notices queued (the whole batch; unbound addresses
+        /// still occupy ack positions and ack `false` at flush).
+        queued: u32,
+    },
+    /// [`Request::Flush`] acknowledgment: one "changed state" bit per
+    /// notice flushed, in global ingest order — bit-identical to what
+    /// [`ShardedService::flush`](crate::service::ShardedService::flush)
+    /// returns in process. Encoded bit-packed (8 acks per byte).
+    FlushAck {
+        /// Per-notice acks, index = ingest order since the last flush.
+        acks: Vec<bool>,
+    },
+    /// [`Request::Shutdown`] acknowledgment, sent before the server
+    /// drains and exits.
+    ShutdownAck,
 }
 
 /// One update-on-change presence notice inside a gateway batch
@@ -242,30 +292,41 @@ const TAG_HISTORY: u8 = 5;
 const TAG_PRESENCE_BATCH: u8 = 6;
 const TAG_HEARTBEAT: u8 = 7;
 const TAG_NOTIFY_BATCH: u8 = 8;
+pub(crate) const TAG_WHERE_IS: u8 = 9;
+const TAG_INGEST_BATCH: u8 = 10;
+const TAG_FLUSH: u8 = 11;
+const TAG_SHUTDOWN: u8 = 12;
 
 const TAG_PRESENCE_ACK: u8 = 101;
 const TAG_LOGIN_RESULT: u8 = 102;
 const TAG_LOGOUT_RESULT: u8 = 103;
-const TAG_LOCATE_RESULT: u8 = 104;
+pub(crate) const TAG_LOCATE_RESULT: u8 = 104;
 const TAG_HISTORY_RESULT: u8 = 105;
 const TAG_PRESENCE_BATCH_ACK: u8 = 106;
 const TAG_HEARTBEAT_ACK: u8 = 107;
 const TAG_NOTIFY_BATCH_ACK: u8 = 108;
+const TAG_INGEST_ACK: u8 = 109;
+const TAG_FLUSH_ACK: u8 = 110;
+const TAG_SHUTDOWN_ACK: u8 = 111;
+
+/// Upper bound on acks in one [`Response::FlushAck`] (bit-packed, the
+/// packed bytes must fit a wire field): `MAX_FIELD_LEN * 8`.
+pub const MAX_FLUSH_ACKS: usize = crate::wire::MAX_FIELD_LEN * 8;
 
 const HISTORY_OK: u8 = 0;
 const HISTORY_DENIED: u8 = 1;
 const HISTORY_NO_USER: u8 = 2;
 const HISTORY_NOT_LOGGED_IN: u8 = 3;
 
-const OUTCOME_FOUND: u8 = 0;
-const OUTCOME_NOT_LOGGED_IN: u8 = 1;
-const OUTCOME_OUT_OF_COVERAGE: u8 = 2;
-const OUTCOME_NO_SUCH_USER: u8 = 3;
-const OUTCOME_DENIED: u8 = 4;
-const OUTCOME_QUERIER_NOT_LOGGED_IN: u8 = 5;
-const OUTCOME_BAD_QUERY: u8 = 6;
+pub(crate) const OUTCOME_FOUND: u8 = 0;
+pub(crate) const OUTCOME_NOT_LOGGED_IN: u8 = 1;
+pub(crate) const OUTCOME_OUT_OF_COVERAGE: u8 = 2;
+pub(crate) const OUTCOME_NO_SUCH_USER: u8 = 3;
+pub(crate) const OUTCOME_DENIED: u8 = 4;
+pub(crate) const OUTCOME_QUERIER_NOT_LOGGED_IN: u8 = 5;
+pub(crate) const OUTCOME_BAD_QUERY: u8 = 6;
 
-const PROTO_ERR_CELL_OUT_OF_RANGE: u8 = 0;
+pub(crate) const PROTO_ERR_CELL_OUT_OF_RANGE: u8 = 0;
 
 /// Encoded size of one [`Notice`]: cell u32 + addr u64 + present u8.
 const NOTICE_WIRE_LEN: usize = 13;
@@ -337,6 +398,28 @@ impl Request {
                     .u64(*from_us)
                     .u64(*to_us);
             }
+            Request::WhereIs {
+                querier,
+                target,
+                from_cell,
+            } => {
+                w.u8(TAG_WHERE_IS)
+                    .u64(*querier)
+                    .u64(*target)
+                    .u32(*from_cell);
+            }
+            Request::IngestBatch { base_us, items } => {
+                w.u8(TAG_INGEST_BATCH).u64(*base_us).u32(items.len() as u32);
+                for n in items {
+                    w.u32(n.cell).u64(n.addr.raw()).bool(n.present);
+                }
+            }
+            Request::Flush => {
+                w.u8(TAG_FLUSH);
+            }
+            Request::Shutdown => {
+                w.u8(TAG_SHUTDOWN);
+            }
         }
         w.into_bytes()
     }
@@ -402,6 +485,29 @@ impl Request {
                 from_us: r.u64()?,
                 to_us: r.u64()?,
             },
+            TAG_WHERE_IS => Request::WhereIs {
+                querier: r.u64()?,
+                target: r.u64()?,
+                from_cell: r.u32()?,
+            },
+            TAG_INGEST_BATCH => {
+                let base_us = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > crate::wire::MAX_FIELD_LEN / NOTICE_WIRE_LEN {
+                    return Err(DecodeError::FieldTooLong);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(Notice {
+                        cell: r.u32()?,
+                        addr: addr(r.u64()?)?,
+                        present: r.bool()?,
+                    });
+                }
+                Request::IngestBatch { base_us, items }
+            }
+            TAG_FLUSH => Request::Flush,
+            TAG_SHUTDOWN => Request::Shutdown,
             t => return Err(DecodeError::BadTag(t)),
         };
         r.finish()?;
@@ -479,6 +585,25 @@ impl Response {
             }
             Response::NotifyBatchAck { changed } => {
                 w.u8(TAG_NOTIFY_BATCH_ACK).u32(*changed);
+            }
+            Response::IngestAck { queued } => {
+                w.u8(TAG_INGEST_ACK).u32(*queued);
+            }
+            Response::FlushAck { acks } => {
+                debug_assert!(acks.len() <= MAX_FLUSH_ACKS, "flush ack batch too large");
+                w.u8(TAG_FLUSH_ACK).u32(acks.len() as u32);
+                // Bit-packed, LSB first, zero padding in the last byte:
+                // the canonical form the decoder enforces.
+                for chunk in acks.chunks(8) {
+                    let mut byte = 0u8;
+                    for (i, &a) in chunk.iter().enumerate() {
+                        byte |= u8::from(a) << i;
+                    }
+                    w.u8(byte);
+                }
+            }
+            Response::ShutdownAck => {
+                w.u8(TAG_SHUTDOWN_ACK);
             }
             Response::HistoryResult(out) => {
                 w.u8(TAG_HISTORY_RESULT);
@@ -568,6 +693,28 @@ impl Response {
             TAG_PRESENCE_BATCH_ACK => Response::PresenceBatchAck { changed: r.u32()? },
             TAG_HEARTBEAT_ACK => Response::HeartbeatAck,
             TAG_NOTIFY_BATCH_ACK => Response::NotifyBatchAck { changed: r.u32()? },
+            TAG_INGEST_ACK => Response::IngestAck { queued: r.u32()? },
+            TAG_FLUSH_ACK => {
+                let n = r.u32()? as usize;
+                if n > MAX_FLUSH_ACKS {
+                    return Err(DecodeError::FieldTooLong);
+                }
+                let mut acks = Vec::with_capacity(n);
+                for _ in 0..n.div_ceil(8) {
+                    let byte = r.u8()?;
+                    let taken = (n - acks.len()).min(8);
+                    for i in 0..taken {
+                        acks.push(byte & (1 << i) != 0);
+                    }
+                    // Padding bits must be zero — one canonical encoding
+                    // per ack vector.
+                    if taken < 8 && byte >> taken != 0 {
+                        return Err(DecodeError::BadTag(byte));
+                    }
+                }
+                Response::FlushAck { acks }
+            }
+            TAG_SHUTDOWN_ACK => Response::ShutdownAck,
             TAG_HISTORY_RESULT => {
                 let code = r.u8()?;
                 let out = match code {
@@ -663,6 +810,56 @@ mod tests {
         });
         round_trip_req(Request::NotifyBatch { items: vec![] });
         round_trip_resp(Response::NotifyBatchAck { changed: 1 });
+    }
+
+    #[test]
+    fn serving_path_messages_round_trip() {
+        round_trip_req(Request::WhereIs {
+            querier: 17,
+            target: 123_456,
+            from_cell: 9,
+        });
+        round_trip_req(Request::IngestBatch {
+            base_us: 1_000_001,
+            items: vec![
+                Notice {
+                    cell: 1,
+                    addr: BdAddr::new(7),
+                    present: true,
+                },
+                Notice {
+                    cell: 2,
+                    addr: BdAddr::new(8),
+                    present: false,
+                },
+            ],
+        });
+        round_trip_req(Request::IngestBatch {
+            base_us: 0,
+            items: vec![],
+        });
+        round_trip_req(Request::Flush);
+        round_trip_req(Request::Shutdown);
+        round_trip_resp(Response::IngestAck { queued: 2 });
+        round_trip_resp(Response::ShutdownAck);
+        // Flush acks across the bit-packing boundaries: empty, partial
+        // byte, exactly one byte, byte + remainder.
+        for n in [0usize, 3, 8, 11, 64, 65] {
+            let acks: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            round_trip_resp(Response::FlushAck { acks });
+        }
+    }
+
+    #[test]
+    fn flush_ack_rejects_nonzero_padding() {
+        // 3 acks all set is one byte 0b0000_0111; force a padding bit.
+        let mut buf = Response::FlushAck {
+            acks: vec![true, true, true],
+        }
+        .encode();
+        let last = buf.len() - 1;
+        buf[last] |= 0b1000_0000;
+        assert!(Response::decode(&buf).is_err(), "padding bit accepted");
     }
 
     #[test]
@@ -794,6 +991,30 @@ mod golden_bytes {
             .encode(),
             vec![8, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 1]
         );
+        // Serving-path requests (PR 7): tags 9–12.
+        assert_eq!(
+            Request::WhereIs {
+                querier: 1,
+                target: 2,
+                from_cell: 3,
+            }
+            .encode(),
+            vec![9, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0]
+        );
+        assert_eq!(
+            Request::IngestBatch {
+                base_us: 5,
+                items: vec![Notice {
+                    cell: 2,
+                    addr: BdAddr::new(3),
+                    present: true,
+                }],
+            }
+            .encode(),
+            vec![10, 5, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 1]
+        );
+        assert_eq!(Request::Flush.encode(), vec![11]);
+        assert_eq!(Request::Shutdown.encode(), vec![12]);
     }
 
     #[test]
@@ -836,5 +1057,23 @@ mod golden_bytes {
             .encode(),
             vec![104, 6, 0, 44, 1, 0, 0, 9, 0, 0, 0]
         );
+        // Serving-path responses (PR 7): tags 109–111; flush acks are
+        // bit-packed LSB-first with zero padding.
+        assert_eq!(
+            Response::IngestAck { queued: 7 }.encode(),
+            vec![109, 7, 0, 0, 0]
+        );
+        assert_eq!(
+            Response::FlushAck {
+                acks: vec![true, false, true, true, false, false, false, false, true],
+            }
+            .encode(),
+            vec![110, 9, 0, 0, 0, 0b0000_1101, 0b0000_0001]
+        );
+        assert_eq!(
+            Response::FlushAck { acks: vec![] }.encode(),
+            vec![110, 0, 0, 0, 0]
+        );
+        assert_eq!(Response::ShutdownAck.encode(), vec![111]);
     }
 }

@@ -152,7 +152,49 @@ impl BipsServer {
                 from_us,
                 to_us,
             } => Response::HistoryResult(self.history(from, &target, from_us, to_us)),
+            // Socket serving-path messages (PR 7). The LAN-simulation
+            // server does not run the sharded batching engine: an
+            // ingest batch applies immediately (like NotifyBatch), a
+            // flush therefore acknowledges an empty batch, and shutdown
+            // is acknowledged for protocol completeness.
+            Request::WhereIs {
+                querier,
+                target,
+                from_cell,
+            } => Response::LocateResult(self.locate_uid(querier, target, from_cell as usize)),
+            Request::IngestBatch { items, .. } => {
+                let queued = items.len() as u32;
+                for n in items {
+                    self.db.apply(n.addr, n.cell as usize, n.present, now);
+                }
+                Response::IngestAck { queued }
+            }
+            Request::Flush => Response::FlushAck { acks: Vec::new() },
+            Request::Shutdown => Response::ShutdownAck,
         }
+    }
+
+    /// Uid-based locate: resolves both dense ids and defers to the same
+    /// policy pipeline as the name-based [`Request::Locate`], preserving
+    /// the sharded engine's precondition order (querier session before
+    /// target existence).
+    fn locate_uid(&mut self, querier: u64, target: u64, from_cell: usize) -> LocateOutcome {
+        let q_addr = self
+            .registry
+            .id_from_raw(querier)
+            .and_then(|q| self.registry.addr_of_user(q));
+        let Some(q_addr) = q_addr else {
+            return LocateOutcome::QuerierNotLoggedIn;
+        };
+        let target_name = self
+            .registry
+            .id_from_raw(target)
+            .and_then(|t| self.registry.name_of(t))
+            .map(str::to_owned);
+        let Some(target_name) = target_name else {
+            return LocateOutcome::NoSuchUser;
+        };
+        self.locate(q_addr, &target_name, from_cell)
     }
 
     /// The spatio-temporal generalization: the target's presence

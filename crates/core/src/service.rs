@@ -47,8 +47,13 @@ use desim::par;
 use desim::tracing::{SpanId, TraceKind, Tracer};
 
 use crate::graph::{Apsp, NodeId};
-use crate::protocol::ProtocolError;
+use crate::protocol::{
+    ProtocolError, Request, Response, OUTCOME_BAD_QUERY, OUTCOME_DENIED, OUTCOME_FOUND,
+    OUTCOME_NOT_LOGGED_IN, OUTCOME_NO_SUCH_USER, OUTCOME_OUT_OF_COVERAGE,
+    OUTCOME_QUERIER_NOT_LOGGED_IN, PROTO_ERR_CELL_OUT_OF_RANGE, TAG_LOCATE_RESULT,
+};
 use crate::registry::{Registry, Visibility};
+use crate::wire::DecodeError;
 
 /// Sentinel: no device bound to this user.
 const NO_ADDR: u64 = u64::MAX;
@@ -212,6 +217,25 @@ impl WhereIs {
             WhereIs::BadQuery(_) => (6, u64::MAX),
         }
     }
+}
+
+/// Outcome of [`ShardedService::serve_payload`]: what the server loop
+/// should do with the bytes (if any) appended to its output buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Served {
+    /// A response was appended to the caller's output buffer.
+    Reply,
+    /// A [`Response::ShutdownAck`] was appended; after writing it the
+    /// connection should be closed and the listener told to drain.
+    Shutdown,
+    /// The payload did not decode as a [`Request`]. Nothing was
+    /// appended; framing with the peer is unrecoverable, so the
+    /// connection should be dropped.
+    Malformed(DecodeError),
+    /// A well-formed request outside the socket serving subset (a
+    /// LAN-simulation message such as `Login` or `NotifyBatch`).
+    /// Nothing was appended; the connection should be dropped.
+    Unsupported,
 }
 
 /// The sharded serving engine. See the [module docs](self) for the
@@ -834,6 +858,108 @@ impl ShardedService {
         metrics.set_counter("core.service.redundant", r_total);
         metrics.set_counter("core.service.ignored", self.ignored.load(Ordering::Relaxed));
     }
+
+    /// Serves one decoded-from-the-socket request payload, appending
+    /// the encoded response to `out`.
+    ///
+    /// This is the entry point `bips-serve` calls for every frame a
+    /// connection delivers. It handles exactly the serving-path subset
+    /// of the protocol:
+    ///
+    /// * [`Request::WhereIs`] → [`Response::LocateResult`] bytes,
+    ///   encoded straight from the zero-allocation
+    ///   [`where_is`](ShardedService::where_is) answer (`path_scratch`
+    ///   is the reusable path buffer) without building an intermediate
+    ///   [`LocateOutcome`](crate::protocol::LocateOutcome) — the
+    ///   steady-state query path allocates only when `out` grows.
+    /// * [`Request::IngestBatch`] → [`Response::IngestAck`]; notice
+    ///   `i` is stamped `base_us + i` so a batch preserves the
+    ///   client's observation order.
+    /// * [`Request::Flush`] → [`Response::FlushAck`] with the acks of
+    ///   [`flush(flush_jobs)`](ShardedService::flush), in global
+    ///   sequence order.
+    /// * [`Request::Shutdown`] → [`Response::ShutdownAck`] and
+    ///   [`Served::Shutdown`].
+    ///
+    /// Anything else is [`Served::Malformed`] / [`Served::Unsupported`]
+    /// and appends nothing. The method never panics on peer-controlled
+    /// input.
+    pub fn serve_payload(
+        &self,
+        payload: &[u8],
+        flush_jobs: usize,
+        path_scratch: &mut Vec<NodeId>,
+        out: &mut Vec<u8>,
+    ) -> Served {
+        let req = match Request::decode(payload) {
+            Ok(req) => req,
+            Err(e) => return Served::Malformed(e),
+        };
+        match req {
+            Request::WhereIs {
+                querier,
+                target,
+                from_cell,
+            } => {
+                let result = self.where_is(querier, target, from_cell as usize, path_scratch);
+                encode_where_is_into(out, &result, path_scratch);
+                Served::Reply
+            }
+            Request::IngestBatch { base_us, items } => {
+                let queued = items.len() as u32;
+                for (i, n) in items.iter().enumerate() {
+                    self.ingest(n.addr, n.cell, n.present, base_us.saturating_add(i as u64));
+                }
+                out.extend_from_slice(&Response::IngestAck { queued }.encode());
+                Served::Reply
+            }
+            Request::Flush => {
+                let acks = self.flush(flush_jobs);
+                out.extend_from_slice(&Response::FlushAck { acks }.encode());
+                Served::Reply
+            }
+            Request::Shutdown => {
+                out.extend_from_slice(&Response::ShutdownAck.encode());
+                Served::Shutdown
+            }
+            _ => Served::Unsupported,
+        }
+    }
+}
+
+/// Appends the [`Response::LocateResult`] wire encoding of a
+/// [`WhereIs`] answer (path supplied separately, from the caller's
+/// scratch buffer) directly to `out`.
+///
+/// Byte-identical to encoding via
+/// [`Response::encode`](crate::protocol::Response::encode) — pinned by
+/// the `serve_payload_where_is_encoding_matches_response_encode` test —
+/// but with no intermediate `LocateOutcome` (and so no path clone) on
+/// the per-query path.
+fn encode_where_is_into(out: &mut Vec<u8>, result: &WhereIs, path: &[NodeId]) {
+    out.push(TAG_LOCATE_RESULT);
+    match result {
+        WhereIs::Found { cell, distance } => {
+            out.push(OUTCOME_FOUND);
+            out.extend_from_slice(&cell.to_le_bytes());
+            out.extend_from_slice(&distance.to_bits().to_le_bytes());
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            for &n in path {
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+            }
+        }
+        WhereIs::NotLoggedIn => out.push(OUTCOME_NOT_LOGGED_IN),
+        WhereIs::OutOfCoverage => out.push(OUTCOME_OUT_OF_COVERAGE),
+        WhereIs::NoSuchUser => out.push(OUTCOME_NO_SUCH_USER),
+        WhereIs::Denied => out.push(OUTCOME_DENIED),
+        WhereIs::QuerierNotLoggedIn => out.push(OUTCOME_QUERIER_NOT_LOGGED_IN),
+        WhereIs::BadQuery(ProtocolError::CellOutOfRange { cell, num_cells }) => {
+            out.push(OUTCOME_BAD_QUERY);
+            out.push(PROTO_ERR_CELL_OUT_OF_RANGE);
+            out.extend_from_slice(&cell.to_le_bytes());
+            out.extend_from_slice(&num_cells.to_le_bytes());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1018,5 +1144,155 @@ mod tests {
         assert!(svc.cells_of(0).is_empty());
         // The address unbinds: same device can serve another user.
         svc.login(1, "pw", addr(0)).unwrap();
+    }
+
+    /// Pin: the zero-intermediate `serve_payload` WhereIs encoding is
+    /// byte-identical to routing the same answer through
+    /// [`Response::LocateResult`] + [`Response::encode`], for every
+    /// outcome variant.
+    #[test]
+    fn serve_payload_where_is_encoding_matches_response_encode() {
+        use crate::protocol::LocateOutcome;
+        let mut reg = Registry::new();
+        let a = reg.register("alice", "pa", AccessRights::open()).unwrap();
+        let b = reg.register("bob", "pb", AccessRights::open()).unwrap();
+        let c = reg.register("carol", "pc", AccessRights::open()).unwrap();
+        let d = reg.register("dave", "pd", AccessRights::open()).unwrap();
+        let g = reg
+            .register("ghost", "pg", AccessRights::invisible())
+            .unwrap();
+        let svc = ShardedService::new(&reg, line_graph(8), 2);
+        let (a, b, c, d, g) = (a.value(), b.value(), c.value(), d.value(), g.value());
+        svc.login(a, "pa", addr(a)).unwrap();
+        svc.login(b, "pb", addr(b)).unwrap();
+        svc.login(d, "pd", addr(d)).unwrap();
+        svc.login(g, "pg", addr(g)).unwrap();
+        svc.ingest(addr(b), 5, true, 1);
+        svc.flush(1);
+
+        // One case per WhereIs variant: Found, BadQuery, NoSuchUser,
+        // Denied, NotLoggedIn (carol), OutOfCoverage (dave, no cell),
+        // QuerierNotLoggedIn (carol queries).
+        let cases = [
+            (a, b, 0u32),
+            (a, b, 99),
+            (a, 77, 0),
+            (a, g, 0),
+            (a, c, 0),
+            (a, d, 0),
+            (c, b, 0),
+        ];
+        let mut path = Vec::new();
+        let mut check = Vec::new();
+        let mut out = Vec::new();
+        for (querier, target, from_cell) in cases {
+            let payload = Request::WhereIs {
+                querier,
+                target,
+                from_cell,
+            }
+            .encode();
+            out.clear();
+            assert_eq!(
+                svc.serve_payload(&payload, 1, &mut path, &mut out),
+                Served::Reply
+            );
+            let outcome = match svc.where_is(querier, target, from_cell as usize, &mut check) {
+                WhereIs::Found { cell, distance } => LocateOutcome::Found {
+                    cell,
+                    path: check.iter().map(|&n| n as u32).collect(),
+                    distance,
+                },
+                WhereIs::NotLoggedIn => LocateOutcome::NotLoggedIn,
+                WhereIs::OutOfCoverage => LocateOutcome::OutOfCoverage,
+                WhereIs::NoSuchUser => LocateOutcome::NoSuchUser,
+                WhereIs::Denied => LocateOutcome::Denied,
+                WhereIs::QuerierNotLoggedIn => LocateOutcome::QuerierNotLoggedIn,
+                WhereIs::BadQuery(e) => LocateOutcome::BadQuery(e),
+            };
+            assert_eq!(
+                out,
+                Response::LocateResult(outcome).encode(),
+                "divergence for ({querier}, {target}, {from_cell})"
+            );
+        }
+    }
+
+    /// `serve_payload` drives the full socket serving cycle — batch
+    /// ingest, flush acks in global sequence order, graceful shutdown —
+    /// and rejects garbage and LAN-simulation requests without
+    /// panicking or replying.
+    #[test]
+    fn serve_payload_covers_the_serving_cycle() {
+        use crate::protocol::Notice;
+        let svc = service(2, 2);
+        svc.login(0, "pw", addr(0)).unwrap();
+        let mut path = Vec::new();
+        let mut out = Vec::new();
+
+        let batch = Request::IngestBatch {
+            base_us: 100,
+            items: vec![
+                Notice {
+                    cell: 2,
+                    addr: addr(0),
+                    present: true,
+                },
+                Notice {
+                    cell: 3,
+                    addr: addr(0),
+                    present: true,
+                },
+                Notice {
+                    cell: 2,
+                    addr: addr(0),
+                    present: true,
+                },
+            ],
+        }
+        .encode();
+        assert_eq!(
+            svc.serve_payload(&batch, 1, &mut path, &mut out),
+            Served::Reply
+        );
+        assert_eq!(out, Response::IngestAck { queued: 3 }.encode());
+
+        out.clear();
+        assert_eq!(
+            svc.serve_payload(&Request::Flush.encode(), 2, &mut path, &mut out),
+            Served::Reply
+        );
+        // Same acks `flush` itself would have produced: applied,
+        // applied, redundant re-announce.
+        assert_eq!(
+            out,
+            Response::FlushAck {
+                acks: vec![true, true, false]
+            }
+            .encode()
+        );
+        assert_eq!(svc.current_cell(0), Some(3));
+
+        out.clear();
+        assert_eq!(
+            svc.serve_payload(&[0xFF, 0x01], 1, &mut path, &mut out),
+            Served::Malformed(DecodeError::BadTag(0xFF))
+        );
+        assert_eq!(
+            svc.serve_payload(
+                &Request::Logout { addr: addr(0) }.encode(),
+                1,
+                &mut path,
+                &mut out
+            ),
+            Served::Unsupported
+        );
+        assert!(out.is_empty(), "rejections must not reply");
+
+        assert_eq!(
+            svc.serve_payload(&Request::Shutdown.encode(), 1, &mut path, &mut out),
+            Served::Shutdown
+        );
+        assert_eq!(out, Response::ShutdownAck.encode());
     }
 }

@@ -4,8 +4,10 @@
 //! Ethernet LAN" (paper §1). This crate simulates that LAN: a switched
 //! segment with configurable latency, jitter and loss ([`network`]), a
 //! stop-and-wait reliable transport with retransmission and duplicate
-//! suppression ([`transport`]), and request/response correlation on top
-//! ([`rpc`]).
+//! suppression ([`transport`]), request/response correlation on top
+//! ([`rpc`]), and length-delimited reframing of the same RPC frames
+//! over real byte streams ([`stream`]) — the layer `bips-serve` and
+//! its clients use to carry frames across loopback TCP/UDS sockets.
 //!
 //! The stack is byte-oriented — payloads cross the wire as `Vec<u8>`
 //! datagrams and each layer adds a small binary header — the same layering
@@ -45,6 +47,7 @@
 
 pub mod network;
 pub mod rpc;
+pub mod stream;
 pub mod transport;
 
 pub use network::{Datagram, HostId, Lan, LanConfig, LanEvent};

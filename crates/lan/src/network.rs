@@ -118,6 +118,22 @@ impl Lan {
         }
     }
 
+    /// Changes the loss probability of the running segment — e.g. to
+    /// sever (`1.0`) and later restore a link mid-simulation. Unlike
+    /// [`Lan::new`], `1.0` is allowed: a fully-dead link is a legitimate
+    /// transient fault to model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn set_loss(&mut self, loss: f64) {
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss probability {loss} outside [0, 1]"
+        );
+        self.cfg.loss = loss;
+    }
+
     /// Attaches a new host and returns its id.
     pub fn attach(&mut self) -> HostId {
         let id = HostId(self.hosts);

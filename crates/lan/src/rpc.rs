@@ -16,7 +16,9 @@
 //! Untraced decoders reject traced frames (unknown dir byte) rather
 //! than misreading the span as payload, and traced decoders accept
 //! both forms (legacy frames decode with span
-//! [`SpanId::NONE`](desim::tracing::SpanId::NONE)).
+//! [`SpanId::NONE`](desim::tracing::SpanId::NONE)). A traced-direction
+//! frame whose span field *is* `NONE` is rejected outright — the
+//! encoder can never produce one, so it is garbage, not a frame.
 
 use crate::network::HostId;
 use crate::transport::AppMessage;
@@ -107,6 +109,28 @@ impl RpcFrame<'_> {
             RpcFrame::Request { span, .. } | RpcFrame::Response { span, .. } => *span,
         }
     }
+
+    /// Re-frames the message exactly as it was decoded: same direction,
+    /// correlation id, span and payload. For every frame produced by
+    /// [`RpcCodec::decode_ref`] this reproduces the original bytes —
+    /// the round-trip stability the stream fuzz tests pin down — which
+    /// is what a relay or proxy needs to forward frames unchanged.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            RpcFrame::Request {
+                corr,
+                span,
+                payload,
+                ..
+            } => encode_frame(DIR_REQUEST, *corr, *span, payload),
+            RpcFrame::Response {
+                corr,
+                span,
+                payload,
+                ..
+            } => encode_frame(DIR_RESPONSE, *corr, *span, payload),
+        }
+    }
 }
 
 /// Stateless-ish codec: allocates correlation ids and frames/deframes RPC
@@ -148,6 +172,16 @@ impl RpcCodec {
     /// Frames a response to a previously decoded request.
     pub fn encode_response(corr: CorrelationId, payload: &[u8]) -> Vec<u8> {
         encode_frame(DIR_RESPONSE, corr, SpanId::NONE, payload)
+    }
+
+    /// Appends an untraced response frame *header* for `corr` to `out`;
+    /// the caller writes the payload bytes immediately after. Byte-wise
+    /// this is [`encode_response`](RpcCodec::encode_response) split in
+    /// two, letting a server encode a response in place in its write
+    /// buffer without an intermediate allocation.
+    pub fn append_response_header(out: &mut Vec<u8>, corr: CorrelationId) {
+        out.push(DIR_RESPONSE);
+        out.extend_from_slice(&corr.0.to_le_bytes());
     }
 
     /// Frames a traced response: the request's span rides back so the
@@ -192,7 +226,21 @@ impl RpcCodec {
     /// [`NONE`](SpanId::NONE)) and traced (17-byte header) frames
     /// decode.
     pub fn decode_ref(msg: &AppMessage) -> Option<RpcFrame<'_>> {
-        let dir = *msg.payload.first()?;
+        RpcCodec::decode_ref_bytes(msg.src, &msg.payload)
+    }
+
+    /// Deframes raw frame bytes (the transport-message payload, or one
+    /// length-delimited frame off a byte stream — see
+    /// [`stream`](crate::stream)). `from` attributes the frame to its
+    /// origin; over a socket that is the connection's peer.
+    ///
+    /// A traced-direction frame carrying span [`NONE`](SpanId::NONE) is
+    /// rejected: the encoder only upgrades to the traced form for a
+    /// real span, so such a frame cannot have come from this codec and
+    /// would decode to an event-less span downstream tracing treats as
+    /// "untraced" — a mismatch between wire form and meaning.
+    pub fn decode_ref_bytes(from: HostId, bytes: &[u8]) -> Option<RpcFrame<'_>> {
+        let dir = *bytes.first()?;
         let traced = match dir {
             DIR_REQUEST | DIR_RESPONSE => false,
             DIR_REQUEST_TRACED | DIR_RESPONSE_TRACED => true,
@@ -203,26 +251,30 @@ impl RpcCodec {
         } else {
             HEADER_LEN
         };
-        if msg.payload.len() < header {
+        if bytes.len() < header {
             return None;
         }
-        let corr = CorrelationId(u64::from_le_bytes(msg.payload.get(1..9)?.try_into().ok()?));
+        let corr = CorrelationId(u64::from_le_bytes(bytes.get(1..9)?.try_into().ok()?));
         let span = if traced {
-            SpanId(u64::from_le_bytes(msg.payload.get(9..17)?.try_into().ok()?))
+            let span = SpanId(u64::from_le_bytes(bytes.get(9..17)?.try_into().ok()?));
+            if span.is_none() {
+                return None;
+            }
+            span
         } else {
             SpanId::NONE
         };
-        let payload = msg.payload.get(header..)?;
+        let payload = bytes.get(header..)?;
         if dir == DIR_REQUEST || dir == DIR_REQUEST_TRACED {
             Some(RpcFrame::Request {
-                from: msg.src,
+                from,
                 corr,
                 span,
                 payload,
             })
         } else {
             Some(RpcFrame::Response {
-                from: msg.src,
+                from,
                 corr,
                 span,
                 payload,
@@ -288,6 +340,10 @@ impl RpcCodec {
 /// upgrades it to the traced form, so untraced traffic stays
 /// byte-identical to the legacy format.
 fn encode_frame(dir: u8, corr: CorrelationId, span: SpanId, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        dir == DIR_REQUEST || dir == DIR_RESPONSE,
+        "encode_frame takes the untraced direction byte, got {dir}"
+    );
     if span.is_none() {
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.push(dir);
@@ -437,6 +493,72 @@ mod tests {
         assert_eq!(RpcCodec::decode(&msg(0, vec![])), None);
         assert_eq!(RpcCodec::decode(&msg(0, vec![7; 20])), None);
         assert_eq!(RpcCodec::decode(&msg(0, vec![0; 5])), None);
+        // Unknown direction bytes, including just-past-traced.
+        assert_eq!(RpcCodec::decode(&msg(0, vec![4; 20])), None);
+        assert_eq!(RpcCodec::decode(&msg(0, vec![255; 20])), None);
+        // Exactly one byte short of each header form.
+        assert_eq!(RpcCodec::decode(&msg(0, vec![DIR_REQUEST; 8])), None);
+        assert_eq!(
+            RpcCodec::decode(&msg(0, vec![DIR_REQUEST_TRACED; 16])),
+            None
+        );
+        // The borrowed decoder agrees on every seed above.
+        for bytes in [
+            vec![],
+            vec![7; 20],
+            vec![0; 5],
+            vec![4; 20],
+            vec![255; 20],
+            vec![DIR_REQUEST; 8],
+            vec![DIR_REQUEST_TRACED; 16],
+        ] {
+            assert_eq!(RpcCodec::decode_ref_bytes(HostId::new(0), &bytes), None);
+        }
+    }
+
+    #[test]
+    fn traced_dir_with_none_span_is_rejected() {
+        // A traced-direction frame carrying SpanId::NONE could never
+        // have been produced by encode_frame (it only upgrades the dir
+        // for a real span), so decode refuses to fabricate one.
+        for dir in [DIR_REQUEST_TRACED, DIR_RESPONSE_TRACED] {
+            let mut bytes = vec![dir];
+            bytes.extend_from_slice(&42u64.to_le_bytes()); // corr
+            bytes.extend_from_slice(&SpanId::NONE.0.to_le_bytes());
+            bytes.extend_from_slice(b"payload");
+            assert_eq!(RpcCodec::decode_ref_bytes(HostId::new(0), &bytes), None);
+            assert_eq!(RpcCodec::decode(&msg(0, bytes)), None);
+        }
+        // The same header with a real span decodes fine.
+        let mut ok = vec![DIR_REQUEST_TRACED];
+        ok.extend_from_slice(&42u64.to_le_bytes());
+        ok.extend_from_slice(&7u64.to_le_bytes());
+        ok.extend_from_slice(b"payload");
+        assert!(RpcCodec::decode_ref_bytes(HostId::new(0), &ok).is_some());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "untraced direction byte")]
+    fn encode_frame_rejects_traced_dir_input() {
+        // encode_frame's contract is "pass the untraced dir, the span
+        // upgrades it"; passing an already-traced dir would double-shift
+        // the direction space.
+        let _ = encode_frame(DIR_REQUEST_TRACED, CorrelationId(0), SpanId::NONE, b"");
+    }
+
+    #[test]
+    fn frame_encode_reproduces_original_bytes() {
+        let mut codec = RpcCodec::new();
+        let (_, untraced) = codec.encode_request(b"where is bob");
+        let (_, traced) = codec.encode_request_traced(SpanId(99), b"where is bob");
+        let (corr, _) = codec.encode_request(b"");
+        let resp = RpcCodec::encode_response(corr, b"room 42");
+        let resp_traced = RpcCodec::encode_response_traced(corr, SpanId(5), b"room 42");
+        for bytes in [untraced, traced, resp, resp_traced] {
+            let frame = RpcCodec::decode_ref_bytes(HostId::new(0), &bytes).unwrap();
+            assert_eq!(frame.encode(), bytes);
+        }
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //! delivery win.
 //!
 //! Segment wire format: `[kind: u8][seq: u64 LE][payload…]` with kind 0 =
-//! DATA, 1 = ACK.
+//! DATA, 1 = ACK. ACKs are **cumulative**: an ACK carries the highest
+//! in-order sequence the receiver has accounted for (`expected - 1`),
+//! and the sender treats any ACK at or above its outstanding seq as
+//! clearing it. When the sender abandons a segment at `max_attempts`
+//! the next DATA arrives above the receiver's `expected`; the receiver
+//! records the skipped range in `stats.gaps`, delivers the new message
+//! and resynchronizes — abandonment loses exactly the abandoned
+//! message, never the rest of the flow (see `docs/PROTOCOLS.md` §1).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -76,10 +83,17 @@ pub struct ReliableStats {
     pub acks: u64,
     /// Application messages delivered in order.
     pub delivered: u64,
-    /// Duplicate DATA segments suppressed.
+    /// Stale DATA segments suppressed (seq already accounted for —
+    /// retransmissions of delivered or gap-skipped segments). Never
+    /// counts a message the application should have seen.
     pub duplicates: u64,
     /// Messages abandoned after `max_attempts`.
     pub failed: u64,
+    /// Sequence numbers skipped by the receiver after the sender
+    /// abandoned them: DATA arriving above `expected` advances the flow
+    /// and adds the skipped range here. The receiver-side mirror of the
+    /// sender's `failed`.
+    pub gaps: u64,
 }
 
 #[derive(Debug)]
@@ -143,6 +157,7 @@ impl Reliable {
         metrics.set_counter("lan.transport.delivered", s.delivered);
         metrics.set_counter("lan.transport.duplicates", s.duplicates);
         metrics.set_counter("lan.transport.failed", s.failed);
+        metrics.set_counter("lan.transport.gaps", s.gaps);
     }
 
     /// Queues `payload` for reliable, ordered delivery from `src` to
@@ -189,21 +204,34 @@ impl Reliable {
             KIND_DATA => {
                 let key = (dgram.src.index(), dgram.dst.index());
                 let expected = self.expected.entry(key).or_insert(0);
-                if seq == *expected {
-                    *expected += 1;
+                if seq < *expected {
+                    // Stale retransmission of a segment already accounted
+                    // for (delivered, or skipped as a gap) — suppress.
+                    self.stats.duplicates += 1;
+                } else {
+                    // seq > expected means the sender moved on: it only
+                    // transmits seq after every lower seq was ACKed or
+                    // abandoned, so the skipped range was abandoned.
+                    // Record the gap and resynchronize instead of
+                    // miscounting every later message as a duplicate.
+                    self.stats.gaps += seq - *expected;
+                    *expected = seq + 1;
                     self.stats.delivered += 1;
                     self.inbox.push(AppMessage {
                         src: dgram.src,
                         dst: dgram.dst,
                         payload: dgram.payload[HEADER_LEN..].to_vec(),
                     });
-                } else {
-                    self.stats.duplicates += 1;
                 }
-                // (Re-)acknowledge everything up to the expected seq.
+                // (Re-)acknowledge everything up to the expected seq:
+                // the ACK is cumulative and carries `expected - 1`, the
+                // highest seq this receiver has accounted for.
+                // `expected` is at least 1 here (any DATA either advances
+                // it past 0 or is stale, which requires a prior advance).
+                let ack_seq = *expected - 1;
                 let mut ack = Vec::with_capacity(HEADER_LEN);
                 ack.push(KIND_ACK);
-                ack.extend_from_slice(&seq.to_le_bytes());
+                ack.extend_from_slice(&ack_seq.to_le_bytes());
                 self.stats.acks += 1;
                 let mut sub = MapLan { s, wrap: &wrap_lan };
                 lan.send(&mut sub, dgram.dst, dgram.src, ack);
@@ -211,10 +239,11 @@ impl Reliable {
                 true
             }
             KIND_ACK => {
-                // ACK travels dst→src of the original flow.
+                // ACK travels dst→src of the original flow. Cumulative:
+                // anything at or above the outstanding seq clears it.
                 let key = (dgram.dst.index(), dgram.src.index());
                 if let Some(flow) = self.flows.get_mut(&key) {
-                    if matches!(&flow.outstanding, Some(o) if o.seq == seq) {
+                    if matches!(&flow.outstanding, Some(o) if o.seq <= seq) {
                         flow.outstanding = None;
                         self.pump(s, lan, &wrap_lan, &wrap_tr, dgram.dst, dgram.src);
                     }
@@ -367,12 +396,15 @@ mod tests {
         Lan(LanEvent),
         Tr(TransportEvent),
         Send(HostId, HostId, Vec<u8>),
+        SetLoss(f64),
     }
 
     struct Stack {
         lan: Lan,
         tr: Reliable,
         got: Vec<AppMessage>,
+        /// Cumulative seq carried by every ACK put on the wire.
+        acks_seen: Vec<u64>,
     }
 
     impl World for Stack {
@@ -382,11 +414,17 @@ mod tests {
                 Ev::Lan(le) => {
                     self.lan.handle(&mut Wrap(ctx), le);
                     for d in self.lan.drain_deliveries() {
+                        if d.payload.len() >= HEADER_LEN && d.payload[0] == KIND_ACK {
+                            let seq =
+                                u64::from_le_bytes(d.payload[1..9].try_into().expect("header"));
+                            self.acks_seen.push(seq);
+                        }
                         self.tr.on_datagram(ctx, &mut self.lan, Ev::Lan, Ev::Tr, d);
                     }
                 }
                 Ev::Tr(te) => self.tr.handle(ctx, &mut self.lan, Ev::Lan, Ev::Tr, te),
                 Ev::Send(a, b, p) => self.tr.send(ctx, &mut self.lan, Ev::Lan, Ev::Tr, a, b, p),
+                Ev::SetLoss(l) => self.lan.set_loss(l),
             }
             self.got.extend(self.tr.drain_inbox());
         }
@@ -419,6 +457,7 @@ mod tests {
             lan,
             tr: Reliable::new(ReliableConfig::default()),
             got: vec![],
+            acks_seen: vec![],
         };
         (Engine::new(world, seed), ids)
     }
@@ -516,6 +555,92 @@ mod tests {
         assert_eq!(st.delivered, 1);
     }
 
+    /// The PR 7 regression: break a flow under 100% loss, restore the
+    /// link, and assert the flow keeps working with truthful counters.
+    /// Before the cumulative-ACK fix, every message after the abandoned
+    /// one was silently dropped at the receiver (miscounted as a
+    /// duplicate) while still being ACKed.
+    #[test]
+    fn abandoned_flow_recovers_after_link_restore() {
+        let (mut e, h) = stack(0.0, 2, 8);
+        // m0 delivers normally.
+        e.schedule(SimTime::ZERO, Ev::Send(h[0], h[1], b"m0".to_vec()));
+        // Sever the link, then send m1: 20 attempts over ~100 ms, then
+        // the sender abandons seq 1 and reports the flow broken.
+        e.schedule(SimTime::from_millis(1), Ev::SetLoss(1.0));
+        e.schedule(
+            SimTime::from_millis(2),
+            Ev::Send(h[0], h[1], b"m1".to_vec()),
+        );
+        // Well after abandonment, restore the link and keep sending.
+        e.schedule(SimTime::from_millis(300), Ev::SetLoss(0.0));
+        e.schedule(
+            SimTime::from_millis(301),
+            Ev::Send(h[0], h[1], b"m2".to_vec()),
+        );
+        e.schedule(
+            SimTime::from_millis(302),
+            Ev::Send(h[0], h[1], b"m3".to_vec()),
+        );
+        e.run();
+        let got: Vec<&[u8]> = e.world().got.iter().map(|m| m.payload.as_slice()).collect();
+        assert_eq!(
+            got,
+            vec![&b"m0"[..], &b"m2"[..], &b"m3"[..]],
+            "messages after the abandoned one must still be delivered"
+        );
+        let st = e.world().tr.stats();
+        assert_eq!(st.accepted, 4);
+        assert_eq!(st.delivered, 3, "m0, m2 and m3 were delivered");
+        assert_eq!(st.failed, 1, "exactly m1 was abandoned");
+        assert_eq!(st.gaps, 1, "the receiver saw exactly m1's seq skipped");
+        assert_eq!(
+            st.duplicates, 0,
+            "nothing was retransmitted after delivery, so nothing is a duplicate"
+        );
+        let broken = e.world_mut().tr.drain_broken_flows();
+        assert_eq!(broken, vec![(h[0], h[1])]);
+    }
+
+    /// Pins the ACK seq for a stale duplicate: the ACK is cumulative and
+    /// carries `expected - 1` (the highest seq accounted for), not the
+    /// received seq verbatim.
+    #[test]
+    fn stale_duplicate_ack_carries_cumulative_seq() {
+        let data = |seq: u64, p: &[u8]| {
+            let mut d = vec![KIND_DATA];
+            d.extend_from_slice(&seq.to_le_bytes());
+            d.extend_from_slice(p);
+            d
+        };
+        let (mut e, h) = stack(0.0, 2, 9);
+        // Inject raw DATA segments directly onto the LAN: seq 0, seq 1,
+        // then a stale replay of seq 0, then seq 3 (a gap: 2 abandoned).
+        for (t, seg) in [
+            (0u64, data(0, b"a")),
+            (1, data(1, b"b")),
+            (2, data(0, b"a")),
+            (3, data(3, b"d")),
+        ] {
+            e.schedule(
+                SimTime::from_millis(t),
+                Ev::Lan(LanEvent::send(h[0], h[1], seg)),
+            );
+        }
+        e.run();
+        assert_eq!(
+            e.world().acks_seen,
+            vec![0, 1, 1, 3],
+            "stale duplicate of seq 0 must be re-ACKed with cumulative seq 1"
+        );
+        let st = e.world().tr.stats();
+        assert_eq!(st.delivered, 3);
+        assert_eq!(st.duplicates, 1);
+        assert_eq!(st.gaps, 1);
+        let got: Vec<&[u8]> = e.world().got.iter().map(|m| m.payload.as_slice()).collect();
+        assert_eq!(got, vec![&b"a"[..], &b"b"[..], &b"d"[..]]);
+    }
+
     #[test]
     fn short_datagram_is_not_a_segment() {
         let mut tr = Reliable::new(ReliableConfig::default());
@@ -527,6 +652,7 @@ mod tests {
                 lan: Lan::new(LanConfig::default()),
                 tr: Reliable::new(ReliableConfig::default()),
                 got: vec![],
+                acks_seen: vec![],
             },
             7,
         );
