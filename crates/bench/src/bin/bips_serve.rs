@@ -10,20 +10,25 @@
 //! Usage:
 //!   cargo run -p bips-bench --bin bips-serve --release -- \
 //!       [--workload full|smoke|tiny] [--listen HOST:PORT] [--uds PATH] \
-//!       [--jobs N]
+//!       [--jobs N] [--mix Q:U] [--mode seqlock|locked]
 //!
 //! Defaults: smoke workload, TCP on `127.0.0.1:0` (the `LISTENING`
-//! line carries the actual port), flush jobs 4. At exit the run's
-//! `serve.*` counters print to stderr.
+//! line carries the actual port), flush jobs 4, the 80:20 mix, and
+//! the seqlock read path. `--mix` re-tunes the workload's per-tick
+//! blocks (clients must drive the same mix for checksums to line up);
+//! `--mode locked` serves on the legacy lock-based slot reads for
+//! locked-vs-seqlock socket comparisons. At exit the run's `serve.*`
+//! counters print to stderr.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use bips_bench::loadgen::{build_service, Workload};
+use bips_bench::loadgen::{build_service_with, Mix, Workload};
 use bips_bench::serve::{Bind, Server};
 use bips_bench::telemetry::take_flag;
+use bips_core::service::ReadPath;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,11 +36,20 @@ fn main() {
     let (args, listen) = take_flag(args, "--listen");
     let (args, uds) = take_flag(args, "--uds");
     let (args, jobs) = take_flag(args, "--jobs");
+    let (args, mix_arg) = take_flag(args, "--mix");
+    let (args, mode) = take_flag(args, "--mode");
     if let Some(stray) = args.first() {
         eprintln!("unknown argument: {stray}");
         std::process::exit(2);
     }
 
+    let mix = match &mix_arg {
+        Some(s) => Mix::parse(s).unwrap_or_else(|| {
+            eprintln!("--mix must be one of 80:20, 50:50, 99:1 (got {s})");
+            std::process::exit(2);
+        }),
+        None => Mix::default(),
+    };
     let w = match workload.as_deref().unwrap_or("smoke") {
         "full" => Workload::full(),
         "smoke" => Workload::smoke(),
@@ -44,6 +58,14 @@ fn main() {
             eprintln!("unknown workload {other:?} (expected full, smoke, or tiny)");
             std::process::exit(2);
         }
+    }
+    .with_mix(mix);
+    let read_path = match &mode {
+        Some(s) => ReadPath::parse(s).unwrap_or_else(|| {
+            eprintln!("--mode must be seqlock or locked (got {s})");
+            std::process::exit(2);
+        }),
+        None => ReadPath::default(),
     };
     let jobs: usize = jobs.map_or(4, |v| {
         v.parse().unwrap_or_else(|_| {
@@ -61,13 +83,14 @@ fn main() {
     };
 
     eprintln!(
-        "[bips-serve] building {} workload: {} users, {} cells, {} shards ...",
+        "[bips-serve] building {} workload: {} users, {} cells, {} shards, {} reads ...",
         w.name,
         w.users,
         w.cells(),
-        w.shards
+        w.shards,
+        read_path.name()
     );
-    let svc = Arc::new(build_service(&w));
+    let svc = Arc::new(build_service_with(&w, read_path));
     let server = Server::bind(&bind, svc, jobs).unwrap_or_else(|e| {
         eprintln!("cannot bind {bind:?}: {e}");
         std::process::exit(1);

@@ -14,8 +14,14 @@
 //!
 //! Usage:
 //!   cargo run -p bips-bench --bin net_throughput --release -- \
-//!       [--smoke] [--json PATH] [--check FILE] \
+//!       [--smoke] [--json PATH] [--check FILE] [--mix Q:U] \
 //!       [--connect HOST:PORT [--conns N]]
+//!
+//! `--mix Q:U` re-tunes the workloads to a query:update preset
+//! (`80:20` default, `50:50`, `99:1`); non-default mixes suffix the
+//! section names (`smoke` → `smoke_50_50`). In `--connect` mode the
+//! external `bips-serve` only holds login state, so any mix works
+//! against the same server instance.
 //!
 //! `--json PATH` writes a `bips-run-report/v1` document with a section
 //! per workload holding `socket_c{N}` blocks (end-to-end RTT HDR
@@ -37,7 +43,7 @@
 use std::sync::Arc;
 
 use bips_bench::loadgen::{
-    build_service, generate_trace, run_sharded, run_socket, Dial, ModeResult, Workload,
+    build_service, generate_trace, run_sharded, run_socket, Dial, Mix, ModeResult, Workload,
 };
 use bips_bench::serve::{Bind, Server};
 use bips_bench::telemetry::take_flag;
@@ -162,7 +168,15 @@ fn main() {
     let (args, check_path) = take_flag(args, "--check");
     let (args, connect) = take_flag(args, "--connect");
     let (args, conns_flag) = take_flag(args, "--conns");
+    let (args, mix_arg) = take_flag(args, "--mix");
     let smoke_only = args.iter().any(|a| a == "--smoke");
+    let mix = match &mix_arg {
+        Some(s) => Mix::parse(s).unwrap_or_else(|| {
+            eprintln!("--mix must be one of 80:20, 50:50, 99:1 (got {s})");
+            std::process::exit(2);
+        }),
+        None => Mix::default(),
+    };
 
     let mut report = RunReport::new("net_throughput", Workload::smoke().seed);
     let mut results: Vec<SocketResult> = Vec::new();
@@ -170,9 +184,9 @@ fn main() {
     if let Some(addr) = connect {
         // Two-process mode: one run against an external bips-serve.
         let w = if smoke_only {
-            Workload::smoke()
+            Workload::smoke().with_mix(mix)
         } else {
-            Workload::full()
+            Workload::full().with_mix(mix)
         };
         let conns: usize = conns_flag.map_or(4, |v| {
             v.parse().unwrap_or_else(|_| {
@@ -208,9 +222,12 @@ fn main() {
         });
     } else {
         let workloads = if smoke_only {
-            vec![Workload::smoke()]
+            vec![Workload::smoke().with_mix(mix)]
         } else {
-            vec![Workload::full(), Workload::smoke()]
+            vec![
+                Workload::full().with_mix(mix),
+                Workload::smoke().with_mix(mix),
+            ]
         };
         for w in workloads {
             eprintln!(
@@ -230,6 +247,7 @@ fn main() {
             config
                 .set("users", w.users)
                 .set("cells", w.cells())
+                .set("mix", mix.name())
                 .set("ticks", w.ticks)
                 .set("shards", w.shards)
                 .set("seed", w.seed);

@@ -19,18 +19,25 @@
 //!
 //! Usage:
 //!   cargo run -p bips-bench --bin server_throughput --release -- \
-//!       [--smoke] [--json PATH] [--check FILE] [--jobs N]
+//!       [--smoke] [--json PATH] [--check FILE] [--jobs N] [--mix Q:U]
 //!
+//! `--mix Q:U` re-tunes every workload to a query:update preset
+//! (`80:20` default, `50:50`, `99:1`); non-default mixes suffix the
+//! section names (`smoke` → `smoke_50_50`) so baselines never collide.
 //! `--json PATH` writes a `bips-run-report/v1` document (see
 //! `docs/OBSERVABILITY.md`) with a section per workload, including HDR
 //! latency quantiles (p50/p99/p999/p9999, relative error < 1.5625%)
 //! and a per-shard breakdown that `bips-top` renders. `--check FILE`
 //! gates sharded *and* traced queries/sec against a committed baseline
-//! (>20% regression fails), plus a same-run tracing-overhead circuit
-//! breaker: traced/untraced throughput ≥ 0.70 whenever the untraced
-//! query phase ran long enough to measure (quiet-machine overhead is
-//! 15–25%; the 30% budget catches structural regressions such as an
-//! allocation sneaking onto the record path without flaking on noise).
+//! (>20% regression fails) and, when the baseline section carries a
+//! sharded `p999_us`, the sharded tail too (>20% above baseline plus a
+//! 5 µs jitter floor fails — that is the mixed-workload gate against
+//! `BENCH_PR8.json`). A same-run tracing-overhead circuit breaker
+//! rounds it out: traced/untraced throughput ≥ 0.70 whenever the
+//! untraced query phase ran long enough to measure (quiet-machine
+//! overhead is 15–25%; the 30% budget catches structural regressions
+//! such as an allocation sneaking onto the record path without flaking
+//! on noise).
 
 // Bench binary: wall-clock reads feed the perf report
 // (artifacts.wall_secs), not simulation results.
@@ -41,9 +48,10 @@ use std::sync::Arc;
 
 use bips_bench::loadgen::{
     generate_trace, merge_shard_hdrs, run_baseline, run_sharded, run_sharded_traced,
-    shard_latency_hdrs, ModeResult, Trace, Workload,
+    shard_latency_hdrs, Mix, ModeResult, Trace, Workload,
 };
 use bips_bench::telemetry::{take_flag, take_jobs};
+use desim::metrics::MetricSet;
 use desim::report::{hdr_json, Json, RunReport};
 use desim::tracing::{FlightRecorder, Tracer};
 
@@ -64,6 +72,7 @@ fn mode_json(r: &ModeResult) -> Json {
     j.set("queries_per_sec", r.queries_per_sec())
         .set("p50_us", r.percentile_us(0.50))
         .set("p99_us", r.percentile_us(0.99))
+        .set("p999_us", hdr.quantile(0.999) as f64 / 1000.0)
         .set("latency_hdr_ns", hdr_json(&hdr))
         .set("query_secs", r.query_secs)
         .set("total_secs", r.total_secs)
@@ -73,7 +82,13 @@ fn mode_json(r: &ModeResult) -> Json {
     j
 }
 
-fn shards_json(w: &Workload, trace: &Trace, traced: &ModeResult, tracer: &Tracer) -> Json {
+fn shards_json(
+    w: &Workload,
+    trace: &Trace,
+    traced: &ModeResult,
+    tracer: &Tracer,
+    metrics: &MetricSet,
+) -> Json {
     let hdrs = shard_latency_hdrs(w, trace, traced);
     let mut rows = Vec::with_capacity(hdrs.len());
     for (i, h) in hdrs.iter().enumerate() {
@@ -85,7 +100,13 @@ fn shards_json(w: &Workload, trace: &Trace, traced: &ModeResult, tracer: &Tracer
                 h.count() as f64 / traced.query_secs.max(1e-9),
             )
             .set("p50_us", h.quantile(0.50) as f64 / 1000.0)
-            .set("p999_us", h.quantile(0.999) as f64 / 1000.0);
+            .set("p999_us", h.quantile(0.999) as f64 / 1000.0)
+            .set(
+                "read_retries",
+                metrics
+                    .counter_value(&format!("core.service.shard{i}.read_retries"))
+                    .unwrap_or(0),
+            );
         if let Some(ring) = tracer.ring(i) {
             row.set("ring_recorded", ring.recorded())
                 .set("ring_occupancy", ring.occupancy());
@@ -95,18 +116,22 @@ fn shards_json(w: &Workload, trace: &Trace, traced: &ModeResult, tracer: &Tracer
     Json::Arr(rows)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn section_json(
     w: &Workload,
+    mix: Mix,
     trace: &Trace,
     baseline: &ModeResult,
     sharded: &ModeResult,
     traced: &ModeResult,
     tracer: &Tracer,
+    traced_metrics: &MetricSet,
 ) -> Json {
     let mut config = Json::object();
     config
         .set("users", w.users)
         .set("cells", w.cells())
+        .set("mix", mix.name())
         .set("updates_per_tick", w.updates_per_tick)
         .set("queries_per_tick", w.queries_per_tick)
         .set("ticks", w.ticks)
@@ -135,7 +160,10 @@ fn section_json(
         .set("traced", mode_json(traced))
         .set("speedup", speedup)
         .set("tracing", tracing)
-        .set("shards", shards_json(w, trace, traced, tracer));
+        .set(
+            "shards",
+            shards_json(w, trace, traced, tracer, traced_metrics),
+        );
     j
 }
 
@@ -177,6 +205,20 @@ fn check_against(baseline_json: &str, sections: &[SectionResult]) -> Vec<String>
                 ));
             }
         }
+        // Tail gate: only when the baseline records a sharded p999
+        // (BENCH_PR8.json does; the older throughput baselines do
+        // not). 20% over baseline plus a 5 µs jitter floor fails —
+        // the floor keeps sub-10 µs tails from flaking on a single
+        // scheduler hiccup while still catching a seqlock regression,
+        // which costs hundreds of µs at the tail.
+        if let Some(base_p999) = lookup(baseline_json, name, &["sharded", "p999_us"]) {
+            let p999 = s.sharded.latency_hdr().quantile(0.999) as f64 / 1000.0;
+            if p999 > base_p999 * 1.2 + 5.0 {
+                violations.push(format!(
+                    "{name}: sharded p999 {p999:.2} us, >20% above baseline {base_p999:.2} us"
+                ));
+            }
+        }
         // Same-run overhead circuit breaker: tracing runs 15–25%
         // behind the untraced engine on a quiet machine, so the budget
         // is 30% — wide enough to absorb scheduler noise, narrow
@@ -203,13 +245,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (args, json_path) = take_flag(args, "--json");
     let (args, check_path) = take_flag(args, "--check");
+    let (args, mix_arg) = take_flag(args, "--mix");
     let (args, jobs) = take_jobs(args);
     let smoke_only = args.iter().any(|a| a == "--smoke");
+    let mix = match &mix_arg {
+        Some(s) => Mix::parse(s).unwrap_or_else(|| {
+            eprintln!("--mix must be one of 80:20, 50:50, 99:1 (got {s})");
+            std::process::exit(2);
+        }),
+        None => Mix::default(),
+    };
 
     let workloads = if smoke_only {
-        vec![Workload::smoke()]
+        vec![Workload::smoke().with_mix(mix)]
     } else {
-        vec![Workload::full(), Workload::smoke()]
+        vec![
+            Workload::full().with_mix(mix),
+            Workload::smoke().with_mix(mix),
+        ]
     };
 
     let mut report = RunReport::new("server_throughput", workloads[0].seed);
@@ -281,7 +334,16 @@ fn main() {
         );
         report.section(
             w.name,
-            section_json(&w, &trace, &baseline, &sharded, &traced, &tracer),
+            section_json(
+                &w,
+                mix,
+                &trace,
+                &baseline,
+                &sharded,
+                &traced,
+                &tracer,
+                &traced_metrics,
+            ),
         );
         if w.name == "full" {
             report.metrics(&traced_metrics);

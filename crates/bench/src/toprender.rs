@@ -4,8 +4,9 @@
 //! `server_throughput --json` and renders a terminal dashboard: one
 //! header block with the three modes' throughput and the tracing
 //! overhead, then one row per shard with queries/sec, HDR latency
-//! quantiles, and trace-ring occupancy. Pure string-in/string-out so
-//! the binary stays a thin I/O shell and the layout is unit-testable.
+//! quantiles, the seqlock read-retry rate, and trace-ring occupancy.
+//! Pure string-in/string-out so the binary stays a thin I/O shell and
+//! the layout is unit-testable.
 
 use desim::report::Json;
 
@@ -113,16 +114,24 @@ pub fn render(report: &Json, section: Option<&str>) -> Result<String, String> {
         return Err(format!("section {name:?} has no shards array"));
     };
     out.push('\n');
-    out.push_str("shard      q/s   queries   p50 us   p999 us  ring occupancy\n");
+    out.push_str("shard      q/s   queries   p50 us   p999 us  retry/kq  ring occupancy\n");
     for row in rows {
         let shard = get_num(row, "shard").unwrap_or(-1.0);
         let qps = get_num(row, "queries_per_sec").unwrap_or(0.0);
         let queries = get_num(row, "queries").unwrap_or(0.0);
         let p50 = get_num(row, "p50_us").unwrap_or(0.0);
         let p999 = get_num(row, "p999_us").unwrap_or(0.0);
+        // Seqlock read retries per thousand queries; reports from
+        // before the seqlock engine simply render 0.
+        let retries = get_num(row, "read_retries").unwrap_or(0.0);
+        let per_kq = if queries > 0.0 {
+            retries * 1000.0 / queries
+        } else {
+            0.0
+        };
         let occ = get_num(row, "ring_occupancy").unwrap_or(0.0);
         out.push_str(&format!(
-            "{shard:>5.0} {qps:>8.0} {queries:>9.0} {p50:>8.2} {p999:>9.2}  [{}] {:>3.0}%\n",
+            "{shard:>5.0} {qps:>8.0} {queries:>9.0} {p50:>8.2} {p999:>9.2} {per_kq:>9.2}  [{}] {:>3.0}%\n",
             bar(occ, 20),
             occ * 100.0
         ));
@@ -149,7 +158,7 @@ mod tests {
                 "tracing": {"recorded": 360000, "dropped": 0},
                 "shards": [
                   {"shard": 0, "queries": 80000, "queries_per_sec": 950000.0,
-                   "p50_us": 0.4, "p999_us": 9.0,
+                   "p50_us": 0.4, "p999_us": 9.0, "read_retries": 400,
                    "ring_recorded": 180000, "ring_occupancy": 1.0},
                   {"shard": 1, "queries": 80000, "queries_per_sec": 950000.0,
                    "p50_us": 0.4, "p999_us": 8.0,
@@ -170,9 +179,12 @@ mod tests {
         assert!(out.contains("p999     9.00 us"));
         assert!(out.contains("tracing overhead: 5.0%"));
         assert!(out.contains("360000 recorded"));
-        // Two shard rows, occupancy bars at 100% and 50%.
-        assert!(out.contains("[####################] 100%"));
-        assert!(out.contains("[##########..........]  50%"));
+        // Two shard rows, occupancy bars at 100% and 50%. Shard 0's
+        // 400 retries over 80k queries is 5/kq; shard 1's missing
+        // read_retries (a pre-seqlock report) renders as 0.
+        assert!(out.contains("retry/kq"));
+        assert!(out.contains("     5.00  [####################] 100%"));
+        assert!(out.contains("     0.00  [##########..........]  50%"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use bips_bench::loadgen::{build_service, generate_trace, run_sharded, run_socket, Dial, Workload};
+use bips_bench::loadgen::{
+    build_service, generate_trace, run_sharded, run_socket, Dial, Mix, Workload,
+};
 use bips_bench::serve::{Bind, ServeStats, Server};
 
 fn serve_and_run(
@@ -55,6 +57,33 @@ fn tcp_serving_is_bit_identical_to_in_process() {
             "served {frames} frames, expected more than {} queries",
             w.queries()
         );
+    }
+}
+
+#[test]
+fn socket_checksums_are_mix_and_conn_invariant() {
+    // The answer re-fold and the per-tick outcome buffer are sized
+    // from the workload's own per-tick query count, so a non-default
+    // mix must replay bit-identically for any connection count too.
+    for mix in [Mix::Q50U50, Mix::Q99U1] {
+        let w = Workload::tiny().with_mix(mix);
+        let trace = generate_trace(&w);
+        let (reference, _) = run_sharded(&w, &trace, 1);
+        for conns in [1usize, 3] {
+            let (r, _) = serve_and_run(&w, &Bind::Tcp("127.0.0.1:0".to_string()), conns);
+            assert_eq!(
+                r.checksum, reference.checksum,
+                "{} answers diverged at {conns} conns",
+                w.name
+            );
+            assert_eq!(
+                r.ack_checksum, reference.ack_checksum,
+                "{} flush acks diverged at {conns} conns",
+                w.name
+            );
+            assert_eq!(r.found, reference.found);
+            assert_eq!(r.latencies_ns.len() as u64, w.queries());
+        }
     }
 }
 

@@ -15,14 +15,27 @@
 //!   never touches a string.
 //! * **Sharded state.** Users are partitioned over `nshards`
 //!   (power-of-two) shards by `uid & (nshards - 1)`. Each shard holds a
-//!   16-byte *hot slot* per user (bound address, current cell, packed
-//!   access flags) behind its own [`RwLock`], so concurrent readers
-//!   proceed in parallel and a write stalls only its own shard.
+//!   16-byte *hot slot* per user (bound address, current cell) made of
+//!   plain atomics, plus an immutable `SlotMeta` (packed access
+//!   flags, credentials, allow-list) fixed at construction.
+//! * **Seqlock reads.** Every hot slot carries a sequence word (even =
+//!   stable, odd = write in progress). The default
+//!   [`ReadPath::Seqlock`] query path snapshots `(addr, cell)` with an
+//!   Acquire-load / copy / re-check retry loop and **never acquires a
+//!   lock**: a flush storming a shard cannot block a reader, it can
+//!   only cost it a retry (counted in `core.service.read_retries`).
+//!   The pre-seqlock behaviour survives as [`ReadPath::Locked`] —
+//!   readers share the writer `RwLock`'s read side — selectable per
+//!   engine so differential tests and benches can prove the two paths
+//!   bit-identical and measure the tail-latency gap.
 //! * **Batched ingestion.** Presence notices buffer into per-shard
 //!   pending queues ([`ShardedService::ingest`]) and are applied by
-//!   [`ShardedService::flush`] with one write-lock acquisition per shard
-//!   — update-on-change traffic amortizes to a fraction of a lock op per
-//!   notice, and a reader never observes a half-applied batch.
+//!   [`ShardedService::flush`] with one writer-lock acquisition per
+//!   shard — update-on-change traffic amortizes to a fraction of a lock
+//!   op per notice. Writers serialize among themselves on the
+//!   per-shard writer lock; each changed slot is published with
+//!   odd/even seq fencing so a reader observes either the old or the
+//!   new `(addr, cell)` pair, never a torn mix.
 //! * **Zero-allocation queries.** [`ShardedService::where_is`] writes
 //!   the answer path into a caller-owned buffer via
 //!   [`Apsp::path_into`]; once the buffer is warm the query performs no
@@ -32,12 +45,27 @@
 //! order regardless of how many worker threads [`flush`] uses, and acks
 //! are reassembled by sequence number, so results are bit-identical for
 //! any `jobs` count — the property the differential suite checks against
-//! the seed server.
+//! the seed server, on both read paths.
+//!
+//! # SAFETY (memory ordering)
+//!
+//! The seqlock uses no `unsafe` (the crate forbids it): slot fields are
+//! plain atomics, so a racing read is never UB — the seq word only has
+//! to rule out *mixed* snapshots. Writer, under the shard writer lock:
+//! `seq += 1` (Relaxed) → `fence(Release)` → data stores (Relaxed) →
+//! `seq += 1` (Release). Reader: `seq` (Acquire) → data loads (Relaxed)
+//! → `fence(Acquire)` → re-check `seq` (Relaxed). If the re-check sees
+//! the same even value, the data loads happened entirely between two
+//! stable states of the same epoch: the Release fence orders the odd
+//! store before the data stores, the Release store orders the data
+//! stores before the new even value, and the Acquire pair on the read
+//! side makes both edges visible. See DESIGN.md §7 for the full
+//! argument and the wait-freedom caveat.
 //!
 //! [`flush`]: ShardedService::flush
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -68,7 +96,7 @@ const VIS_SHIFT: u32 = 1;
 const VIS_EVERYONE: u32 = 0;
 /// Visibility kind: nobody may locate this user.
 const VIS_NOBODY: u32 = 1;
-/// Visibility kind: only the cold-slot allow-list may locate this user.
+/// Visibility kind: only the allow-list may locate this user.
 const VIS_ONLY: u32 = 2;
 
 /// Takes a shard read lock, recovering from poisoning. The serving path
@@ -91,43 +119,144 @@ fn lock_mutex<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// The 16-byte per-user record every query touches. Kept minimal so a
-/// building's worth of users stays cache-resident: 1M users ≈ 16 MB,
-/// versus ~250 MB of string-keyed maps in the seed server.
-#[derive(Debug, Clone, Copy)]
-struct HotSlot {
-    /// Bound `BD_ADDR` ([`NO_ADDR`] when not logged in).
-    addr: u64,
-    /// Current cell ([`NO_CELL`] when absent everywhere).
-    cell: u32,
-    /// [`FLAG_MAY_QUERY`] plus the visibility kind in bits 1–2.
-    flags: u32,
+/// Which slot-read protocol [`ShardedService::where_is`] (and every
+/// other reader) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Lock-free seqlock snapshots (the default): readers never
+    /// acquire a lock, a concurrent publish costs them a retry.
+    #[default]
+    Seqlock,
+    /// The pre-seqlock scheme, kept compiled and selectable: readers
+    /// share the writer `RwLock`'s read side, so a flush holding the
+    /// write side blocks them. Exists so differential tests can prove
+    /// the seqlock path bit-identical and benches can measure the
+    /// tail-latency gap.
+    Locked,
 }
 
-/// Per-user state off the query hot path: credentials (verified at
-/// login only), the visibility allow-list, and the overlapping-coverage
-/// claim set that backs the current-cell computation.
+impl ReadPath {
+    /// Stable lower-case name, for bench reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadPath::Seqlock => "seqlock",
+            ReadPath::Locked => "locked",
+        }
+    }
+
+    /// Parses a CLI spelling (`seqlock` / `locked`).
+    pub fn parse(s: &str) -> Option<ReadPath> {
+        match s {
+            "seqlock" => Some(ReadPath::Seqlock),
+            "locked" => Some(ReadPath::Locked),
+            _ => None,
+        }
+    }
+}
+
+/// The 16-byte per-user record every query touches, seqlock-published.
+/// Kept minimal so a building's worth of users stays cache-resident:
+/// 1M users ≈ 16 MB, versus ~250 MB of string-keyed maps in the seed
+/// server. All fields are atomics (the crate forbids `unsafe`); the
+/// `seq` word is what makes the `(addr, cell)` pair readable as a unit.
+#[derive(Debug)]
+struct HotSlot {
+    /// Bound `BD_ADDR` ([`NO_ADDR`] when not logged in).
+    addr: AtomicU64,
+    /// Seqlock sequence word: even = stable, odd = publish in progress.
+    seq: AtomicU32,
+    /// Current cell ([`NO_CELL`] when absent everywhere).
+    cell: AtomicU32,
+}
+
+impl HotSlot {
+    fn new() -> HotSlot {
+        HotSlot {
+            addr: AtomicU64::new(NO_ADDR),
+            seq: AtomicU32::new(0),
+            cell: AtomicU32::new(NO_CELL),
+        }
+    }
+
+    /// Publishes a new `(addr, cell)` pair under the seqlock protocol.
+    /// Must be called with the shard's writer lock held (writers
+    /// serialize among themselves; the seq word only protects readers).
+    fn publish(&self, addr: u64, cell: u32) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.addr.store(addr, Ordering::Relaxed);
+        self.cell.store(cell, Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Lock-free consistent snapshot of `(addr, cell)`; bumps `retries`
+    /// once per raced attempt. Loops only while a publish is in flight
+    /// on this very slot — a handful of stores — so a reader is never
+    /// blocked, merely delayed by the writer's progress.
+    fn snapshot(&self, retries: &AtomicU64) -> (u64, u32) {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let addr = self.addr.load(Ordering::Relaxed);
+                let cell = self.cell.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    return (addr, cell);
+                }
+            }
+            retries.fetch_add(1, Ordering::Relaxed);
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Immutable per-user metadata, fixed when the engine snapshots the
+/// registry: packed access flags, credentials (verified at login only)
+/// and the visibility allow-list. Readable with no synchronization at
+/// all — it never changes after construction.
 #[derive(Debug, Clone, Default)]
-struct ColdSlot {
+struct SlotMeta {
+    /// [`FLAG_MAY_QUERY`] plus the visibility kind in bits 1–2.
+    flags: u32,
     salt: u64,
     digest: u64,
     /// Sorted allow-list for [`VIS_ONLY`] users.
     only: Box<[u32]>,
-    /// Cells currently claiming this user, in claim order:
-    /// `(cell, since_us)`.
-    claims: Vec<(u32, u64)>,
 }
 
-/// One shard's user state. All slots of a shard share a single
-/// [`RwLock`], so the whole shard updates atomically per flush.
+/// Mutable writer-side state of one shard: the overlapping-coverage
+/// claim sets backing the current-cell computation, plus
+/// update-on-change accounting. Only writers (login/logout/flush) and
+/// the [`ReadPath::Locked`] legacy read path touch the lock guarding
+/// this — the seqlock read path never does.
 #[derive(Debug, Default)]
-struct ShardState {
-    hot: Vec<HotSlot>,
-    cold: Vec<ColdSlot>,
+struct WriterState {
+    /// Cells currently claiming each slot's user, in claim order:
+    /// `(cell, since_us)`.
+    claims: Vec<Vec<(u32, u64)>>,
     /// Update-on-change accounting, mirrored from
     /// [`DbStats`](crate::locationdb::DbStats).
     applied: u64,
     redundant: u64,
+}
+
+/// One shard: lock-free hot slots + immutable metadata + the
+/// writer-only state behind its lock, plus per-shard counters.
+#[derive(Debug)]
+struct Shard {
+    hot: Box<[HotSlot]>,
+    meta: Box<[SlotMeta]>,
+    /// Write side: writer mutual exclusion (login/logout/flush). Read
+    /// side: the legacy [`ReadPath::Locked`] slot read. The seqlock
+    /// read path never touches this lock in any mode.
+    writer: RwLock<WriterState>,
+    /// Queries routed to this shard.
+    queries: AtomicU64,
+    /// Seqlock read attempts that raced a publish and retried.
+    read_retries: AtomicU64,
+    /// Seqlock publishes (login/logout/flush slot updates).
+    slot_publishes: AtomicU64,
 }
 
 /// A presence notice waiting in a shard's pending queue.
@@ -271,21 +400,25 @@ pub enum Served {
 /// ```
 #[derive(Debug)]
 pub struct ShardedService {
-    shards: Box<[RwLock<ShardState>]>,
+    shards: Box<[Shard]>,
     /// Pending presence notices, per shard, in ingest order.
     pending: Box<[Mutex<Vec<PendingNotice>>]>,
     /// Ingested notices whose address was not bound to any user: their
     /// `(seq)` still occupies an ack position (always `false`).
     dropped: Mutex<Vec<u64>>,
     /// Interned `BD_ADDR` → uid bindings, sharded by address hash.
-    addr_shards: Box<[RwLock<HashMap<u64, u32>>]>,
-    /// Per-shard query counters (indexed like `shards`).
-    queries: Box<[AtomicU64]>,
+    /// `BTreeMap` behind the writer-side mutex: point lookups on the
+    /// ingest path, and — unlike the `HashMap` it replaced — an
+    /// iteration order that is deterministic by construction, so no
+    /// future drain/iterate use can reintroduce the per-process-seed
+    /// nondeterminism PR 5 eradicated elsewhere.
+    addr_shards: Box<[Mutex<BTreeMap<u64, u32>>]>,
     /// Notices ignored because their address was unbound.
     ignored: AtomicU64,
     next_seq: AtomicU64,
     num_users: u64,
     shard_bits: u32,
+    read_path: ReadPath,
     apsp: Apsp,
     /// Optional request tracer; `None` (the default) keeps the hot
     /// path at a single untaken branch.
@@ -294,7 +427,8 @@ pub struct ShardedService {
 
 impl ShardedService {
     /// Builds the engine from a registry snapshot and the offline path
-    /// table. `nshards` is rounded up to a power of two.
+    /// table, on the default [`ReadPath::Seqlock`] read path. `nshards`
+    /// is rounded up to a power of two.
     ///
     /// Users keep the registry's dense ids; user `uid` lives in shard
     /// `uid & (nshards - 1)` at slot `uid >> log2(nshards)`. Live
@@ -306,6 +440,18 @@ impl ShardedService {
     /// Panics if `nshards` is zero or the registry holds more than
     /// `u32::MAX - 1` users (slot indices are 32-bit).
     pub fn new(registry: &Registry, apsp: Apsp, nshards: usize) -> ShardedService {
+        Self::new_with_read_path(registry, apsp, nshards, ReadPath::Seqlock)
+    }
+
+    /// [`new`](ShardedService::new) with an explicit slot-read
+    /// protocol. [`ReadPath::Locked`] exists for differential tests and
+    /// locked-vs-seqlock benches; production callers want the default.
+    pub fn new_with_read_path(
+        registry: &Registry,
+        apsp: Apsp,
+        nshards: usize,
+        read_path: ReadPath,
+    ) -> ShardedService {
         assert!(nshards > 0, "need at least one shard");
         let nshards = nshards.next_power_of_two();
         let shard_bits = nshards.trailing_zeros();
@@ -315,58 +461,71 @@ impl ShardedService {
         // Shard `s` holds uids `s, s + nshards, s + 2*nshards, …` at
         // slots `0, 1, 2, …` (uid = slot * nshards + s), so filling each
         // shard in uid order needs no indexed writes at all.
-        let mut states: Vec<ShardState> = Vec::with_capacity(nshards);
+        let mut shards: Vec<Shard> = Vec::with_capacity(nshards);
         for s in 0..nshards as u64 {
-            let mut st = ShardState::default();
+            let mut hot = Vec::new();
+            let mut meta = Vec::new();
+            let mut claims = Vec::new();
             let mut uid = s;
             while uid < n {
                 // Ids are dense (0..num_users), so the lookup cannot
                 // miss; an inert, unmatchable slot keeps the engine
                 // total without a panic path if that invariant breaks.
-                let (flags, salt, digest, only): (u32, u64, u64, Box<[u32]>) =
-                    match registry.record_parts(uid) {
-                        Some((rights, salt, digest)) => {
-                            let (kind, only): (u32, Box<[u32]>) = match &rights.visibility {
-                                Visibility::Everyone => (VIS_EVERYONE, Box::new([])),
-                                Visibility::Nobody => (VIS_NOBODY, Box::new([])),
-                                Visibility::Only(list) => {
-                                    let mut l: Vec<u32> =
-                                        list.iter().map(|u| u.value() as u32).collect();
-                                    l.sort_unstable();
-                                    (VIS_ONLY, l.into_boxed_slice())
-                                }
-                            };
-                            let flags = (kind << VIS_SHIFT) | u32::from(rights.may_query);
-                            (flags, salt, digest, only)
+                let m = match registry.record_parts(uid) {
+                    Some((rights, salt, digest)) => {
+                        let (kind, only): (u32, Box<[u32]>) = match &rights.visibility {
+                            Visibility::Everyone => (VIS_EVERYONE, Box::new([])),
+                            Visibility::Nobody => (VIS_NOBODY, Box::new([])),
+                            Visibility::Only(list) => {
+                                let mut l: Vec<u32> =
+                                    list.iter().map(|u| u.value() as u32).collect();
+                                l.sort_unstable();
+                                (VIS_ONLY, l.into_boxed_slice())
+                            }
+                        };
+                        SlotMeta {
+                            flags: (kind << VIS_SHIFT) | u32::from(rights.may_query),
+                            salt,
+                            digest,
+                            only,
                         }
-                        None => (VIS_NOBODY << VIS_SHIFT, 0, u64::MAX, Box::new([])),
-                    };
-                st.hot.push(HotSlot {
-                    addr: NO_ADDR,
-                    cell: NO_CELL,
-                    flags,
-                });
-                st.cold.push(ColdSlot {
-                    salt,
-                    digest,
-                    only,
-                    claims: Vec::new(),
-                });
+                    }
+                    None => SlotMeta {
+                        flags: VIS_NOBODY << VIS_SHIFT,
+                        salt: 0,
+                        digest: u64::MAX,
+                        only: Box::new([]),
+                    },
+                };
+                hot.push(HotSlot::new());
+                meta.push(m);
+                claims.push(Vec::new());
                 uid += nshards as u64;
             }
-            states.push(st);
+            shards.push(Shard {
+                hot: hot.into_boxed_slice(),
+                meta: meta.into_boxed_slice(),
+                writer: RwLock::new(WriterState {
+                    claims,
+                    applied: 0,
+                    redundant: 0,
+                }),
+                queries: AtomicU64::new(0),
+                read_retries: AtomicU64::new(0),
+                slot_publishes: AtomicU64::new(0),
+            });
         }
 
         ShardedService {
-            shards: states.into_iter().map(RwLock::new).collect(),
+            shards: shards.into_boxed_slice(),
             pending: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
             dropped: Mutex::new(Vec::new()),
-            addr_shards: (0..nshards).map(|_| RwLock::new(HashMap::new())).collect(),
-            queries: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            addr_shards: (0..nshards).map(|_| Mutex::new(BTreeMap::new())).collect(),
             ignored: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             num_users: n,
             shard_bits,
+            read_path,
             apsp,
             tracer: None,
         }
@@ -401,9 +560,41 @@ impl ShardedService {
         self.num_users
     }
 
+    /// Which slot-read protocol this engine serves queries with.
+    pub fn read_path(&self) -> ReadPath {
+        self.read_path
+    }
+
     /// The offline path table the engine answers from.
     pub fn apsp(&self) -> &Apsp {
         &self.apsp
+    }
+
+    /// Total seqlock read retries across all shards (reads that raced
+    /// a slot publish and looped). Zero on an uncontended engine.
+    pub fn read_retries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read_retries.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Read retries of one shard (see
+    /// [`read_retries`](ShardedService::read_retries)); 0 for an
+    /// out-of-range index.
+    pub fn shard_read_retries(&self, shard: usize) -> u64 {
+        self.shards
+            .get(shard)
+            .map_or(0, |s| s.read_retries.load(Ordering::Relaxed))
+    }
+
+    /// Total seqlock slot publishes across all shards (login, logout
+    /// and every flushed cell change bump this).
+    pub fn slot_publishes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.slot_publishes.load(Ordering::Relaxed))
+            .sum()
     }
 
     #[inline]
@@ -422,10 +613,70 @@ impl ShardedService {
         (mixed & (self.addr_shards.len() as u64 - 1)) as usize
     }
 
+    /// Reads one slot's `(addr, cell)` pair via the engine's configured
+    /// read path. `None` only for an out-of-range slot index.
+    #[inline]
+    fn read_slot(&self, shard: &Shard, slot: usize) -> Option<(u64, u32)> {
+        let hot = shard.hot.get(slot)?;
+        Some(match self.read_path {
+            ReadPath::Seqlock => hot.snapshot(&shard.read_retries),
+            ReadPath::Locked => Self::read_slot_locked(shard, hot),
+        })
+    }
+
+    /// The legacy locked slot read: shares the writer `RwLock`'s read
+    /// side, so a flush holding the write side blocks this. Kept
+    /// compiled and selectable (see [`ReadPath::Locked`]) as the
+    /// differential/bench reference the seqlock path is proven against.
+    #[inline]
+    fn read_slot_locked(shard: &Shard, hot: &HotSlot) -> (u64, u32) {
+        // The selectable lock-based reference the seqlock path is
+        // differentially proven against.
+        // lint:allow(serve-reader-lock): the ReadPath::Locked legacy read path
+        let _guard = read_lock(&shard.writer);
+        (
+            hot.addr.load(Ordering::Relaxed),
+            hot.cell.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Raw read-path probe of user `uid`'s `(addr, cell)` pair, for the
+    /// torn-read stress suite. `None` for an unknown uid.
+    #[doc(hidden)]
+    pub fn slot_probe(&self, uid: u64) -> Option<(u64, u32)> {
+        if uid >= self.num_users {
+            return None;
+        }
+        let (shard, slot) = self.shard_of(uid);
+        self.read_slot(self.shards.get(shard)?, slot)
+    }
+
+    /// Directly publishes a `(addr, cell)` pair into user `uid`'s hot
+    /// slot under the writer lock, bypassing session/presence logic —
+    /// the torn-read stress suite's writer primitive. Returns whether
+    /// the uid resolved to a slot.
+    #[doc(hidden)]
+    pub fn debug_publish_slot(&self, uid: u64, addr: u64, cell: u32) -> bool {
+        if uid >= self.num_users {
+            return false;
+        }
+        let (shard, slot) = self.shard_of(uid);
+        let Some(sh) = self.shards.get(shard) else {
+            return false;
+        };
+        let Some(hot) = sh.hot.get(slot) else {
+            return false;
+        };
+        let _w = write_lock(&sh.writer);
+        hot.publish(addr, cell);
+        sh.slot_publishes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Logs user `uid` in from device `addr`, verifying the password
     /// against the snapshotted credentials.
     ///
-    /// Lock order: user shard (write) then address shard (write) —
+    /// Lock order: user-shard writer lock then address-shard mutex —
     /// every session operation follows this hierarchy, and the query
     /// and ingest paths never hold both, so the engine cannot deadlock.
     ///
@@ -438,31 +689,34 @@ impl ShardedService {
             return Err(SessionError::NoSuchUser);
         }
         let (shard, slot) = self.shard_of(uid);
-        let Some(lock) = self.shards.get(shard) else {
+        let Some(sh) = self.shards.get(shard) else {
             return Err(SessionError::NoSuchUser);
         };
-        let mut st = write_lock(lock);
-        let Some(cold) = st.cold.get(slot) else {
+        let _w = write_lock(&sh.writer);
+        let Some(meta) = sh.meta.get(slot) else {
             return Err(SessionError::NoSuchUser);
         };
-        if crate::registry::digest(cold.salt, password) != cold.digest {
+        if crate::registry::digest(meta.salt, password) != meta.digest {
             return Err(SessionError::BadPassword);
         }
         let Some(addr_lock) = self.addr_shards.get(self.addr_shard_of(addr.raw())) else {
             return Err(SessionError::AddressInUse);
         };
-        let mut addrs = write_lock(addr_lock);
+        let mut addrs = lock_mutex(addr_lock);
         if addrs.contains_key(&addr.raw()) {
             return Err(SessionError::AddressInUse);
         }
-        let Some(hot) = st.hot.get_mut(slot) else {
+        let Some(hot) = sh.hot.get(slot) else {
             return Err(SessionError::NoSuchUser);
         };
-        if hot.addr != NO_ADDR {
+        // Stable under the writer lock: all hot-slot publishes for this
+        // shard happen with that lock held.
+        if hot.addr.load(Ordering::Relaxed) != NO_ADDR {
             return Err(SessionError::AlreadyLoggedIn);
         }
         addrs.insert(addr.raw(), uid as u32);
-        hot.addr = addr.raw();
+        hot.publish(addr.raw(), hot.cell.load(Ordering::Relaxed));
+        sh.slot_publishes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -478,24 +732,24 @@ impl ShardedService {
             return Err(SessionError::NotLoggedIn);
         }
         let (shard, slot) = self.shard_of(uid);
-        let Some(lock) = self.shards.get(shard) else {
+        let Some(sh) = self.shards.get(shard) else {
             return Err(SessionError::NotLoggedIn);
         };
-        let mut st = write_lock(lock);
-        let Some(hot) = st.hot.get_mut(slot) else {
+        let mut w = write_lock(&sh.writer);
+        let Some(hot) = sh.hot.get(slot) else {
             return Err(SessionError::NotLoggedIn);
         };
-        let addr = hot.addr;
+        let addr = hot.addr.load(Ordering::Relaxed);
         if addr == NO_ADDR {
             return Err(SessionError::NotLoggedIn);
         }
-        hot.addr = NO_ADDR;
-        hot.cell = NO_CELL;
+        hot.publish(NO_ADDR, NO_CELL);
+        sh.slot_publishes.fetch_add(1, Ordering::Relaxed);
         if let Some(addr_lock) = self.addr_shards.get(self.addr_shard_of(addr)) {
-            write_lock(addr_lock).remove(&addr);
+            lock_mutex(addr_lock).remove(&addr);
         }
-        if let Some(cold) = st.cold.get_mut(slot) {
-            cold.claims.clear();
+        if let Some(claims) = w.claims.get_mut(slot) {
+            claims.clear();
         }
         Ok(())
     }
@@ -527,12 +781,14 @@ impl ShardedService {
         let uid = self
             .addr_shards
             .get(self.addr_shard_of(addr.raw()))
-            .and_then(|lock| read_lock(lock).get(&addr.raw()).copied());
+            // lint:allow(serve-reader-lock): writer-side — ingest resolves the device binding under the address mutex; the query read path never calls ingest
+            .and_then(|lock| lock_mutex(lock).get(&addr.raw()).copied());
         let queued = match uid {
             Some(uid) => {
                 let (shard, slot) = self.shard_of(u64::from(uid));
                 match self.pending.get(shard) {
                     Some(queue) => {
+                        // lint:allow(serve-reader-lock): writer-side — the pending queue mutex is an ingest/flush handoff, untouched by slot reads
                         lock_mutex(queue).push(PendingNotice {
                             seq,
                             slot: slot as u32,
@@ -552,6 +808,7 @@ impl ShardedService {
         };
         if !queued {
             self.ignored.fetch_add(1, Ordering::Relaxed);
+            // lint:allow(serve-reader-lock): writer-side — dropped-seq bookkeeping for ack reassembly, only reached from the ingest path
             lock_mutex(&self.dropped).push(seq);
         }
         seq
@@ -560,12 +817,14 @@ impl ShardedService {
     /// Applies every pending notice, using up to `jobs` worker threads
     /// (one per shard at most; `jobs <= 1` runs inline).
     ///
-    /// Each shard takes its write lock **once**, applies its queue in
-    /// ingest order, and releases — so a reader observes either none or
-    /// all of a shard's batch, and the result is bit-identical for every
-    /// `jobs` value. Returns the per-notice "changed state" acks indexed
-    /// by the sequence numbers [`ingest`](ShardedService::ingest)
-    /// returned (offset by the count consumed in earlier flushes).
+    /// Each shard takes its writer lock **once**, applies its queue in
+    /// ingest order, and releases. Every cell change is published
+    /// per-slot with odd/even seq fencing, so a seqlock reader observes
+    /// each slot either before or after its update — and the result is
+    /// bit-identical for every `jobs` value. Returns the per-notice
+    /// "changed state" acks indexed by the sequence numbers
+    /// [`ingest`](ShardedService::ingest) returned (offset by the count
+    /// consumed in earlier flushes).
     pub fn flush(&self, jobs: usize) -> Vec<bool> {
         let nshards = self.shards.len();
         let per_shard: Vec<Vec<(u64, bool)>> =
@@ -573,31 +832,32 @@ impl ShardedService {
                 self.flush_shard(s as usize)
             });
         let mut acks: Vec<(u64, bool)> = per_shard.into_iter().flatten().collect();
+        // lint:allow(serve-reader-lock): writer-side — drains the dropped-seq ledger while reassembling acks; slot reads never touch it
         acks.extend(lock_mutex(&self.dropped).drain(..).map(|seq| (seq, false)));
         acks.sort_unstable_by_key(|&(seq, _)| seq);
         acks.into_iter().map(|(_, changed)| changed).collect()
     }
 
-    /// Applies one shard's queue under a single write-lock acquisition.
+    /// Applies one shard's queue under a single writer-lock acquisition.
     fn flush_shard(&self, shard: usize) -> Vec<(u64, bool)> {
-        let (Some(queue_lock), Some(state_lock)) =
-            (self.pending.get(shard), self.shards.get(shard))
-        else {
+        let (Some(queue_lock), Some(sh)) = (self.pending.get(shard), self.shards.get(shard)) else {
             return Vec::new();
         };
+        // lint:allow(serve-reader-lock): writer-side — takes the pending queue for this flush; the queue mutex is never reader-visible
         let mut queue = std::mem::take(&mut *lock_mutex(queue_lock));
         if queue.is_empty() {
             return Vec::new();
         }
         let mut acks = Vec::with_capacity(queue.len());
         {
-            let mut st = write_lock(state_lock);
+            // lint:allow(serve-reader-lock): writer-side — flush serializes against other writers on the writer lock; seqlock readers never take it
+            let mut w = write_lock(&sh.writer);
             for n in &queue {
-                let changed = Self::apply_notice(&mut st, n);
+                let changed = Self::apply_notice(sh, &mut w, n);
                 if changed {
-                    st.applied += 1;
+                    w.applied += 1;
                 } else {
-                    st.redundant += 1;
+                    w.redundant += 1;
                 }
                 acks.push((n.seq, changed));
             }
@@ -605,6 +865,7 @@ impl ShardedService {
         // Hand the drained buffer back so steady-state ingest reuses its
         // capacity instead of reallocating every tick.
         queue.clear();
+        // lint:allow(serve-reader-lock): writer-side — returns the drained buffer to the ingest path (capacity reuse), same queue mutex as above
         let mut pending = lock_mutex(queue_lock);
         if pending.is_empty() {
             *pending = queue;
@@ -624,30 +885,32 @@ impl ShardedService {
 
     /// One notice against one slot, mirroring `LocationDb::apply`:
     /// a new presence claim becomes the current cell unconditionally; an
-    /// absence falls back to the most recent remaining claim.
-    fn apply_notice(st: &mut ShardState, n: &PendingNotice) -> bool {
+    /// absence falls back to the most recent remaining claim. A changed
+    /// cell is published through the slot's seqlock.
+    fn apply_notice(sh: &Shard, w: &mut WriterState, n: &PendingNotice) -> bool {
         let slot = n.slot as usize;
-        let Some(cold) = st.cold.get_mut(slot) else {
+        let Some(claims) = w.claims.get_mut(slot) else {
             return false;
         };
         let new_cell = if n.present {
-            if cold.claims.iter().any(|&(c, _)| c == n.cell) {
+            if claims.iter().any(|&(c, _)| c == n.cell) {
                 return false;
             }
-            cold.claims.push((n.cell, n.since_us));
+            claims.push((n.cell, n.since_us));
             n.cell
         } else {
-            let Some(pos) = cold.claims.iter().position(|&(c, _)| c == n.cell) else {
+            let Some(pos) = claims.iter().position(|&(c, _)| c == n.cell) else {
                 return false;
             };
-            cold.claims.swap_remove(pos);
-            cold.claims
+            claims.swap_remove(pos);
+            claims
                 .iter()
                 .max_by_key(|&&(_, since)| since)
                 .map_or(NO_CELL, |&(c, _)| c)
         };
-        if let Some(hot) = st.hot.get_mut(slot) {
-            hot.cell = new_cell;
+        if let Some(hot) = sh.hot.get(slot) {
+            hot.publish(hot.addr.load(Ordering::Relaxed), new_cell);
+            sh.slot_publishes.fetch_add(1, Ordering::Relaxed);
         }
         true
     }
@@ -657,11 +920,13 @@ impl ShardedService {
     ///
     /// Precondition checks run in the seed server's order: querier
     /// session, target existence, visibility policy, target session,
-    /// target coverage, then request well-formedness. The call takes two
-    /// shard read locks sequentially (never nested) and performs **no
-    /// heap allocation** once `path_out` has warmed to the longest path
-    /// in the building — the property the allocation-counting test in
-    /// the bench crate pins down.
+    /// target coverage, then request well-formedness. On the default
+    /// seqlock read path the call acquires **no lock at all** — two
+    /// slot snapshots and two immutable metadata reads — and performs
+    /// **no heap allocation** once `path_out` has warmed to the longest
+    /// path in the building (the property the allocation-counting test
+    /// in the bench crate pins down). The `serve-reader-lock` lint rule
+    /// keeps this path lock-free at the source level.
     pub fn where_is(
         &self,
         querier: u64,
@@ -720,49 +985,50 @@ impl ShardedService {
         } else {
             (0, usize::MAX)
         };
-        if let Some(counter) = self.queries.get(q_shard) {
-            counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(sh) = self.shards.get(q_shard) {
+            sh.queries.fetch_add(1, Ordering::Relaxed);
         }
         let q_flags = {
             if q_slot == usize::MAX {
                 return WhereIs::QuerierNotLoggedIn;
             }
-            let Some(lock) = self.shards.get(q_shard) else {
+            let Some(sh) = self.shards.get(q_shard) else {
                 return WhereIs::QuerierNotLoggedIn;
             };
-            let st = read_lock(lock);
-            let Some(&hot) = st.hot.get(q_slot) else {
+            let Some(meta) = sh.meta.get(q_slot) else {
                 return WhereIs::QuerierNotLoggedIn;
             };
-            if hot.addr == NO_ADDR {
+            let Some((q_addr, _)) = self.read_slot(sh, q_slot) else {
+                return WhereIs::QuerierNotLoggedIn;
+            };
+            if q_addr == NO_ADDR {
                 return WhereIs::QuerierNotLoggedIn;
             }
-            hot.flags
+            meta.flags
         };
         if target >= self.num_users {
             return WhereIs::NoSuchUser;
         }
         let (t_shard, t_slot) = self.shard_of(target);
         let (t_addr, t_cell) = {
-            let Some(lock) = self.shards.get(t_shard) else {
+            let Some(sh) = self.shards.get(t_shard) else {
                 return WhereIs::NoSuchUser;
             };
-            let st = read_lock(lock);
-            let Some(&hot) = st.hot.get(t_slot) else {
+            let Some(meta) = sh.meta.get(t_slot) else {
                 return WhereIs::NoSuchUser;
             };
-            let visible = match hot.flags >> VIS_SHIFT {
+            let visible = match meta.flags >> VIS_SHIFT {
                 VIS_EVERYONE => true,
                 VIS_NOBODY => false,
-                _ => st
-                    .cold
-                    .get(t_slot)
-                    .is_some_and(|c| c.only.binary_search(&(querier as u32)).is_ok()),
+                _ => meta.only.binary_search(&(querier as u32)).is_ok(),
             };
             if q_flags & FLAG_MAY_QUERY == 0 || !visible {
                 return WhereIs::Denied;
             }
-            (hot.addr, hot.cell)
+            let Some(pair) = self.read_slot(sh, t_slot) else {
+                return WhereIs::NoSuchUser;
+            };
+            pair
         };
         if t_addr == NO_ADDR {
             return WhereIs::NotLoggedIn;
@@ -797,26 +1063,27 @@ impl ShardedService {
             return None;
         }
         let (shard, slot) = self.shard_of(uid);
-        let st = read_lock(self.shards.get(shard)?);
-        let cell = st.hot.get(slot)?.cell;
+        let (_, cell) = self.read_slot(self.shards.get(shard)?, slot)?;
         (cell != NO_CELL).then_some(cell)
     }
 
     /// All cells currently claiming the user, sorted (overlapping
-    /// coverage), for state comparison in tests.
+    /// coverage), for state comparison in tests. Reads the writer-side
+    /// claim set, so it takes the writer lock's read side regardless of
+    /// the configured read path.
     pub fn cells_of(&self, uid: u64) -> Vec<u32> {
         if uid >= self.num_users {
             return Vec::new();
         }
         let (shard, slot) = self.shard_of(uid);
-        let Some(lock) = self.shards.get(shard) else {
+        let Some(sh) = self.shards.get(shard) else {
             return Vec::new();
         };
-        let st = read_lock(lock);
-        let mut v: Vec<u32> = st
-            .cold
+        let w = read_lock(&sh.writer);
+        let mut v: Vec<u32> = w
+            .claims
             .get(slot)
-            .map(|c| c.claims.iter().map(|&(cell, _)| cell).collect())
+            .map(|c| c.iter().map(|&(cell, _)| cell).collect())
             .unwrap_or_default();
         v.sort_unstable();
         v
@@ -828,34 +1095,42 @@ impl ShardedService {
             return false;
         }
         let (shard, slot) = self.shard_of(uid);
-        self.shards.get(shard).is_some_and(|lock| {
-            read_lock(lock)
-                .hot
-                .get(slot)
-                .is_some_and(|h| h.addr != NO_ADDR)
-        })
+        self.shards
+            .get(shard)
+            .and_then(|sh| self.read_slot(sh, slot))
+            .is_some_and(|(addr, _)| addr != NO_ADDR)
     }
 
     /// Exports per-shard counters (`core.service.shard{i}.queries` /
-    /// `.applied` / `.redundant`) plus engine-wide aggregates into a
+    /// `.applied` / `.redundant` / `.read_retries`) plus engine-wide
+    /// aggregates (including `core.service.slot_publishes`) into a
     /// [`MetricSet`], for run reports.
     pub fn export_metrics(&self, metrics: &mut MetricSet) {
         let mut q_total = 0;
         let mut a_total = 0;
         let mut r_total = 0;
-        for (i, (lock, counter)) in self.shards.iter().zip(self.queries.iter()).enumerate() {
-            let st = read_lock(lock);
-            let q = counter.load(Ordering::Relaxed);
+        let mut retry_total = 0;
+        for (i, sh) in self.shards.iter().enumerate() {
+            let (applied, redundant) = {
+                let w = read_lock(&sh.writer);
+                (w.applied, w.redundant)
+            };
+            let q = sh.queries.load(Ordering::Relaxed);
+            let retries = sh.read_retries.load(Ordering::Relaxed);
             metrics.set_counter(&format!("core.service.shard{i}.queries"), q);
-            metrics.set_counter(&format!("core.service.shard{i}.applied"), st.applied);
-            metrics.set_counter(&format!("core.service.shard{i}.redundant"), st.redundant);
+            metrics.set_counter(&format!("core.service.shard{i}.applied"), applied);
+            metrics.set_counter(&format!("core.service.shard{i}.redundant"), redundant);
+            metrics.set_counter(&format!("core.service.shard{i}.read_retries"), retries);
             q_total += q;
-            a_total += st.applied;
-            r_total += st.redundant;
+            a_total += applied;
+            r_total += redundant;
+            retry_total += retries;
         }
         metrics.set_counter("core.service.queries", q_total);
         metrics.set_counter("core.service.applied", a_total);
         metrics.set_counter("core.service.redundant", r_total);
+        metrics.set_counter("core.service.read_retries", retry_total);
+        metrics.set_counter("core.service.slot_publishes", self.slot_publishes());
         metrics.set_counter("core.service.ignored", self.ignored.load(Ordering::Relaxed));
     }
 
@@ -977,12 +1252,16 @@ mod tests {
     }
 
     fn service(users: usize, shards: usize) -> ShardedService {
+        service_with(users, shards, ReadPath::Seqlock)
+    }
+
+    fn service_with(users: usize, shards: usize, path: ReadPath) -> ShardedService {
         let mut reg = Registry::new();
         for i in 0..users {
             reg.register(&format!("user{i}"), "pw", AccessRights::open())
                 .unwrap();
         }
-        ShardedService::new(&reg, line_graph(8), shards)
+        ShardedService::new_with_read_path(&reg, line_graph(8), shards, path)
     }
 
     fn addr(uid: u64) -> BdAddr {
@@ -991,18 +1270,20 @@ mod tests {
 
     #[test]
     fn login_checks_in_registry_order() {
-        let svc = service(3, 2);
-        assert_eq!(svc.login(9, "pw", addr(9)), Err(SessionError::NoSuchUser));
-        assert_eq!(svc.login(0, "no", addr(0)), Err(SessionError::BadPassword));
-        svc.login(0, "pw", addr(0)).unwrap();
-        assert_eq!(svc.login(1, "pw", addr(0)), Err(SessionError::AddressInUse));
-        assert_eq!(
-            svc.login(0, "pw", addr(7)),
-            Err(SessionError::AlreadyLoggedIn)
-        );
-        assert!(svc.is_logged_in(0));
-        svc.logout(0).unwrap();
-        assert_eq!(svc.logout(0), Err(SessionError::NotLoggedIn));
+        for path in [ReadPath::Seqlock, ReadPath::Locked] {
+            let svc = service_with(3, 2, path);
+            assert_eq!(svc.login(9, "pw", addr(9)), Err(SessionError::NoSuchUser));
+            assert_eq!(svc.login(0, "no", addr(0)), Err(SessionError::BadPassword));
+            svc.login(0, "pw", addr(0)).unwrap();
+            assert_eq!(svc.login(1, "pw", addr(0)), Err(SessionError::AddressInUse));
+            assert_eq!(
+                svc.login(0, "pw", addr(7)),
+                Err(SessionError::AlreadyLoggedIn)
+            );
+            assert!(svc.is_logged_in(0));
+            svc.logout(0).unwrap();
+            assert_eq!(svc.logout(0), Err(SessionError::NotLoggedIn));
+        }
     }
 
     #[test]
@@ -1030,56 +1311,62 @@ mod tests {
         assert_eq!(m.counter_value("core.service.ignored"), Some(1));
         assert_eq!(m.counter_value("core.service.applied"), Some(3));
         assert_eq!(m.counter_value("core.service.redundant"), Some(1));
+        // Uncontended single-thread use never retries a read, and every
+        // applied change published exactly one slot (plus the login).
+        assert_eq!(m.counter_value("core.service.read_retries"), Some(0));
+        assert_eq!(m.counter_value("core.service.slot_publishes"), Some(4));
     }
 
     #[test]
     fn where_is_precondition_order_matches_seed() {
-        let mut reg = Registry::new();
-        let a = reg.register("alice", "pa", AccessRights::open()).unwrap();
-        let b = reg.register("bob", "pb", AccessRights::open()).unwrap();
-        let g = reg
-            .register("ghost", "pg", AccessRights::invisible())
-            .unwrap();
-        let svc = ShardedService::new(&reg, line_graph(3), 2);
-        let (a, b, g) = (a.value(), b.value(), g.value());
-        let mut path = Vec::new();
+        for path in [ReadPath::Seqlock, ReadPath::Locked] {
+            let mut reg = Registry::new();
+            let a = reg.register("alice", "pa", AccessRights::open()).unwrap();
+            let b = reg.register("bob", "pb", AccessRights::open()).unwrap();
+            let g = reg
+                .register("ghost", "pg", AccessRights::invisible())
+                .unwrap();
+            let svc = ShardedService::new_with_read_path(&reg, line_graph(3), 2, path);
+            let (a, b, g) = (a.value(), b.value(), g.value());
+            let mut path_buf = Vec::new();
 
-        assert_eq!(
-            svc.where_is(a, b, 0, &mut path),
-            WhereIs::QuerierNotLoggedIn
-        );
-        svc.login(a, "pa", addr(a)).unwrap();
-        assert_eq!(svc.where_is(a, 99, 0, &mut path), WhereIs::NoSuchUser);
-        assert_eq!(svc.where_is(a, g, 0, &mut path), WhereIs::Denied);
-        assert_eq!(svc.where_is(a, b, 0, &mut path), WhereIs::NotLoggedIn);
-        svc.login(b, "pb", addr(b)).unwrap();
-        assert_eq!(svc.where_is(a, b, 0, &mut path), WhereIs::OutOfCoverage);
-        svc.ingest(addr(b), 2, true, 1);
-        svc.flush(1);
-        // Malformed from_cell is a typed error, like the seed's fix.
-        assert_eq!(
-            svc.where_is(a, b, 7, &mut path),
-            WhereIs::BadQuery(ProtocolError::CellOutOfRange {
-                cell: 7,
-                num_cells: 3
-            })
-        );
-        assert_eq!(
-            svc.where_is(a, b, 0, &mut path),
-            WhereIs::Found {
-                cell: 2,
-                distance: 20.0
-            }
-        );
-        assert_eq!(path, vec![0, 1, 2]);
-        // A target beyond the graph is out of coverage, not an error.
-        svc.ingest(addr(b), 9, true, 2);
-        svc.flush(1);
-        assert_eq!(svc.where_is(a, b, 0, &mut path), WhereIs::OutOfCoverage);
+            assert_eq!(
+                svc.where_is(a, b, 0, &mut path_buf),
+                WhereIs::QuerierNotLoggedIn
+            );
+            svc.login(a, "pa", addr(a)).unwrap();
+            assert_eq!(svc.where_is(a, 99, 0, &mut path_buf), WhereIs::NoSuchUser);
+            assert_eq!(svc.where_is(a, g, 0, &mut path_buf), WhereIs::Denied);
+            assert_eq!(svc.where_is(a, b, 0, &mut path_buf), WhereIs::NotLoggedIn);
+            svc.login(b, "pb", addr(b)).unwrap();
+            assert_eq!(svc.where_is(a, b, 0, &mut path_buf), WhereIs::OutOfCoverage);
+            svc.ingest(addr(b), 2, true, 1);
+            svc.flush(1);
+            // Malformed from_cell is a typed error, like the seed's fix.
+            assert_eq!(
+                svc.where_is(a, b, 7, &mut path_buf),
+                WhereIs::BadQuery(ProtocolError::CellOutOfRange {
+                    cell: 7,
+                    num_cells: 3
+                })
+            );
+            assert_eq!(
+                svc.where_is(a, b, 0, &mut path_buf),
+                WhereIs::Found {
+                    cell: 2,
+                    distance: 20.0
+                }
+            );
+            assert_eq!(path_buf, vec![0, 1, 2]);
+            // A target beyond the graph is out of coverage, not an error.
+            svc.ingest(addr(b), 9, true, 2);
+            svc.flush(1);
+            assert_eq!(svc.where_is(a, b, 0, &mut path_buf), WhereIs::OutOfCoverage);
+        }
     }
 
     #[test]
-    fn only_list_visibility_uses_cold_slot() {
+    fn only_list_visibility_uses_slot_meta() {
         let mut reg = Registry::new();
         let a = reg.register("alice", "pw", AccessRights::open()).unwrap();
         let _b = reg.register("bob", "pw", AccessRights::open()).unwrap();
@@ -1109,8 +1396,8 @@ mod tests {
 
     #[test]
     fn flush_acks_are_job_count_invariant() {
-        let run = |jobs: usize| -> (Vec<bool>, Vec<Option<u32>>) {
-            let svc = service(16, 4);
+        let run = |jobs: usize, path: ReadPath| -> (Vec<bool>, Vec<Option<u32>>) {
+            let svc = service_with(16, 4, path);
             for uid in 0..16 {
                 svc.login(uid, "pw", addr(uid)).unwrap();
             }
@@ -1127,9 +1414,12 @@ mod tests {
             let cells = (0..16).map(|u| svc.current_cell(u)).collect();
             (acks, cells)
         };
-        let base = run(1);
-        assert_eq!(run(4), base);
-        assert_eq!(run(8), base);
+        let base = run(1, ReadPath::Seqlock);
+        assert_eq!(run(4, ReadPath::Seqlock), base);
+        assert_eq!(run(8, ReadPath::Seqlock), base);
+        // The read path is orthogonal to flush determinism.
+        assert_eq!(run(1, ReadPath::Locked), base);
+        assert_eq!(run(4, ReadPath::Locked), base);
     }
 
     #[test]
@@ -1144,6 +1434,21 @@ mod tests {
         assert!(svc.cells_of(0).is_empty());
         // The address unbinds: same device can serve another user.
         svc.login(1, "pw", addr(0)).unwrap();
+    }
+
+    /// The torn-read primitives: a probe snapshot always returns a pair
+    /// that was published as a unit, and the publish protocol leaves
+    /// the seq word even (stable) when the writer is done.
+    #[test]
+    fn slot_probe_round_trips_published_pairs() {
+        let svc = service(4, 2);
+        assert_eq!(svc.slot_probe(0), Some((NO_ADDR, NO_CELL)));
+        assert!(svc.debug_publish_slot(0, 0xAAAA, 7));
+        assert_eq!(svc.slot_probe(0), Some((0xAAAA, 7)));
+        assert!(!svc.debug_publish_slot(99, 1, 1));
+        assert_eq!(svc.slot_probe(99), None);
+        assert!(svc.slot_publishes() >= 1);
+        assert_eq!(svc.read_retries(), 0);
     }
 
     /// Pin: the zero-intermediate `serve_payload` WhereIs encoding is

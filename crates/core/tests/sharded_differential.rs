@@ -22,7 +22,7 @@
 use bips_core::graph::WsGraph;
 use bips_core::protocol::{LocateOutcome, LoginFailure, Request, Response};
 use bips_core::registry::{AccessRights, Registry, Visibility};
-use bips_core::service::{SessionError, ShardedService, WhereIs};
+use bips_core::service::{ReadPath, SessionError, ShardedService, WhereIs};
 use bips_core::BipsServer;
 use bt_baseband::BdAddr;
 use desim::SimTime;
@@ -118,11 +118,12 @@ fn engine_login_class(res: Result<(), SessionError>) -> u8 {
 }
 
 /// Replays one op trace against both models with the given flush
-/// parallelism, asserting equivalence at every observable point.
-fn replay(ops: &[(u8, u64, u64, u64)], jobs: usize) -> Result<(), TestCaseError> {
+/// parallelism and slot-read protocol, asserting equivalence at every
+/// observable point.
+fn replay(ops: &[(u8, u64, u64, u64)], jobs: usize, path: ReadPath) -> Result<(), TestCaseError> {
     let reg = registry();
     let g = graph();
-    let engine = ShardedService::new(&reg, g.precompute_all_pairs(), 4);
+    let engine = ShardedService::new_with_read_path(&reg, g.precompute_all_pairs(), 4, path);
     let mut seed = BipsServer::new(reg, &g);
 
     // Presence buffered for the seed side, applied at flush points in
@@ -304,7 +305,10 @@ proptest! {
 
     /// The sharded engine and the seed server agree on every ack, every
     /// query answer (including path bytes and distance bits) and the
-    /// final database state, for 1, 4 and 8 flush workers.
+    /// final database state, for 1, 4 and 8 flush workers — on both the
+    /// seqlock and the legacy locked read path. Since both paths are
+    /// checked against the same seed replay, this simultaneously proves
+    /// them bit-identical to each other.
     #[test]
     fn sharded_engine_matches_seed_server(
         ops in proptest::collection::vec(
@@ -312,8 +316,10 @@ proptest! {
             1..120,
         )
     ) {
-        for jobs in [1usize, 4, 8] {
-            replay(&ops, jobs)?;
+        for read_path in [ReadPath::Seqlock, ReadPath::Locked] {
+            for jobs in [1usize, 4, 8] {
+                replay(&ops, jobs, read_path)?;
+            }
         }
     }
 }

@@ -29,6 +29,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no unwrap/expect/panic!/indexing on the serving path (core service/server)",
     ),
     (
+        "serve-reader-lock",
+        "no RwLock/Mutex acquisition reachable from the where_is*/serve_payload read path",
+    ),
+    (
         "unsafe-safety",
         "every `unsafe` needs a `// SAFETY:` comment on or just above it",
     ),
@@ -73,6 +77,7 @@ pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
     entropy(ctx, &mut out);
     nan_cmp(ctx, &mut out);
     serve_panic(ctx, &mut out);
+    serve_reader_lock(ctx, &mut out);
     unsafe_safety(ctx, &mut out);
     metric_name(ctx, &mut out);
     out
@@ -428,6 +433,175 @@ fn serve_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                  handle the miss"
                     .to_string(),
             ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving-path wait-freedom
+// ---------------------------------------------------------------------
+
+/// The workspace's poison-recovering lock-helper functions. Calls to
+/// them are treated as leaf acquisitions: flagged directly where they
+/// appear, and their bodies never traversed — so the helpers themselves
+/// need no suppressions and any future read-path misuse is caught at
+/// the callsite.
+const LOCK_HELPERS: &[&str] = &["read_lock", "write_lock", "lock_mutex"];
+
+/// Methods that acquire a std `RwLock`/`Mutex` directly.
+const LOCK_METHODS: &[&str] = &["read", "write", "lock"];
+
+/// One function item: name plus its body's token range (exclusive end).
+struct FnItem {
+    name: String,
+    body: std::ops::Range<usize>,
+}
+
+/// Function items of the file (non-test), with brace-matched bodies.
+fn collect_fns(ctx: &FileCtx<'_>) -> Vec<FnItem> {
+    let toks = &ctx.lexed.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "fn") || ctx.in_test(t.line) {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Parameter list: the first `(` after the name (generic
+        // parameters contain no parentheses in this workspace).
+        let Some(open) = (i + 2..toks.len()).find(|&j| is_punct(&toks[j], '(')) else {
+            continue;
+        };
+        let Some(close) = matching_paren(toks, open) else {
+            continue;
+        };
+        // Body: the first `{` after the signature (return types and
+        // `where` clauses contain no braces); a `;` first means a
+        // bodiless declaration.
+        let mut j = close + 1;
+        let mut body_open = None;
+        while let Some(t) = toks.get(j) {
+            if is_punct(t, ';') {
+                break;
+            }
+            if is_punct(t, '{') {
+                body_open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(body_open) = body_open else { continue };
+        let mut depth = 0usize;
+        let mut body_end = toks.len();
+        for (k, t) in toks.iter().enumerate().skip(body_open) {
+            if is_punct(t, '{') {
+                depth += 1;
+            } else if is_punct(t, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    body_end = k;
+                    break;
+                }
+            }
+        }
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            body: body_open..body_end,
+        });
+    }
+    out
+}
+
+/// The seqlock read path's contract is *no reader-visible lock
+/// acquisition*: `where_is`/`where_is_inner`/`serve_payload` must never
+/// block behind a flush. This rule enforces it structurally — a
+/// one-level-call-edge reachability walk from every `where_is*` /
+/// `serve_payload` function, flagging lock-helper calls
+/// (`read_lock`/`write_lock`/`lock_mutex`) and direct
+/// `.read()`/`.write()`/`.lock()` acquisitions in reachable bodies.
+/// Writer-side helpers reached via `serve_payload`'s ingest/flush arms
+/// are expected to suppress with a documented
+/// `lint:allow(serve-reader-lock)`.
+fn serve_reader_lock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !crate::serve_panic_scope(ctx.path) {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    let fns = collect_fns(ctx);
+
+    // Reachability from the read-path roots, one call level at a time.
+    // Lock helpers are leaves: never traversed (see LOCK_HELPERS).
+    let mut reachable: Vec<bool> = fns
+        .iter()
+        .map(|f| f.name.starts_with("where_is") || f.name == "serve_payload")
+        .collect();
+    let mut queue: Vec<usize> = (0..fns.len()).filter(|&i| reachable[i]).collect();
+    while let Some(at) = queue.pop() {
+        let body = fns[at].body.clone();
+        for j in body {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident
+                || !toks.get(j + 1).is_some_and(|p| is_punct(p, '('))
+                || (j > 0 && is_ident(&toks[j - 1], "fn"))
+                || LOCK_HELPERS.contains(&t.text.as_str())
+            {
+                continue;
+            }
+            for (k, f) in fns.iter().enumerate() {
+                if !reachable[k] && f.name == t.text {
+                    reachable[k] = true;
+                    queue.push(k);
+                }
+            }
+        }
+    }
+
+    for (i, f) in fns.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        for j in f.body.clone() {
+            let t = &toks[j];
+            if ctx.in_test(t.line) {
+                continue;
+            }
+            // read_lock(…) / write_lock(…) / lock_mutex(…)
+            if t.kind == TokKind::Ident
+                && LOCK_HELPERS.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|p| is_punct(p, '('))
+            {
+                out.push(finding(
+                    ctx,
+                    "serve-reader-lock",
+                    t.line,
+                    format!(
+                        "`{}` in `{}`, reachable from the where_is*/serve_payload read \
+                         path — readers must stay wait-free; move the acquisition to a \
+                         writer-side helper or suppress with a documented reason",
+                        t.text, f.name
+                    ),
+                ));
+            }
+            // .read() / .write() / .lock()
+            if is_punct(t, '.')
+                && toks.get(j + 1).is_some_and(|m| {
+                    m.kind == TokKind::Ident && LOCK_METHODS.contains(&m.text.as_str())
+                })
+                && toks.get(j + 2).is_some_and(|p| is_punct(p, '('))
+            {
+                out.push(finding(
+                    ctx,
+                    "serve-reader-lock",
+                    toks[j + 1].line,
+                    format!(
+                        "direct `.{}()` lock acquisition in `{}`, reachable from the \
+                         where_is*/serve_payload read path — readers must stay wait-free",
+                        toks[j + 1].text,
+                        f.name
+                    ),
+                ));
+            }
         }
     }
 }

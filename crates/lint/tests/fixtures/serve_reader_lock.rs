@@ -1,0 +1,62 @@
+//! Fixture: lock acquisitions reachable from the read path (linted as
+//! if it were `crates/core/src/service.rs`). Never compiled. Kept
+//! serve-panic-clean so every finding is serve-reader-lock.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock helpers: leaf acquisitions. Their bodies are never traversed,
+/// so the direct `.read()`/`.write()`/`.lock()` inside them is not
+/// flagged — misuse is caught at their callsites instead.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_mutex<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Engine {
+    slots: RwLock<Vec<u32>>,
+    pending: Mutex<Vec<u32>>,
+}
+
+impl Engine {
+    /// Root: reads a slot through the helper. finding: serve-reader-lock
+    pub fn where_is(&self, slot: usize) -> Option<u32> {
+        let guard = read_lock(&self.slots); // finding: serve-reader-lock
+        guard.get(slot).copied()
+    }
+
+    /// Root: also flagged one call level down.
+    pub fn serve_payload(&self, slot: usize) -> Option<u32> {
+        self.snapshot_slot(slot)
+    }
+
+    /// Reachable from `serve_payload`: a direct acquisition.
+    fn snapshot_slot(&self, slot: usize) -> Option<u32> {
+        let guard = self.slots.read().ok()?; // finding: serve-reader-lock
+        guard.get(slot).copied()
+    }
+
+    /// NOT reachable from any read-path root: writers may lock freely.
+    pub fn apply_pending(&self, value: u32) {
+        let mut queue = lock_mutex(&self.pending);
+        queue.push(value);
+        let mut slots = write_lock(&self.slots);
+        slots.push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_lock() {
+        let lock = std::sync::RwLock::new(0u32);
+        let guard = lock.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(*guard, 0);
+    }
+}

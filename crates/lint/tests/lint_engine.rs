@@ -115,6 +115,38 @@ fn serve_panic_only_applies_to_the_serving_path() {
 }
 
 #[test]
+fn serve_reader_lock_fixture() {
+    let f = expect_only(
+        "serve_reader_lock.rs",
+        "crates/core/src/service.rs",
+        "serve-reader-lock",
+        2,
+    );
+    assert_eq!(f.len(), 2, "{f:#?}");
+    // The helper call inside the root itself …
+    assert!(
+        f.iter()
+            .any(|f| f.message.contains("`read_lock`") && f.message.contains("`where_is`")),
+        "{f:#?}"
+    );
+    // … and the direct acquisition one call level down from
+    // `serve_payload`. The writer-only `apply_pending` (write_lock,
+    // lock_mutex), the helper bodies (leaf acquisitions, never
+    // traversed) and the test module must all stay unflagged.
+    assert!(
+        f.iter()
+            .any(|f| f.message.contains("`.read()`") && f.message.contains("`snapshot_slot`")),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn serve_reader_lock_only_applies_to_the_serving_path() {
+    let findings = check_source("crates/core/src/graph.rs", &fixture("serve_reader_lock.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn unsafe_safety_fixture() {
     let f = expect_only(
         "unsafe_safety.rs",
