@@ -1,8 +1,10 @@
 //! Criterion bench for the §2 path machinery: Dijkstra vs the
-//! Bellman–Ford reference, offline APSP precomputation, and the O(path)
-//! online lookup the paper's design relies on.
+//! Bellman–Ford reference, offline APSP precomputation, the O(path)
+//! online lookup the paper's design relies on, and the dynamic engine's
+//! incremental repair under churn schedules (weight updates and node
+//! down/up flaps) against the rebuild-per-mutation reference.
 
-use bips_core::graph::{random_connected_graph, WsGraph};
+use bips_core::graph::{random_connected_graph, PathEngine, PathEngineKind, WsGraph};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_paths(c: &mut Criterion) {
@@ -31,5 +33,80 @@ fn bench_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_paths);
+/// One deterministic churn schedule: alternating weight updates and a
+/// node down/up flap every eighth mutation, replayed against a fresh
+/// engine per iteration so repairs never compound across samples.
+fn churn_schedule(n: usize, len: usize) -> Vec<(u8, usize, usize, f64)> {
+    let mut rng = desim::SimRng::seed_from(2003);
+    (0..len)
+        .map(|i| {
+            if i % 8 == 7 {
+                // Down on odd flaps, back up on even — the node spends
+                // one mutation out of service.
+                let x = rng.below(n as u64) as usize;
+                (1, x, usize::from(i % 16 == 15), 0.0)
+            } else {
+                let a = rng.below(n as u64) as usize;
+                let b = (a + 1 + rng.below(n as u64 - 1) as usize) % n;
+                (0, a, b, rng.uniform(0.5, 50.0))
+            }
+        })
+        .collect()
+}
+
+fn replay(engine: &mut PathEngine, schedule: &[(u8, usize, usize, f64)]) -> u64 {
+    let mut applied = 0;
+    for &(kind, a, b, w) in schedule {
+        let ok = match kind {
+            0 => engine.set_edge_weight(a, b, w),
+            _ => engine.set_node_up(a, b == 1),
+        };
+        applied += u64::from(ok.unwrap_or(false));
+    }
+    applied
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_churn");
+    // The rebuild reference replays the whole schedule at seconds per
+    // iteration; keep the sampling budget bounded.
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let graph = random_connected_graph(n, n * 2, 42);
+        let schedule = churn_schedule(n, 64);
+        for kind in [
+            PathEngineKind::Rebuild,
+            PathEngineKind::DynamicDense,
+            PathEngineKind::DynamicSparse,
+        ] {
+            // Rebuilding n Dijkstras per mutation at 10k cells takes
+            // minutes per sample — the dedicated `path_churn` binary
+            // measures that cost by extrapolation instead.
+            if kind == PathEngineKind::Rebuild && n > 1_000 {
+                continue;
+            }
+            // Dense mode tops out at DENSE_MAX_NODES.
+            if kind == PathEngineKind::DynamicDense && n > 1_000 {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("churn_{}", kind.name()), n),
+                &graph,
+                |b, gr| {
+                    b.iter(|| {
+                        let mut e = PathEngine::new(kind, gr.clone());
+                        // Sparse mode repairs only warm trees: warm a
+                        // hot source so repair work is measured, not
+                        // skipped.
+                        e.warm(0);
+                        replay(&mut e, &schedule)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths, bench_churn);
 criterion_main!(benches);

@@ -34,6 +34,9 @@ pub struct E2eConfig {
     /// run is one coupled engine, so there is nothing to parallelise;
     /// the knob exists so every experiment CLI accepts `--jobs`.
     pub jobs: usize,
+    /// Fold mobility crossing counters into path weights each sweep
+    /// round, so the pipeline exercises real topology churn.
+    pub congestion: bool,
 }
 
 impl Default for E2eConfig {
@@ -44,6 +47,7 @@ impl Default for E2eConfig {
             accuracy_sample: SimDuration::from_secs(30),
             seed: 42,
             jobs: 0,
+            congestion: true,
         }
     }
 }
@@ -77,7 +81,10 @@ pub fn run(cfg: &E2eConfig) -> E2eResult {
 /// Runs the experiment, also exporting the deployment's full metric
 /// snapshot (every substrate) at the end of the run.
 pub fn run_with_metrics(cfg: &E2eConfig) -> (E2eResult, desim::MetricSet) {
-    let sys_cfg = SystemConfig::default();
+    let sys_cfg = SystemConfig {
+        congestion_weights: cfg.congestion,
+        ..SystemConfig::default()
+    };
     let mut builder = BipsSystem::builder(sys_cfg);
     for i in 0..cfg.users {
         builder = builder.user(UserSpec::new(format!("user{i}"), i % 9).mode(
@@ -203,7 +210,8 @@ impl E2eResult {
         report
             .config("users", cfg.users)
             .config("duration_s", cfg.duration.as_secs_f64())
-            .config("jobs", desim::par::resolve_jobs(cfg.jobs) as u64);
+            .config("jobs", desim::par::resolve_jobs(cfg.jobs) as u64)
+            .config("congestion", u64::from(cfg.congestion));
         report
             .artifact("logged_in", self.logged_in)
             .artifact("tracking_accuracy_mean", self.accuracy.mean())

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bips_core::graph::WsGraph;
+use bips_core::graph::{PathEngine, PathEngineKind, WsGraph};
 use bips_core::protocol::{LocateOutcome, Notice, Request, Response};
 use bips_core::registry::{AccessRights, Registry};
 use bips_core::service::{ReadPath, ShardedService, WhereIs};
@@ -533,6 +533,141 @@ pub fn run_sharded_with(
     read_path: ReadPath,
 ) -> (ModeResult, MetricSet) {
     run_sharded_impl(w, trace, jobs, read_path, None)
+}
+
+/// [`run_sharded`] over a dynamic path engine with topology churn
+/// folded in at tick boundaries: each tick applies `muts_per_tick`
+/// seeded mutations (mostly grid-edge reweights, occasionally a node
+/// down/up toggle) before its query block. Every mutation's applied
+/// flag and resulting epoch fold into the answer checksum, so
+/// divergence in mutation handling — not just in answers — is caught.
+/// Identical `(workload, trace, kind-independent seed)` inputs must
+/// checksum identically for every engine `kind` and every `jobs`.
+pub fn run_sharded_churn(
+    w: &Workload,
+    trace: &Trace,
+    jobs: usize,
+    kind: PathEngineKind,
+    churn_seed: u64,
+    muts_per_tick: usize,
+) -> (ModeResult, MetricSet) {
+    let g = grid(w.side);
+    let reg = registry(w.users);
+    let svc =
+        ShardedService::new_dynamic(&reg, PathEngine::new(kind, g), w.shards, ReadPath::Seqlock);
+    let mut ts: u64 = 0;
+    let mut ack_checksum = CHECKSUM_INIT;
+    for uid in 0..w.users {
+        svc.login(uid, "pw", addr(uid)).expect("setup login");
+    }
+    for uid in 0..w.users {
+        ts += 1;
+        svc.ingest(addr(uid), trace.initial[uid as usize], true, ts);
+    }
+    fold_acks(&mut ack_checksum, &svc.flush(jobs));
+
+    let n = w.cells();
+    let side = w.side;
+    let mut rng = desim::SimRng::seed_from(churn_seed);
+    let engine_lock = svc.path_engine().expect("dynamic service");
+    let mut latencies_ns = Vec::with_capacity(trace.queries.len());
+    let mut checksum = CHECKSUM_INIT;
+    let mut found = 0u64;
+    let mut query_secs = 0.0;
+    let mut path = Vec::new();
+    let mut path32 = Vec::new();
+    let start = Instant::now();
+    for tick in 0..w.ticks {
+        {
+            let mut eng = engine_lock.write().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..muts_per_tick {
+                if rng.below(8) == 0 {
+                    let x = rng.below(n as u64) as usize;
+                    let up = rng.below(2) == 0;
+                    let applied = eng.set_node_up(x, up).unwrap_or(false);
+                    fold(
+                        &mut checksum,
+                        96 + u64::from(applied),
+                        x as u64,
+                        eng.epoch(),
+                        &[],
+                    );
+                } else {
+                    let a = rng.below(n as u64) as usize;
+                    let (r, c) = (a / side, a % side);
+                    let mut nbrs = Vec::with_capacity(4);
+                    if c + 1 < side {
+                        nbrs.push(a + 1);
+                    }
+                    if r + 1 < side {
+                        nbrs.push(a + side);
+                    }
+                    if c > 0 {
+                        nbrs.push(a - 1);
+                    }
+                    if r > 0 {
+                        nbrs.push(a - side);
+                    }
+                    let b = nbrs[rng.below(nbrs.len() as u64) as usize];
+                    let wgt = rng.uniform(0.5, 50.0);
+                    let applied = eng.set_edge_weight(a, b, wgt).unwrap_or(false);
+                    fold(
+                        &mut checksum,
+                        98 + u64::from(applied),
+                        a as u64,
+                        eng.epoch(),
+                        &[],
+                    );
+                }
+            }
+        }
+        for &(uid, old, new) in
+            &trace.moves[tick * w.updates_per_tick..(tick + 1) * w.updates_per_tick]
+        {
+            ts += 1;
+            svc.ingest(addr(uid), new, true, ts);
+            ts += 1;
+            svc.ingest(addr(uid), old, false, ts);
+        }
+        fold_acks(&mut ack_checksum, &svc.flush(jobs));
+        let block = Instant::now();
+        for &(querier, target, from_cell) in
+            &trace.queries[tick * w.queries_per_tick..(tick + 1) * w.queries_per_tick]
+        {
+            let q = Instant::now();
+            let out = svc.where_is(querier, target, from_cell as usize, &mut path);
+            latencies_ns.push(q.elapsed().as_nanos() as u64);
+            match out {
+                WhereIs::Found { cell, distance } => {
+                    found += 1;
+                    path32.clear();
+                    path32.extend(path.iter().map(|&n| n as u32));
+                    fold(
+                        &mut checksum,
+                        0,
+                        u64::from(cell),
+                        distance.to_bits(),
+                        &path32,
+                    );
+                }
+                other => fold(&mut checksum, 1 + where_code(&other), 0, 0, &[]),
+            }
+        }
+        query_secs += block.elapsed().as_secs_f64();
+    }
+    let mut metrics = MetricSet::new();
+    svc.export_metrics(&mut metrics);
+    (
+        ModeResult {
+            query_secs,
+            total_secs: start.elapsed().as_secs_f64(),
+            latencies_ns,
+            checksum,
+            ack_checksum,
+            found,
+        },
+        metrics,
+    )
 }
 
 /// Replays the trace against the sharded engine with `tracer`

@@ -1,0 +1,80 @@
+//! Churn differential: the incremental engines must be bit-identical
+//! to the rebuild-per-mutation reference under the mixed serving
+//! workload, for every `--jobs` value.
+//!
+//! [`run_sharded_churn`] folds every mutation's applied flag and epoch
+//! plus every answer's `(cell, distance-bits, path)` into one FNV-1a
+//! checksum, so a single `u64` comparison covers distances, full path
+//! vectors, tie-breaking, and mutation acceptance across the whole run.
+
+use bips_bench::loadgen::{self, Mix, Workload};
+use bips_core::graph::PathEngineKind;
+
+const KINDS: [PathEngineKind; 3] = [
+    PathEngineKind::Rebuild,
+    PathEngineKind::DynamicDense,
+    PathEngineKind::DynamicSparse,
+];
+
+/// Runs one workload/churn configuration across all engine kinds and
+/// jobs ∈ {1, 4, 8}, asserting one checksum triple for all of them.
+fn assert_engines_agree(w: &Workload, churn_seed: u64, muts_per_tick: usize) {
+    let trace = loadgen::generate_trace(w);
+    let mut reference = None;
+    for kind in KINDS {
+        for jobs in [1usize, 4, 8] {
+            let (r, _) =
+                loadgen::run_sharded_churn(w, &trace, jobs, kind, churn_seed, muts_per_tick);
+            let sum = (r.checksum, r.ack_checksum, r.found);
+            match reference {
+                None => reference = Some((sum, kind, jobs)),
+                Some((ref_sum, ref_kind, ref_jobs)) => assert_eq!(
+                    sum,
+                    ref_sum,
+                    "{} jobs={jobs} diverged from {} jobs={ref_jobs} \
+                     (workload {}, churn seed {churn_seed}, {muts_per_tick} muts/tick)",
+                    kind.name(),
+                    ref_kind.name(),
+                    w.name,
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn query_heavy_churn_is_bit_identical_across_engines_and_jobs() {
+    assert_engines_agree(&Workload::tiny(), 3, 2);
+}
+
+#[test]
+fn update_heavy_churn_is_bit_identical_across_engines_and_jobs() {
+    assert_engines_agree(&Workload::tiny().with_mix(Mix::Q50U50), 77, 4);
+}
+
+#[test]
+fn heavy_churn_with_node_flaps_is_bit_identical() {
+    // 8 mutations per tick: roughly one node toggle per tick rides
+    // along (1-in-8 odds each), so down/up repair paths get exercised,
+    // not just reweights.
+    assert_engines_agree(&Workload::tiny(), 2003, 8);
+}
+
+/// The engine's own counters must agree that churn actually happened:
+/// repairs on the dense engine, and warm-tree traffic on the sparse one.
+#[test]
+fn churn_run_reports_graph_metrics() {
+    let w = Workload::tiny();
+    let trace = loadgen::generate_trace(&w);
+    let (_, dense) = loadgen::run_sharded_churn(&w, &trace, 4, PathEngineKind::DynamicDense, 3, 2);
+    assert!(
+        dense.counter_value("core.graph.tree_repairs").unwrap_or(0) > 0,
+        "dense engine reported no repairs"
+    );
+    let (_, sparse) =
+        loadgen::run_sharded_churn(&w, &trace, 4, PathEngineKind::DynamicSparse, 3, 2);
+    assert!(
+        sparse.counter_value("core.graph.cache_hits").unwrap_or(0) > 0,
+        "sparse engine reported no warm-tree hits"
+    );
+}

@@ -118,6 +118,71 @@ fn panicking_serve_path_dumps_last_events_with_offending_span() {
     );
 }
 
+/// A corrupt path table must not panic the serve path: the query comes
+/// back as a typed `BadQuery(PathCorrupt)`, the service records an
+/// `anomaly` trace event, and dumping on that trigger leaves a JSONL
+/// artifact with the corruption's code and target cell.
+#[test]
+fn path_corruption_serves_typed_error_and_dumps() {
+    use bips_core::protocol::ProtocolError;
+    use bips_core::service::{WhereIs, ANOMALY_PATH_CORRUPT};
+
+    const USERS: u64 = 64;
+    const CELLS: usize = 16;
+    let mut reg = Registry::new();
+    for i in 0..USERS {
+        reg.register(&format!("user{i}"), "pw", AccessRights::open())
+            .unwrap();
+    }
+    let mut g = WsGraph::new(CELLS);
+    for i in 0..CELLS - 1 {
+        g.add_edge(i, i + 1, 10.0);
+    }
+    let mut apsp = g.precompute_all_pairs();
+    apsp.debug_break_prev(0, 3);
+
+    let tracer = Arc::new(Tracer::new(4, 256));
+    let mut svc = ShardedService::new(&reg, apsp, 4);
+    svc.attach_tracer(Arc::clone(&tracer));
+    for uid in 0..USERS {
+        svc.login(uid, "pw", BdAddr::new(1000 + uid)).unwrap();
+    }
+    for uid in 0..USERS {
+        svc.ingest(
+            BdAddr::new(1000 + uid),
+            (uid % CELLS as u64) as u32,
+            true,
+            uid + 1,
+        );
+    }
+    svc.flush(1);
+
+    let recorder = FlightRecorder::new(Arc::clone(&tracer), Path::new(FLIGHT_DIR), 64);
+    let mut path = Vec::new();
+    let span = tracer.next_span();
+    // user3 sits at cell 3; the walk 0 → 3 crosses the broken link.
+    let out = svc.where_is_traced(5, 3, 0, &mut path, span);
+    assert!(
+        matches!(
+            out,
+            WhereIs::BadQuery(ProtocolError::PathCorrupt { from: 0, to: 3 })
+        ),
+        "expected typed corruption error, got {out:?}"
+    );
+
+    let dump = recorder.dump("path-corrupt").expect("dump writes");
+    let text = std::fs::read_to_string(&dump).expect("read dump");
+    let corrupt_line = text
+        .lines()
+        .find(|l| l.contains("\"kind\":\"anomaly\"") && l.contains("\"arg\":3"))
+        .unwrap_or_else(|| panic!("no corruption anomaly in dump:\n{text}"));
+    let ev = Json::parse(corrupt_line).expect("event parses");
+    assert_eq!(
+        ev.get("code"),
+        Some(&Json::UInt(u64::from(ANOMALY_PATH_CORRUPT)))
+    );
+}
+
 #[test]
 fn latency_anomaly_threshold_dumps_from_serve_path() {
     let tracer = Arc::new(Tracer::new(4, 256));

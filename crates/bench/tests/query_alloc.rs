@@ -10,9 +10,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bips_core::graph::WsGraph;
+use bips_core::graph::{PathEngine, PathEngineKind, WsGraph};
 use bips_core::registry::{AccessRights, Registry};
-use bips_core::service::{ShardedService, WhereIs};
+use bips_core::service::{ReadPath, ShardedService, WhereIs};
 use bt_baseband::BdAddr;
 use desim::tracing::Tracer;
 
@@ -151,6 +151,86 @@ fn assert_zero_alloc_burst(svc: &ShardedService) {
 fn steady_state_queries_do_not_allocate() {
     let svc = build_service(None);
     assert_zero_alloc_burst(&svc);
+}
+
+/// The same fixture over a dynamic path engine instead of the frozen
+/// table. `seed` logins/presence are identical to [`build_service`].
+fn build_dynamic_service(kind: PathEngineKind) -> ShardedService {
+    let mut reg = Registry::new();
+    for i in 0..USERS {
+        reg.register(&format!("user{i}"), "pw", AccessRights::open())
+            .unwrap();
+    }
+    let mut g = WsGraph::new(CELLS);
+    for i in 0..CELLS - 1 {
+        g.add_edge(i, i + 1, 10.0);
+    }
+    let svc = ShardedService::new_dynamic(&reg, PathEngine::new(kind, g), 8, ReadPath::Seqlock);
+    let mut ts = 0;
+    for uid in 1..USERS {
+        svc.login(uid, "pw", BdAddr::new(1000 + uid)).unwrap();
+    }
+    for uid in 2..USERS {
+        ts += 1;
+        svc.ingest(
+            BdAddr::new(1000 + uid),
+            (uid % CELLS as u64) as u32,
+            true,
+            ts,
+        );
+    }
+    svc.flush(1);
+    svc
+}
+
+/// Dense dynamic mode answers every query from the incrementally
+/// maintained flat table: the zero-alloc pin holds across the whole
+/// outcome spectrum, exactly like the frozen `Apsp`.
+#[test]
+fn dynamic_dense_steady_state_queries_do_not_allocate() {
+    let svc = build_dynamic_service(PathEngineKind::DynamicDense);
+    assert_zero_alloc_burst(&svc);
+}
+
+/// Sparse mode: once a source's tree is warm, queries walk the cached
+/// `prev` row under the engine's read lock — no allocation. Sources are
+/// confined to fewer cells than the cache has slots so the steady-state
+/// burst never takes a cold miss.
+#[test]
+fn dynamic_sparse_warm_tree_queries_do_not_allocate() {
+    const SOURCES: usize = 16; // < DEFAULT_CACHE_SLOTS
+    let svc = build_dynamic_service(PathEngineKind::DynamicSparse);
+    let mut path = Vec::new();
+    let mut answered = 0u64;
+    let run_warm_burst = |path: &mut Vec<usize>, answered: &mut u64| {
+        let mut state = 7u64;
+        for _ in 0..400u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let querier = 2 + state % (USERS - 2);
+            let target = (state >> 7) % USERS;
+            let from_cell = (state >> 13) as usize % SOURCES;
+            if let WhereIs::Found { cell, distance } =
+                svc.where_is(querier, target, from_cell, path)
+            {
+                assert!((cell as usize) < CELLS && distance.is_finite());
+                *answered += 1;
+            }
+        }
+    };
+
+    // Warm-up: populates ≤ SOURCES cache slots and grows the buffer.
+    run_warm_burst(&mut path, &mut answered);
+    assert!(answered > 0, "warm-up answered no queries");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    run_warm_burst(&mut path, &mut answered);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm-tree where_is allocated {} times over 400 queries",
+        after - before
+    );
 }
 
 /// Tracing records two ring events and allocates a span per query; the

@@ -11,6 +11,21 @@
 //! O(path length) — the property the paper relies on to keep path
 //! queries off the critical path. A Bellman–Ford reference implementation
 //! backs the property tests.
+//!
+//! The paper's static precomputation collapses under topology churn
+//! (workstation failure, congestion-driven weight updates): the
+//! [`dynamic`] submodule maintains shortest paths incrementally, the
+//! [`engine`] submodule selects between the incremental engine and the
+//! rebuild-from-scratch reference, and the [`walk`] submodule is the
+//! panic-free `prev`-row walk the serving layers route through.
+
+pub mod dynamic;
+pub mod engine;
+pub mod walk;
+
+pub use dynamic::{DynApsp, TopologyError, WarmQuery, DEFAULT_CACHE_SLOTS, DENSE_MAX_NODES};
+pub use engine::{PathEngine, PathEngineKind};
+pub use walk::PathWalkError;
 
 /// A node index in the workstation graph (one per BIPS workstation).
 pub type NodeId = usize;
@@ -88,10 +103,34 @@ impl WsGraph {
     ///
     /// Panics if `src` is out of range.
     pub fn dijkstra(&self, src: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>) {
+        let mut dist = Vec::new();
+        let mut prev = Vec::new();
+        self.dijkstra_into(src, &mut dist, &mut prev);
+        let prev = prev
+            .iter()
+            .map(|&p| (p != NO_PREV).then_some(p as usize))
+            .collect();
+        (dist, prev)
+    }
+
+    /// [`WsGraph::dijkstra`] into caller-owned buffers, with `prev` in
+    /// the flat [`NO_PREV`]-sentinel encoding [`Apsp`] uses. With warm
+    /// buffers the only allocation is the binary heap's backing store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub(crate) fn dijkstra_into(&self, src: NodeId, dist: &mut Vec<f64>, prev: &mut Vec<u32>) {
         assert!(src < self.adj.len(), "node {src} out of range");
         let n = self.adj.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        assert!(
+            n <= NO_PREV as usize,
+            "graph too large for the prev encoding"
+        );
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        prev.clear();
+        prev.resize(n, NO_PREV);
         let mut heap = std::collections::BinaryHeap::new();
         dist[src] = 0.0;
         heap.push(HeapEntry {
@@ -106,12 +145,11 @@ impl WsGraph {
                 let nd = d + w;
                 if nd < dist[v] {
                     dist[v] = nd;
-                    prev[v] = Some(u);
+                    prev[v] = u as u32;
                     heap.push(HeapEntry { dist: nd, node: v });
                 }
             }
         }
-        (dist, prev)
     }
 
     /// Bellman–Ford reference solver (O(V·E)); used to cross-check
@@ -169,13 +207,68 @@ impl WsGraph {
         let (dist, _) = self.dijkstra(0);
         dist.iter().all(|d| d.is_finite())
     }
+
+    /// Sets the weight of the undirected edge `a`–`b`, inserting the
+    /// edge if absent. Returns the previous weight (`None` if the edge
+    /// was added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range, `a == b`, or `weight` is not
+    /// positive and finite.
+    pub fn set_edge_weight(&mut self, a: NodeId, b: NodeId, weight: f64) -> Option<f64> {
+        assert!(a < self.adj.len(), "node {a} out of range");
+        assert!(b < self.adj.len(), "node {b} out of range");
+        assert!(a != b, "self loops are not allowed");
+        assert!(weight > 0.0 && weight.is_finite(), "bad weight {weight}");
+        let old = self.adj[a].iter_mut().find(|e| e.0 == b).map(|e| {
+            let o = e.1;
+            e.1 = weight;
+            o
+        });
+        match old {
+            Some(_) => {
+                if let Some(e) = self.adj[b].iter_mut().find(|e| e.0 == a) {
+                    e.1 = weight;
+                }
+            }
+            None => {
+                self.adj[a].push((b, weight));
+                self.adj[b].push((a, weight));
+            }
+        }
+        old
+    }
+
+    /// Removes the undirected edge `a`–`b`, returning its weight
+    /// (`None` if the edge does not exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
+        assert!(a < self.adj.len(), "node {a} out of range");
+        assert!(b < self.adj.len(), "node {b} out of range");
+        let pos = self.adj[a].iter().position(|&(v, _)| v == b)?;
+        let (_, w) = self.adj[a].swap_remove(pos);
+        if let Some(p) = self.adj[b].iter().position(|&(v, _)| v == a) {
+            self.adj[b].swap_remove(p);
+        }
+        Some(w)
+    }
+
+    /// Appends a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
 }
 
 /// Max-heap entry ordered by *smallest* distance first.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) node: NodeId,
 }
 
 impl Eq for HeapEntry {}
@@ -201,7 +294,7 @@ impl PartialOrd for HeapEntry {
 
 /// Sentinel in the flattened `prev` table: no predecessor (source node or
 /// unreachable).
-const NO_PREV: u32 = u32::MAX;
+pub(crate) const NO_PREV: u32 = u32::MAX;
 
 /// The precomputed all-pairs shortest-path table.
 ///
@@ -281,9 +374,42 @@ impl Apsp {
         Some(d)
     }
 
+    /// Like [`Apsp::path_into`] but panic-free: out-of-range endpoints
+    /// and corrupt `prev` chains come back as a typed
+    /// [`PathWalkError`] instead of aborting the serving thread.
+    pub fn try_path_into(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<NodeId>,
+    ) -> Result<Option<f64>, PathWalkError> {
+        let n = self.n;
+        for x in [a, b] {
+            if x >= n {
+                out.clear();
+                return Err(PathWalkError::NodeOutOfRange {
+                    node: x as u32,
+                    num_nodes: n as u32,
+                });
+            }
+        }
+        let start = a * n;
+        let dist_row = self.dist.get(start..start + n).unwrap_or(&[]);
+        let prev_row = self.prev.get(start..start + n).unwrap_or(&[]);
+        walk::walk_prev_row(n, a, b, dist_row, prev_row, out)
+    }
+
     /// Number of nodes covered by the table.
     pub fn num_nodes(&self) -> usize {
         self.n
+    }
+
+    /// Test hook: overwrite `prev[a][b]` with the no-predecessor
+    /// sentinel to simulate table corruption.
+    #[doc(hidden)]
+    pub fn debug_break_prev(&mut self, a: NodeId, b: NodeId) {
+        assert!(a < self.n && b < self.n, "node out of range");
+        self.prev[a * self.n + b] = NO_PREV;
     }
 }
 

@@ -1,0 +1,212 @@
+//! Panic-free shortest-path reconstruction over a flat `prev` row.
+//!
+//! This is the one piece of the graph layer reachable from the serving
+//! hot path ([`crate::service::ShardedService::serve_payload`] and
+//! [`crate::server::BipsServer::handle`]), so it lives under the same
+//! bips-lint `serve-panic` discipline as the serving modules: no
+//! panicking spellings, every table access bounds-checked, and
+//! corruption surfaced as a typed [`PathWalkError`] the caller can turn
+//! into a wire-level [`crate::protocol::ProtocolError`] and a flight
+//! recorder dump instead of an aborted serving thread.
+
+use super::{NodeId, NO_PREV};
+
+/// A failed `prev`-row walk: either the query endpoints were out of
+/// range for the table, or the table itself is corrupt (a `prev` chain
+/// that stops early or cycles, which no well-formed Dijkstra output can
+/// produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathWalkError {
+    /// A query endpoint is not covered by the table.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u32,
+        /// Number of nodes the table covers.
+        num_nodes: u32,
+    },
+    /// The `prev` chain from `to` back to `from` is inconsistent with
+    /// the finite distance recorded for the pair: it either reaches the
+    /// no-predecessor sentinel before the source, walks out of range,
+    /// or cycles. The table is corrupt.
+    BrokenPrevChain {
+        /// Walk source.
+        from: u32,
+        /// Walk destination.
+        to: u32,
+    },
+}
+
+impl std::fmt::Display for PathWalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PathWalkError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (table covers {num_nodes})")
+            }
+            PathWalkError::BrokenPrevChain { from, to } => {
+                write!(f, "corrupt prev chain walking {to} back to {from}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathWalkError {}
+
+/// Walks the `prev` row of source `a` from `b` back to `a`, writing the
+/// forward path into `out` (cleared first) and returning the recorded
+/// distance, `Ok(None)` if `b` is unreachable, or a typed error on
+/// out-of-range endpoints or a corrupt table. `out` is left empty in
+/// the `None` and error cases.
+///
+/// With a warm `out` buffer this performs no heap allocation — the
+/// zero-alloc contract [`super::Apsp::path_into`] established and the
+/// `query_alloc` suite pins.
+pub(crate) fn walk_prev_row(
+    n: usize,
+    a: NodeId,
+    b: NodeId,
+    dist_row: &[f64],
+    prev_row: &[u32],
+    out: &mut Vec<NodeId>,
+) -> Result<Option<f64>, PathWalkError> {
+    out.clear();
+    for x in [a, b] {
+        if x >= n {
+            return Err(PathWalkError::NodeOutOfRange {
+                node: x as u32,
+                num_nodes: n as u32,
+            });
+        }
+    }
+    let corrupt = PathWalkError::BrokenPrevChain {
+        from: a as u32,
+        to: b as u32,
+    };
+    let d = match dist_row.get(b) {
+        Some(&d) => d,
+        None => return Err(corrupt), // row shorter than the node count
+    };
+    if !d.is_finite() {
+        return Ok(None);
+    }
+    let mut cur = b;
+    out.push(cur);
+    let mut steps = 0usize;
+    while cur != a {
+        // A shortest path visits each node at most once, so more than
+        // n hops means the chain cycles.
+        steps += 1;
+        if steps > n {
+            out.clear();
+            return Err(corrupt);
+        }
+        let p = match prev_row.get(cur) {
+            Some(&p) => p,
+            None => NO_PREV,
+        };
+        if p == NO_PREV || p as usize >= n {
+            out.clear();
+            return Err(corrupt);
+        }
+        cur = p as usize;
+        out.push(cur);
+    }
+    out.reverse();
+    Ok(Some(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::random_connected_graph;
+    use super::*;
+
+    #[test]
+    fn matches_the_panicking_walk_on_well_formed_tables() {
+        let g = random_connected_graph(25, 30, 3);
+        let apsp = g.precompute_all_pairs();
+        let mut buf = Vec::new();
+        let mut buf2 = Vec::new();
+        for a in 0..25 {
+            for b in 0..25 {
+                let d = apsp.path_into(a, b, &mut buf);
+                let r = apsp.try_path_into(a, b, &mut buf2).expect("well-formed");
+                assert_eq!(d.map(f64::to_bits), r.map(f64::to_bits));
+                assert_eq!(buf, buf2);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_typed_errors() {
+        let g = random_connected_graph(4, 0, 1);
+        let apsp = g.precompute_all_pairs();
+        let mut buf = vec![9, 9];
+        assert_eq!(
+            apsp.try_path_into(0, 7, &mut buf),
+            Err(PathWalkError::NodeOutOfRange {
+                node: 7,
+                num_nodes: 4
+            })
+        );
+        assert!(buf.is_empty(), "error walks clear the buffer");
+        assert_eq!(
+            apsp.try_path_into(4, 0, &mut buf),
+            Err(PathWalkError::NodeOutOfRange {
+                node: 4,
+                num_nodes: 4
+            })
+        );
+    }
+
+    #[test]
+    fn broken_chains_are_typed_errors_not_panics() {
+        let g = random_connected_graph(6, 4, 5);
+        let mut apsp = g.precompute_all_pairs();
+        // Sever the chain 0 -> 5 mid-walk while the distance stays
+        // finite: the panicking walk would abort here.
+        apsp.debug_break_prev(0, 5);
+        let mut buf = Vec::new();
+        assert_eq!(
+            apsp.try_path_into(0, 5, &mut buf),
+            Err(PathWalkError::BrokenPrevChain { from: 0, to: 5 })
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn cyclic_chains_terminate_with_an_error() {
+        let mut dist = vec![0.0, 1.0, 2.0];
+        let prev = vec![NO_PREV, 2, 1]; // 1 <-> 2 cycle, never reaches 0
+        dist[0] = 0.0;
+        let mut buf = Vec::new();
+        assert_eq!(
+            walk_prev_row(3, 0, 2, &dist, &prev, &mut buf),
+            Err(PathWalkError::BrokenPrevChain { from: 0, to: 2 })
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn unreachable_and_self_walks() {
+        let dist = vec![0.0, f64::INFINITY];
+        let prev = vec![NO_PREV, NO_PREV];
+        let mut buf = vec![3];
+        assert_eq!(walk_prev_row(2, 0, 1, &dist, &prev, &mut buf), Ok(None));
+        assert!(buf.is_empty());
+        assert_eq!(
+            walk_prev_row(2, 0, 0, &dist, &prev, &mut buf),
+            Ok(Some(0.0))
+        );
+        assert_eq!(buf, vec![0]);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = PathWalkError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = PathWalkError::BrokenPrevChain { from: 1, to: 2 };
+        assert!(e.to_string().contains("corrupt"));
+    }
+}

@@ -142,6 +142,12 @@ impl HandheldMsg {
                     }) => {
                         w.u8(OUT_BAD_QUERY).u8(0).u32(*cell).u32(*num_cells);
                     }
+                    LocateOutcome::BadQuery(crate::protocol::ProtocolError::PathCorrupt {
+                        from,
+                        to,
+                    }) => {
+                        w.u8(OUT_BAD_QUERY).u8(1).u32(*from).u32(*to);
+                    }
                 }
             }
         }
@@ -225,6 +231,10 @@ impl HandheldMsg {
                                 num_cells: r.u32()?,
                             },
                         ),
+                        1 => LocateOutcome::BadQuery(crate::protocol::ProtocolError::PathCorrupt {
+                            from: r.u32()?,
+                            to: r.u32()?,
+                        }),
                         t => return Err(DecodeError::BadTag(t)),
                     },
                     t => return Err(DecodeError::BadTag(t)),

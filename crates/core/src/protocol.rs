@@ -110,6 +110,27 @@ pub enum Request {
     /// [`Response::ShutdownAck`], finishes in-flight work and stops
     /// accepting new connections.
     Shutdown,
+    /// Topology mutation: set (or insert) the congestion weight of the
+    /// corridor between cells `a` and `b`. Lets a churn driver exercise
+    /// the dynamic path engine over the socket path; answered with
+    /// [`Response::TopologyAck`].
+    SetEdgeWeight {
+        /// One corridor endpoint (graph node index).
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// New positive, finite walking weight in meters.
+        weight: f64,
+    },
+    /// Topology mutation: take the workstation of cell `node` down
+    /// (`up == false`, severing its corridors) or bring it back up
+    /// (restoring them). Answered with [`Response::TopologyAck`].
+    SetNodeUp {
+        /// The cell whose workstation flaps.
+        node: u32,
+        /// `true` to restore, `false` to sever.
+        up: bool,
+    },
     /// Spatio-temporal history query: where was `target` between two
     /// instants? (The paper's current-piconet query is the degenerate
     /// `[now, now]` case; this is the generalization its "spatio-temporal
@@ -179,6 +200,17 @@ pub enum Response {
     /// [`Request::Shutdown`] acknowledgment, sent before the server
     /// drains and exits.
     ShutdownAck,
+    /// [`Request::SetEdgeWeight`] / [`Request::SetNodeUp`]
+    /// acknowledgment: whether the mutation changed topology state, and
+    /// the path engine's mutation epoch afterwards (a no-op leaves the
+    /// epoch unchanged, so clients can correlate answers with topology
+    /// versions).
+    TopologyAck {
+        /// `true` iff the mutation changed state.
+        applied: bool,
+        /// The engine's mutation epoch after the request.
+        epoch: u64,
+    },
 }
 
 /// One update-on-change presence notice inside a gateway batch
@@ -205,6 +237,16 @@ pub enum ProtocolError {
         /// Number of cells the graph actually has.
         num_cells: u32,
     },
+    /// The shortest-path table failed integrity checks while walking
+    /// the path `from → to`: the prev chain stopped early, cycled, or
+    /// walked out of range. The server dumps its flight recorder and
+    /// reports the query as bad instead of panicking mid-serve.
+    PathCorrupt {
+        /// The walk's source cell.
+        from: u32,
+        /// The walk's destination cell.
+        to: u32,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -212,6 +254,9 @@ impl std::fmt::Display for ProtocolError {
         match self {
             ProtocolError::CellOutOfRange { cell, num_cells } => {
                 write!(f, "cell {cell} out of range (graph has {num_cells} cells)")
+            }
+            ProtocolError::PathCorrupt { from, to } => {
+                write!(f, "path table corrupt walking {from} -> {to}")
             }
         }
     }
@@ -296,6 +341,8 @@ pub(crate) const TAG_WHERE_IS: u8 = 9;
 const TAG_INGEST_BATCH: u8 = 10;
 const TAG_FLUSH: u8 = 11;
 const TAG_SHUTDOWN: u8 = 12;
+pub(crate) const TAG_SET_EDGE_WEIGHT: u8 = 13;
+pub(crate) const TAG_SET_NODE_UP: u8 = 14;
 
 const TAG_PRESENCE_ACK: u8 = 101;
 const TAG_LOGIN_RESULT: u8 = 102;
@@ -308,6 +355,7 @@ const TAG_NOTIFY_BATCH_ACK: u8 = 108;
 const TAG_INGEST_ACK: u8 = 109;
 const TAG_FLUSH_ACK: u8 = 110;
 const TAG_SHUTDOWN_ACK: u8 = 111;
+const TAG_TOPOLOGY_ACK: u8 = 112;
 
 /// Upper bound on acks in one [`Response::FlushAck`] (bit-packed, the
 /// packed bytes must fit a wire field): `MAX_FIELD_LEN * 8`.
@@ -327,6 +375,7 @@ pub(crate) const OUTCOME_QUERIER_NOT_LOGGED_IN: u8 = 5;
 pub(crate) const OUTCOME_BAD_QUERY: u8 = 6;
 
 pub(crate) const PROTO_ERR_CELL_OUT_OF_RANGE: u8 = 0;
+pub(crate) const PROTO_ERR_PATH_CORRUPT: u8 = 1;
 
 /// Encoded size of one [`Notice`]: cell u32 + addr u64 + present u8.
 const NOTICE_WIRE_LEN: usize = 13;
@@ -420,6 +469,12 @@ impl Request {
             Request::Shutdown => {
                 w.u8(TAG_SHUTDOWN);
             }
+            Request::SetEdgeWeight { a, b, weight } => {
+                w.u8(TAG_SET_EDGE_WEIGHT).u32(*a).u32(*b).f64(*weight);
+            }
+            Request::SetNodeUp { node, up } => {
+                w.u8(TAG_SET_NODE_UP).u32(*node).bool(*up);
+            }
         }
         w.into_bytes()
     }
@@ -508,6 +563,15 @@ impl Request {
             }
             TAG_FLUSH => Request::Flush,
             TAG_SHUTDOWN => Request::Shutdown,
+            TAG_SET_EDGE_WEIGHT => Request::SetEdgeWeight {
+                a: r.u32()?,
+                b: r.u32()?,
+                weight: r.f64()?,
+            },
+            TAG_SET_NODE_UP => Request::SetNodeUp {
+                node: r.u32()?,
+                up: r.bool()?,
+            },
             t => return Err(DecodeError::BadTag(t)),
         };
         r.finish()?;
@@ -575,6 +639,12 @@ impl Response {
                             .u32(*cell)
                             .u32(*num_cells);
                     }
+                    LocateOutcome::BadQuery(ProtocolError::PathCorrupt { from, to }) => {
+                        w.u8(OUTCOME_BAD_QUERY)
+                            .u8(PROTO_ERR_PATH_CORRUPT)
+                            .u32(*from)
+                            .u32(*to);
+                    }
                 }
             }
             Response::PresenceBatchAck { changed } => {
@@ -604,6 +674,9 @@ impl Response {
             }
             Response::ShutdownAck => {
                 w.u8(TAG_SHUTDOWN_ACK);
+            }
+            Response::TopologyAck { applied, epoch } => {
+                w.u8(TAG_TOPOLOGY_ACK).bool(*applied).u64(*epoch);
             }
             Response::HistoryResult(out) => {
                 w.u8(TAG_HISTORY_RESULT);
@@ -684,6 +757,12 @@ impl Response {
                                 num_cells: r.u32()?,
                             })
                         }
+                        PROTO_ERR_PATH_CORRUPT => {
+                            LocateOutcome::BadQuery(ProtocolError::PathCorrupt {
+                                from: r.u32()?,
+                                to: r.u32()?,
+                            })
+                        }
                         t => return Err(DecodeError::BadTag(t)),
                     },
                     t => return Err(DecodeError::BadTag(t)),
@@ -715,6 +794,10 @@ impl Response {
                 Response::FlushAck { acks }
             }
             TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+            TAG_TOPOLOGY_ACK => Response::TopologyAck {
+                applied: r.bool()?,
+                epoch: r.u64()?,
+            },
             TAG_HISTORY_RESULT => {
                 let code = r.u8()?;
                 let out = match code {
@@ -842,6 +925,19 @@ mod tests {
         round_trip_req(Request::Shutdown);
         round_trip_resp(Response::IngestAck { queued: 2 });
         round_trip_resp(Response::ShutdownAck);
+        round_trip_req(Request::SetEdgeWeight {
+            a: 3,
+            b: 9,
+            weight: 12.5,
+        });
+        round_trip_req(Request::SetNodeUp {
+            node: 17,
+            up: false,
+        });
+        round_trip_resp(Response::TopologyAck {
+            applied: true,
+            epoch: 41,
+        });
         // Flush acks across the bit-packing boundaries: empty, partial
         // byte, exactly one byte, byte + remainder.
         for n in [0usize, 3, 8, 11, 64, 65] {
@@ -908,6 +1004,7 @@ mod tests {
                 cell: 99,
                 num_cells: 9,
             }),
+            LocateOutcome::BadQuery(ProtocolError::PathCorrupt { from: 2, to: 7 }),
         ] {
             round_trip_resp(Response::LocateResult(out));
         }
@@ -1015,6 +1112,19 @@ mod golden_bytes {
         );
         assert_eq!(Request::Flush.encode(), vec![11]);
         assert_eq!(Request::Shutdown.encode(), vec![12]);
+        // Topology mutations (PR 9): tags 13–14.
+        let sew = Request::SetEdgeWeight {
+            a: 1,
+            b: 2,
+            weight: 3.0,
+        }
+        .encode();
+        assert_eq!(sew[0..9], [13, 1, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(sew[9..], 3.0f64.to_bits().to_le_bytes());
+        assert_eq!(
+            Request::SetNodeUp { node: 5, up: true }.encode(),
+            vec![14, 5, 0, 0, 0, 1]
+        );
     }
 
     #[test]
@@ -1075,5 +1185,23 @@ mod golden_bytes {
             vec![110, 0, 0, 0, 0]
         );
         assert_eq!(Response::ShutdownAck.encode(), vec![111]);
+        // Topology ack (PR 9): tag 112, applied bool, epoch u64.
+        assert_eq!(
+            Response::TopologyAck {
+                applied: true,
+                epoch: 7,
+            }
+            .encode(),
+            vec![112, 1, 7, 0, 0, 0, 0, 0, 0, 0]
+        );
+        // PathCorrupt BadQuery: tag, outcome code, error code, from, to.
+        assert_eq!(
+            Response::LocateResult(LocateOutcome::BadQuery(ProtocolError::PathCorrupt {
+                from: 3,
+                to: 260,
+            }))
+            .encode(),
+            vec![104, 6, 1, 3, 0, 0, 0, 4, 1, 0, 0]
+        );
     }
 }

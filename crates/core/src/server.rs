@@ -1,7 +1,7 @@
 //! The BIPS central server.
 //!
-//! Owns the [`Registry`], the [`LocationDb`] and the precomputed
-//! shortest-path table, and turns protocol [`Request`]s into
+//! Owns the [`Registry`], the [`LocationDb`] and the shortest-path
+//! engine, and turns protocol [`Request`]s into
 //! [`Response`]s. The handler is a pure function of server state —
 //! no scheduler, no I/O — so it is unit-testable in isolation and the
 //! full-system simulation only has to move bytes.
@@ -9,37 +9,47 @@
 use bt_baseband::BdAddr;
 use desim::SimTime;
 
-use crate::graph::{Apsp, NodeId, WsGraph};
+use crate::graph::{NodeId, PathEngine, PathEngineKind, PathWalkError, WsGraph};
 use crate::locationdb::LocationDb;
 use crate::protocol::{
     HistoryOutcome, HistoryStep, LocateOutcome, LoginFailure, ProtocolError, Request, Response,
 };
 use crate::registry::{Registry, RegistryError};
 
-/// The central server: registry + location database + offline paths.
+/// The central server: registry + location database + path engine.
 #[derive(Debug, Clone)]
 pub struct BipsServer {
     registry: Registry,
     db: LocationDb,
-    apsp: Apsp,
+    engine: PathEngine,
     /// Incarnation counter: bumped on every [`restart`](BipsServer::restart)
     /// so clients can detect that in-RAM state (sessions, presence) was
     /// lost and must be re-established.
     epoch: u32,
-    /// Reused path buffer: locate answers borrow the APSP table via
-    /// [`Apsp::path_into`] instead of allocating a fresh `Vec` per query.
+    /// Reused path buffer: locate answers borrow the engine's tables
+    /// instead of allocating a fresh `Vec` per query.
     path_scratch: Vec<NodeId>,
 }
 
 impl BipsServer {
-    /// A server over the given registry and workstation graph. The
-    /// all-pairs table is computed here, offline, exactly as §2
-    /// prescribes.
+    /// A server over the given registry and workstation graph, with the
+    /// dynamic path engine (the paper's offline precomputation survives
+    /// as [`PathEngineKind::Rebuild`], selectable via
+    /// [`new_with_engine`](BipsServer::new_with_engine)).
     pub fn new(registry: Registry, graph: &WsGraph) -> BipsServer {
+        BipsServer::new_with_engine(registry, graph, PathEngineKind::Dynamic)
+    }
+
+    /// A server with an explicit path-engine choice.
+    pub fn new_with_engine(
+        registry: Registry,
+        graph: &WsGraph,
+        kind: PathEngineKind,
+    ) -> BipsServer {
         BipsServer {
             registry,
             db: LocationDb::new(),
-            apsp: graph.precompute_all_pairs(),
+            engine: PathEngine::new(kind, graph.clone()),
             epoch: 0,
             path_scratch: Vec::new(),
         }
@@ -75,9 +85,14 @@ impl BipsServer {
         &self.db
     }
 
-    /// The offline path table.
-    pub fn apsp(&self) -> &Apsp {
-        &self.apsp
+    /// The path engine.
+    pub fn path_engine(&self) -> &PathEngine {
+        &self.engine
+    }
+
+    /// Mutable path-engine access (topology drivers, tests).
+    pub fn path_engine_mut(&mut self) -> &mut PathEngine {
+        &mut self.engine
     }
 
     /// Where a user currently is, by name (for tests and examples).
@@ -171,6 +186,28 @@ impl BipsServer {
             }
             Request::Flush => Response::FlushAck { acks: Vec::new() },
             Request::Shutdown => Response::ShutdownAck,
+            // Topology mutations (PR 9): both are idempotent and answer
+            // with whether state changed plus the engine's mutation
+            // epoch. An invalid mutation (bad endpoint, down node, bad
+            // weight) is a no-op ack, not an error response — the
+            // topology is simply not in a state where it applies.
+            Request::SetEdgeWeight { a, b, weight } => {
+                let applied = self
+                    .engine
+                    .set_edge_weight(a as usize, b as usize, weight)
+                    .unwrap_or(false);
+                Response::TopologyAck {
+                    applied,
+                    epoch: self.engine.epoch(),
+                }
+            }
+            Request::SetNodeUp { node, up } => {
+                let applied = self.engine.set_node_up(node as usize, up).unwrap_or(false);
+                Response::TopologyAck {
+                    applied,
+                    epoch: self.engine.epoch(),
+                }
+            }
         }
     }
 
@@ -233,9 +270,11 @@ impl BipsServer {
         HistoryOutcome::Trace(steps)
     }
 
-    /// The precomputed shortest path between two cells, borrowed from
-    /// the server's scratch buffer — no per-call allocation once the
-    /// buffer is warm. `Ok(None)` means the cells are disconnected.
+    /// The shortest path between two cells under the current topology,
+    /// borrowed from the server's scratch buffer — no per-call
+    /// allocation once the buffer (and, for the sparse engine, the
+    /// source tree) is warm. `Ok(None)` means the cells are
+    /// disconnected.
     ///
     /// # Errors
     ///
@@ -243,13 +282,15 @@ impl BipsServer {
     /// node of the workstation graph. (The seed implementation silently
     /// served such requests as `OutOfCoverage`; a cell the building does
     /// not have is a malformed request, not an observation about the
-    /// target.)
+    /// target.) [`ProtocolError::PathCorrupt`] if the engine's tables
+    /// fail integrity checks mid-walk — reported instead of panicking
+    /// on the serving path.
     pub fn shortest_path(
         &mut self,
         from_cell: usize,
         to_cell: usize,
     ) -> Result<Option<(&[NodeId], f64)>, ProtocolError> {
-        let n = self.apsp.num_nodes();
+        let n = self.engine.num_nodes();
         for cell in [from_cell, to_cell] {
             if cell >= n {
                 return Err(ProtocolError::CellOutOfRange {
@@ -259,11 +300,20 @@ impl BipsServer {
             }
         }
         match self
-            .apsp
-            .path_into(from_cell, to_cell, &mut self.path_scratch)
+            .engine
+            .query(from_cell, to_cell, &mut self.path_scratch)
         {
-            Some(d) => Ok(Some((&self.path_scratch, d))),
-            None => Ok(None),
+            Ok(Some(d)) => Ok(Some((&self.path_scratch, d))),
+            Ok(None) => Ok(None),
+            Err(PathWalkError::NodeOutOfRange { node, num_nodes }) => {
+                Err(ProtocolError::CellOutOfRange {
+                    cell: node,
+                    num_cells: num_nodes,
+                })
+            }
+            Err(PathWalkError::BrokenPrevChain { from, to }) => {
+                Err(ProtocolError::PathCorrupt { from, to })
+            }
         }
     }
 
@@ -286,7 +336,7 @@ impl BipsServer {
         let Some(cell) = self.db.current_cell(target_addr) else {
             return LocateOutcome::OutOfCoverage;
         };
-        if cell >= self.apsp.num_nodes() {
+        if cell >= self.engine.num_nodes() {
             // The *target* sits in a cell beyond the navigable graph (a
             // workstation the map does not know): served as out of
             // coverage, exactly like the seed.
@@ -578,6 +628,91 @@ mod tests {
         let (path, d) = s.shortest_path(2, 2).unwrap().unwrap();
         assert_eq!(path, &[2]);
         assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn topology_mutations_reroute_locates() {
+        let mut s = server();
+        login(&mut s, "alice", "pa", A);
+        login(&mut s, "bob", "pb", B);
+        s.handle(
+            Request::Presence {
+                cell: 2,
+                addr: B,
+                present: true,
+            },
+            t(1),
+        );
+        // A new 0–2 shortcut beats the 0–1–2 corridor.
+        let r = s.handle(
+            Request::SetEdgeWeight {
+                a: 0,
+                b: 2,
+                weight: 5.0,
+            },
+            t(2),
+        );
+        assert_eq!(
+            r,
+            Response::TopologyAck {
+                applied: true,
+                epoch: 1,
+            }
+        );
+        let r = s.handle(
+            Request::Locate {
+                from: A,
+                target: "bob".into(),
+                from_cell: 0,
+            },
+            t(3),
+        );
+        assert_eq!(
+            r,
+            Response::LocateResult(LocateOutcome::Found {
+                cell: 2,
+                path: vec![0, 2],
+                distance: 5.0,
+            })
+        );
+        // Taking cell 1's workstation down leaves the shortcut.
+        let r = s.handle(Request::SetNodeUp { node: 1, up: false }, t(4));
+        assert_eq!(
+            r,
+            Response::TopologyAck {
+                applied: true,
+                epoch: 2,
+            }
+        );
+        assert_eq!(
+            s.shortest_path(0, 2).unwrap().map(|(p, d)| (p.to_vec(), d)),
+            Some((vec![0, 2], 5.0))
+        );
+        // Invalid mutations are no-op acks, not panics.
+        let r = s.handle(
+            Request::SetEdgeWeight {
+                a: 0,
+                b: 99,
+                weight: 1.0,
+            },
+            t(5),
+        );
+        assert_eq!(
+            r,
+            Response::TopologyAck {
+                applied: false,
+                epoch: 2,
+            }
+        );
+        // Redundant up on an already-up node: no epoch bump.
+        let r = s.handle(Request::SetNodeUp { node: 0, up: true }, t(6));
+        assert_eq!(
+            r,
+            Response::TopologyAck {
+                applied: false,
+                epoch: 2,
+            }
+        );
     }
 
     #[test]

@@ -74,11 +74,12 @@ use desim::metrics::MetricSet;
 use desim::par;
 use desim::tracing::{SpanId, TraceKind, Tracer};
 
-use crate::graph::{Apsp, NodeId};
+use crate::graph::{Apsp, NodeId, PathEngine, PathWalkError, WarmQuery};
 use crate::protocol::{
     ProtocolError, Request, Response, OUTCOME_BAD_QUERY, OUTCOME_DENIED, OUTCOME_FOUND,
     OUTCOME_NOT_LOGGED_IN, OUTCOME_NO_SUCH_USER, OUTCOME_OUT_OF_COVERAGE,
-    OUTCOME_QUERIER_NOT_LOGGED_IN, PROTO_ERR_CELL_OUT_OF_RANGE, TAG_LOCATE_RESULT,
+    OUTCOME_QUERIER_NOT_LOGGED_IN, PROTO_ERR_CELL_OUT_OF_RANGE, PROTO_ERR_PATH_CORRUPT,
+    TAG_LOCATE_RESULT,
 };
 use crate::registry::{Registry, Visibility};
 use crate::wire::DecodeError;
@@ -367,6 +368,31 @@ pub enum Served {
     Unsupported,
 }
 
+/// How the engine answers shortest-path questions.
+///
+/// The seed behaviour — a frozen all-pairs table computed offline —
+/// stays the default and keeps the query path entirely lock-free. The
+/// dynamic variant wraps a [`PathEngine`] in an `RwLock`: warm-tree
+/// queries share the read side (the engine's internal bookkeeping is
+/// atomic, so a read guard suffices), topology mutations and cold-tree
+/// warmups take the write side. That is a deliberate, bounded exception
+/// to the lock-free reading rule, marked at each site for the
+/// `serve-reader-lock` lint.
+#[derive(Debug)]
+enum EnginePaths {
+    /// The offline table (paper §2): no topology mutations, no locks.
+    Frozen(Apsp),
+    /// A live [`PathEngine`] accepting topology mutations over the
+    /// wire ([`Request::SetEdgeWeight`] / [`Request::SetNodeUp`]).
+    /// Boxed: the engine (tables + cache) dwarfs the frozen variant.
+    Dynamic(Box<RwLock<PathEngine>>),
+}
+
+/// Anomaly code recorded (and carried in a
+/// [`TraceKind::Anomaly`] event) when a path walk hits a corrupt
+/// table: distinguishes it from latency (0) and retry-storm (1) dumps.
+pub const ANOMALY_PATH_CORRUPT: u32 = 2;
+
 /// The sharded serving engine. See the [module docs](self) for the
 /// design; construction snapshots a [`Registry`], after which the
 /// engine is self-contained and [`Sync`] — share it behind an `&` and
@@ -419,7 +445,10 @@ pub struct ShardedService {
     num_users: u64,
     shard_bits: u32,
     read_path: ReadPath,
-    apsp: Apsp,
+    paths: EnginePaths,
+    /// Node count of the graph at construction, cached so the query
+    /// path's bounds checks never touch the engine lock.
+    num_cells: usize,
     /// Optional request tracer; `None` (the default) keeps the hot
     /// path at a single untaken branch.
     tracer: Option<Arc<Tracer>>,
@@ -449,6 +478,45 @@ impl ShardedService {
     pub fn new_with_read_path(
         registry: &Registry,
         apsp: Apsp,
+        nshards: usize,
+        read_path: ReadPath,
+    ) -> ShardedService {
+        let num_cells = apsp.num_nodes();
+        Self::new_inner(
+            registry,
+            EnginePaths::Frozen(apsp),
+            num_cells,
+            nshards,
+            read_path,
+        )
+    }
+
+    /// Builds the engine over a live [`PathEngine`] instead of a frozen
+    /// table: topology mutations ([`Request::SetEdgeWeight`] /
+    /// [`Request::SetNodeUp`]) apply over the socket path and queries
+    /// answer under the mutated topology. Warm-tree queries take the
+    /// engine lock's read side (never the write side), so this mode
+    /// trades the frozen table's strict lock-freedom for live topology.
+    pub fn new_dynamic(
+        registry: &Registry,
+        engine: PathEngine,
+        nshards: usize,
+        read_path: ReadPath,
+    ) -> ShardedService {
+        let num_cells = engine.num_nodes();
+        Self::new_inner(
+            registry,
+            EnginePaths::Dynamic(Box::new(RwLock::new(engine))),
+            num_cells,
+            nshards,
+            read_path,
+        )
+    }
+
+    fn new_inner(
+        registry: &Registry,
+        paths: EnginePaths,
+        num_cells: usize,
         nshards: usize,
         read_path: ReadPath,
     ) -> ShardedService {
@@ -526,7 +594,8 @@ impl ShardedService {
             num_users: n,
             shard_bits,
             read_path,
-            apsp,
+            paths,
+            num_cells,
             tracer: None,
         }
     }
@@ -565,9 +634,21 @@ impl ShardedService {
         self.read_path
     }
 
-    /// The offline path table the engine answers from.
-    pub fn apsp(&self) -> &Apsp {
-        &self.apsp
+    /// Number of cells (graph nodes) the engine was built over.
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// The dynamic path engine, when the service was built with
+    /// [`new_dynamic`](ShardedService::new_dynamic) — `None` on the
+    /// frozen-table default. Drivers mutate topology through the lock's
+    /// write side; doing so while queries run is safe (they share the
+    /// read side).
+    pub fn path_engine(&self) -> Option<&RwLock<PathEngine>> {
+        match &self.paths {
+            EnginePaths::Frozen(_) => None,
+            EnginePaths::Dynamic(lock) => Some(lock),
+        }
     }
 
     /// Total seqlock read retries across all shards (reads that raced
@@ -1036,7 +1117,7 @@ impl ShardedService {
         if t_cell == NO_CELL {
             return WhereIs::OutOfCoverage;
         }
-        let n = self.apsp.num_nodes();
+        let n = self.num_cells;
         if t_cell as usize >= n {
             // Target in a cell beyond the navigable graph: out of
             // coverage, exactly like the seed.
@@ -1048,12 +1129,71 @@ impl ShardedService {
                 num_cells: n as u32,
             });
         }
-        match self.apsp.path_into(from_cell, t_cell as usize, path_out) {
-            Some(distance) => WhereIs::Found {
+        match self.walk_path(from_cell, t_cell as usize, path_out) {
+            Ok(Some(distance)) => WhereIs::Found {
                 cell: t_cell,
                 distance,
             },
-            None => WhereIs::OutOfCoverage,
+            Ok(None) => WhereIs::OutOfCoverage,
+            Err(_) => {
+                // A corrupt table is a serving-side defect, never the
+                // client's fault: record an anomaly event for the
+                // flight recorder and answer with a typed error
+                // instead of panicking the serving thread.
+                if let Some(t) = &self.tracer {
+                    t.record(
+                        q_shard,
+                        TraceKind::Anomaly,
+                        SpanId::NONE,
+                        q_shard as u16,
+                        ANOMALY_PATH_CORRUPT,
+                        t_cell as u64,
+                    );
+                }
+                WhereIs::BadQuery(ProtocolError::PathCorrupt {
+                    from: from_cell as u32,
+                    to: t_cell,
+                })
+            }
+        }
+    }
+
+    /// One shortest-path walk through whichever engine the service was
+    /// built with. The frozen table reads with no synchronization; the
+    /// dynamic engine answers warm queries under the read lock and only
+    /// escalates to the write lock to warm a cold source tree.
+    fn walk_path(
+        &self,
+        from_cell: usize,
+        to_cell: usize,
+        path_out: &mut Vec<NodeId>,
+    ) -> Result<Option<f64>, PathWalkError> {
+        match &self.paths {
+            EnginePaths::Frozen(apsp) => apsp.try_path_into(from_cell, to_cell, path_out),
+            EnginePaths::Dynamic(lock) => {
+                {
+                    // lint:allow(serve-reader-lock): dynamic-engine mode — warm-tree reads share the engine RwLock's read side; the frozen default never takes it
+                    let eng = read_lock(lock);
+                    if let WarmQuery::Ready(d) = eng.query_warm(from_cell, to_cell, path_out)? {
+                        return Ok(d);
+                    }
+                }
+                // Cold source tree: warm it under the write lock, then
+                // answer. Hit at most once per (source, epoch).
+                // lint:allow(serve-reader-lock): dynamic-engine mode — cold-tree warmup is a bounded write-side escalation
+                let mut eng = write_lock(lock);
+                eng.warm(from_cell);
+                match eng.query_warm(from_cell, to_cell, path_out)? {
+                    WarmQuery::Ready(d) => Ok(d),
+                    // warm() just installed this source at the current
+                    // epoch; a second Cold means the engine cannot hold
+                    // the tree — serve it as corruption, not a panic.
+                    WarmQuery::Cold => Err(PathWalkError::BrokenPrevChain {
+                        from: from_cell as u32,
+                        to: to_cell as u32,
+                    }),
+                }
+            }
         }
     }
 
@@ -1132,6 +1272,9 @@ impl ShardedService {
         metrics.set_counter("core.service.read_retries", retry_total);
         metrics.set_counter("core.service.slot_publishes", self.slot_publishes());
         metrics.set_counter("core.service.ignored", self.ignored.load(Ordering::Relaxed));
+        if let EnginePaths::Dynamic(lock) = &self.paths {
+            read_lock(lock).export_metrics(metrics);
+        }
     }
 
     /// Serves one decoded-from-the-socket request payload, appending
@@ -1197,6 +1340,35 @@ impl ShardedService {
                 out.extend_from_slice(&Response::ShutdownAck.encode());
                 Served::Shutdown
             }
+            // Topology mutations apply only when the service was built
+            // with a dynamic engine; the frozen table is immutable by
+            // design and rejects them like any LAN-simulation message.
+            Request::SetEdgeWeight { a, b, weight } => match &self.paths {
+                EnginePaths::Frozen(_) => Served::Unsupported,
+                EnginePaths::Dynamic(lock) => {
+                    // lint:allow(serve-reader-lock): dynamic-engine mode — topology mutations are writes and serialize on the engine lock
+                    let mut eng = write_lock(lock);
+                    let applied = eng
+                        .set_edge_weight(a as usize, b as usize, weight)
+                        .unwrap_or(false);
+                    let epoch = eng.epoch();
+                    drop(eng);
+                    out.extend_from_slice(&Response::TopologyAck { applied, epoch }.encode());
+                    Served::Reply
+                }
+            },
+            Request::SetNodeUp { node, up } => match &self.paths {
+                EnginePaths::Frozen(_) => Served::Unsupported,
+                EnginePaths::Dynamic(lock) => {
+                    // lint:allow(serve-reader-lock): dynamic-engine mode — topology mutations are writes and serialize on the engine lock
+                    let mut eng = write_lock(lock);
+                    let applied = eng.set_node_up(node as usize, up).unwrap_or(false);
+                    let epoch = eng.epoch();
+                    drop(eng);
+                    out.extend_from_slice(&Response::TopologyAck { applied, epoch }.encode());
+                    Served::Reply
+                }
+            },
             _ => Served::Unsupported,
         }
     }
@@ -1233,6 +1405,12 @@ fn encode_where_is_into(out: &mut Vec<u8>, result: &WhereIs, path: &[NodeId]) {
             out.push(PROTO_ERR_CELL_OUT_OF_RANGE);
             out.extend_from_slice(&cell.to_le_bytes());
             out.extend_from_slice(&num_cells.to_le_bytes());
+        }
+        WhereIs::BadQuery(ProtocolError::PathCorrupt { from, to }) => {
+            out.push(OUTCOME_BAD_QUERY);
+            out.push(PROTO_ERR_PATH_CORRUPT);
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&to.to_le_bytes());
         }
     }
 }
@@ -1521,6 +1699,225 @@ mod tests {
                 "divergence for ({querier}, {target}, {from_cell})"
             );
         }
+    }
+
+    fn dynamic_service(users: usize, shards: usize, cells: usize) -> ShardedService {
+        use crate::graph::{PathEngineKind, WsGraph};
+        let mut reg = Registry::new();
+        for i in 0..users {
+            reg.register(&format!("user{i}"), "pw", AccessRights::open())
+                .unwrap();
+        }
+        let mut g = WsGraph::new(cells);
+        for i in 0..cells - 1 {
+            g.add_edge(i, i + 1, 10.0);
+        }
+        ShardedService::new_dynamic(
+            &reg,
+            PathEngine::new(PathEngineKind::Dynamic, g),
+            shards,
+            ReadPath::Seqlock,
+        )
+    }
+
+    /// Topology mutations over the socket path reroute subsequent
+    /// queries, and the frozen-table default rejects them.
+    #[test]
+    fn serve_payload_topology_mutations() {
+        let svc = dynamic_service(2, 2, 8);
+        svc.login(0, "pw", addr(0)).unwrap();
+        svc.login(1, "pw", addr(1)).unwrap();
+        svc.ingest(addr(1), 7, true, 1);
+        svc.flush(1);
+        let mut path = Vec::new();
+        let mut out = Vec::new();
+
+        assert_eq!(
+            svc.where_is(0, 1, 0, &mut path),
+            WhereIs::Found {
+                cell: 7,
+                distance: 70.0
+            }
+        );
+        // A 0–7 shortcut over the wire.
+        let req = Request::SetEdgeWeight {
+            a: 0,
+            b: 7,
+            weight: 5.0,
+        }
+        .encode();
+        assert_eq!(
+            svc.serve_payload(&req, 1, &mut path, &mut out),
+            Served::Reply
+        );
+        assert_eq!(
+            out,
+            Response::TopologyAck {
+                applied: true,
+                epoch: 1
+            }
+            .encode()
+        );
+        assert_eq!(
+            svc.where_is(0, 1, 0, &mut path),
+            WhereIs::Found {
+                cell: 7,
+                distance: 5.0
+            }
+        );
+        assert_eq!(path, vec![0, 7]);
+
+        // Taking down cell 7's workstation makes the target unreachable.
+        out.clear();
+        let req = Request::SetNodeUp { node: 7, up: false }.encode();
+        assert_eq!(
+            svc.serve_payload(&req, 1, &mut path, &mut out),
+            Served::Reply
+        );
+        assert_eq!(
+            out,
+            Response::TopologyAck {
+                applied: true,
+                epoch: 2
+            }
+            .encode()
+        );
+        assert_eq!(svc.where_is(0, 1, 0, &mut path), WhereIs::OutOfCoverage);
+
+        // …and bringing it back restores the shortcut bit-identically.
+        out.clear();
+        let req = Request::SetNodeUp { node: 7, up: true }.encode();
+        assert_eq!(
+            svc.serve_payload(&req, 1, &mut path, &mut out),
+            Served::Reply
+        );
+        assert_eq!(
+            svc.where_is(0, 1, 0, &mut path),
+            WhereIs::Found {
+                cell: 7,
+                distance: 5.0
+            }
+        );
+
+        // Invalid mutation: no-op ack, epoch untouched.
+        out.clear();
+        let req = Request::SetEdgeWeight {
+            a: 0,
+            b: 99,
+            weight: 1.0,
+        }
+        .encode();
+        assert_eq!(
+            svc.serve_payload(&req, 1, &mut path, &mut out),
+            Served::Reply
+        );
+        assert_eq!(
+            out,
+            Response::TopologyAck {
+                applied: false,
+                epoch: 3
+            }
+            .encode()
+        );
+
+        // The frozen-table default rejects topology mutations.
+        let frozen = service(2, 2);
+        out.clear();
+        let req = Request::SetNodeUp { node: 1, up: false }.encode();
+        assert_eq!(
+            frozen.serve_payload(&req, 1, &mut path, &mut out),
+            Served::Unsupported
+        );
+        assert!(out.is_empty());
+        assert!(frozen.path_engine().is_none());
+        assert!(svc.path_engine().is_some());
+    }
+
+    /// The dynamic engine exports its `core.graph.*` counters through
+    /// the service's metric export.
+    #[test]
+    fn dynamic_engine_metrics_are_exported() {
+        let svc = dynamic_service(2, 2, 8);
+        svc.login(0, "pw", addr(0)).unwrap();
+        svc.login(1, "pw", addr(1)).unwrap();
+        svc.ingest(addr(1), 3, true, 1);
+        svc.flush(1);
+        let mut path = Vec::new();
+        assert!(matches!(
+            svc.where_is(0, 1, 2, &mut path),
+            WhereIs::Found { .. }
+        ));
+        let mut m = MetricSet::new();
+        svc.export_metrics(&mut m);
+        for name in [
+            "core.graph.tree_repairs",
+            "core.graph.vertices_touched",
+            "core.graph.epoch_invalidations",
+            "core.graph.cache_misses",
+            "core.graph.cache_hits",
+        ] {
+            assert!(m.counter_value(name).is_some(), "missing {name}");
+        }
+        // The frozen default exports no graph counters.
+        let frozen = service(2, 2);
+        let mut m = MetricSet::new();
+        frozen.export_metrics(&mut m);
+        assert_eq!(m.counter_value("core.graph.tree_repairs"), None);
+    }
+
+    /// A corrupt path table surfaces as a typed `BadQuery`, records an
+    /// anomaly trace event, and never panics the serving thread.
+    #[test]
+    fn corrupt_tables_serve_typed_errors_and_trace_anomalies() {
+        use desim::tracing::Tracer;
+        let mut reg = Registry::new();
+        let a = reg.register("alice", "pa", AccessRights::open()).unwrap();
+        let b = reg.register("bob", "pb", AccessRights::open()).unwrap();
+        let mut g = crate::graph::WsGraph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1, 10.0);
+        }
+        let mut apsp = g.precompute_all_pairs();
+        apsp.debug_break_prev(0, 3);
+        let mut svc = ShardedService::new(&reg, apsp, 2);
+        let tracer = Arc::new(Tracer::new(svc.num_shards(), 64));
+        svc.attach_tracer(Arc::clone(&tracer));
+        let (a, b) = (a.value(), b.value());
+        svc.login(a, "pa", addr(a)).unwrap();
+        svc.login(b, "pb", addr(b)).unwrap();
+        svc.ingest(addr(b), 3, true, 1);
+        svc.flush(1);
+        let mut path = Vec::new();
+        assert_eq!(
+            svc.where_is(a, b, 0, &mut path),
+            WhereIs::BadQuery(ProtocolError::PathCorrupt { from: 0, to: 3 })
+        );
+        let anomalies: Vec<_> = tracer
+            .last_events(64)
+            .into_iter()
+            .filter(|e| e.kind == TraceKind::Anomaly)
+            .collect();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].code, ANOMALY_PATH_CORRUPT);
+        // The wire encoding round-trips through the protocol layer.
+        let mut out = Vec::new();
+        let req = Request::WhereIs {
+            querier: a,
+            target: b,
+            from_cell: 0,
+        }
+        .encode();
+        assert_eq!(
+            svc.serve_payload(&req, 1, &mut path, &mut out),
+            Served::Reply
+        );
+        assert_eq!(
+            out,
+            Response::LocateResult(crate::protocol::LocateOutcome::BadQuery(
+                ProtocolError::PathCorrupt { from: 0, to: 3 }
+            ))
+            .encode()
+        );
     }
 
     /// `serve_payload` drives the full socket serving cycle — batch

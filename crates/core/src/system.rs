@@ -120,6 +120,11 @@ pub struct SystemConfig {
     /// Batch a sweep's presence changes into one LAN message (amortizes
     /// RPC overhead; the paper's per-change reporting is the default).
     pub batch_updates: bool,
+    /// Fold the mobility model's per-cell crossing counters into path
+    /// edge weights once per sweep round: congested cells get heavier
+    /// edges, so locate answers route around traffic. Off by default
+    /// (the paper's weights are static).
+    pub congestion_weights: bool,
 }
 
 impl Default for SystemConfig {
@@ -135,6 +140,7 @@ impl Default for SystemConfig {
             lan: LanConfig::default(),
             medium: MediumConfig::default(),
             batch_updates: false,
+            congestion_weights: false,
         }
     }
 }
@@ -369,6 +375,13 @@ pub struct BipsSystem {
     /// server lost sessions and presence and everything must be re-sent.
     server_epoch_seen: u32,
     batch_updates: bool,
+    /// When true, workstation 0's sweep folds the mobility crossing
+    /// counters into path edge weights (congestion-driven churn).
+    congestion_weights: bool,
+    /// The static weights from the building, snapshotted at build time:
+    /// `(a, b, w)` per undirected edge, `a < b`, in node order. The
+    /// congestion fold scales these — it never compounds on itself.
+    base_weights: Vec<(usize, usize, f64)>,
     /// Per-cell occupancy (devices the server believes present),
     /// integrated over time.
     occupancy: Vec<desim::stats::TimeWeighted>,
@@ -485,6 +498,7 @@ impl BipsSystem {
         self.lan.export_metrics(metrics);
         self.tr.export_metrics(metrics);
         self.mob.export_metrics(metrics);
+        self.server.path_engine().export_metrics(metrics);
 
         let s = self.stats;
         metrics.set_counter("core.system.logins_completed", s.logins_completed);
@@ -1071,7 +1085,30 @@ impl BipsSystem {
         }
     }
 
+    /// Congestion gain: every crossing at either endpoint adds 1% of an
+    /// edge's base weight. The fold is a pure function of the crossing
+    /// counters over the snapshotted base weights, so it never compounds
+    /// and replays identically for identical mobility histories.
+    const CONGESTION_GAIN: f64 = 0.01;
+
+    /// Folds the mobility model's per-cell crossing counters into the
+    /// path engine's edge weights. Unchanged weights are no-ops on the
+    /// engine (no epoch bump); edges with a down endpoint are skipped.
+    fn apply_congestion_weights(&mut self) {
+        let entries = &self.mob.stats().per_cell_entries;
+        let engine = self.server.path_engine_mut();
+        for &(a, b, w0) in &self.base_weights {
+            let crossings =
+                entries.get(a).copied().unwrap_or(0) + entries.get(b).copied().unwrap_or(0);
+            let w = w0 * (1.0 + Self::CONGESTION_GAIN * crossings as f64);
+            let _ = engine.set_edge_weight(a, b, w);
+        }
+    }
+
     fn on_sweep(&mut self, ctx: &mut Context<SysEvent>, ws: usize) {
+        if self.congestion_weights && ws == 0 {
+            self.apply_congestion_weights();
+        }
         let now = ctx.now();
         let changes = self.workstations[ws].tracker.sweep(now);
         let cell = self.workstations[ws].cell as u32;
@@ -1325,6 +1362,14 @@ impl SystemBuilder {
 
         let graph = WsGraph::from_building(&config.building);
         let server = BipsServer::new(registry, &graph);
+        let mut base_weights = Vec::with_capacity(graph.num_edges());
+        for a in 0..graph.num_nodes() {
+            for &(b, w) in graph.edges(a) {
+                if a < b {
+                    base_weights.push((a, b, w));
+                }
+            }
+        }
 
         let system = BipsSystem {
             bb,
@@ -1340,6 +1385,8 @@ impl SystemBuilder {
             sweep_interval: config.sweep_interval,
             server_epoch_seen: 0,
             batch_updates: config.batch_updates,
+            congestion_weights: config.congestion_weights,
+            base_weights,
             occupancy: (0..n_rooms)
                 .map(|_| desim::stats::TimeWeighted::new(SimTime::ZERO, 0.0))
                 .collect(),

@@ -1,0 +1,192 @@
+//! Per-mutation churn differential for the dynamic shortest-path
+//! engines: after EVERY applied mutation — weight change, edge add,
+//! node down, node up — both [`PathEngineKind::DynamicDense`] and
+//! [`PathEngineKind::DynamicSparse`] must agree with the
+//! rebuild-from-scratch reference on every pair's distance (bitwise),
+//! every path, and on connectivity, including full disconnect →
+//! unreachable (`None`) → reconnect cycles.
+
+use bips_core::graph::{random_connected_graph, PathEngine, PathEngineKind};
+use proptest::prelude::*;
+
+const N: usize = 14;
+
+/// One normalized mutation decoded from the proptest tuple stream.
+#[derive(Debug)]
+enum Mutation {
+    SetWeight(usize, usize, f64),
+    NodeToggle(usize, bool),
+}
+
+fn decode(op: (u8, u64, u64, u64)) -> Mutation {
+    let (kind, a, b, w) = op;
+    let a = (a % N as u64) as usize;
+    let b = (b % N as u64) as usize;
+    match kind % 4 {
+        // Weight updates dominate; 25% are node toggles.
+        0 => Mutation::NodeToggle(a, w % 2 == 0),
+        _ => {
+            let b = if a == b { (a + 1) % N } else { b };
+            // Spread over ~3 decades so increase AND decrease repairs
+            // both occur against the seed weights in [0.5, 50).
+            Mutation::SetWeight(a, b, 0.25 + (w % 1000) as f64 / 8.0)
+        }
+    }
+}
+
+/// Compares all three engines over every pair after one mutation, and
+/// checks the unreachability picture against `is_connected`.
+fn assert_full_agreement(
+    engines: &mut [PathEngine],
+    bufs: &mut [Vec<usize>],
+    step: usize,
+) -> Result<(), TestCaseError> {
+    let mut any_unreachable = false;
+    for a in 0..N {
+        for b in 0..N {
+            let mut reference: Option<(Option<u64>, Vec<usize>)> = None;
+            for (e, buf) in engines.iter_mut().zip(bufs.iter_mut()) {
+                let name = e.name();
+                let d = e
+                    .query(a, b, buf)
+                    .map_err(|err| {
+                        TestCaseError::fail(format!("step {step}: {name} corrupt: {err}"))
+                    })?
+                    .map(f64::to_bits);
+                match &reference {
+                    None => reference = Some((d, buf.clone())),
+                    Some((rd, rp)) => {
+                        prop_assert_eq!(
+                            (&d, &*buf),
+                            (rd, rp),
+                            "step {}: {} diverged on {} -> {}",
+                            step,
+                            name,
+                            a,
+                            b
+                        );
+                    }
+                }
+            }
+            if a != b && reference.expect("at least one engine").0.is_none() {
+                any_unreachable = true;
+            }
+        }
+    }
+    // Connectivity detection must match the distance picture: some
+    // pair is unreachable exactly when the live graph (down nodes
+    // isolated) is disconnected.
+    for e in engines.iter() {
+        prop_assert_eq!(
+            e.graph().is_connected(),
+            !any_unreachable,
+            "is_connected disagrees with reachability at step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
+fn replay(seed: u64, ops: &[(u8, u64, u64, u64)]) -> Result<(), TestCaseError> {
+    let g = random_connected_graph(N, 6, seed);
+    let mut engines: Vec<PathEngine> = [
+        PathEngineKind::Rebuild,
+        PathEngineKind::DynamicDense,
+        PathEngineKind::DynamicSparse,
+    ]
+    .into_iter()
+    .map(|k| PathEngine::new(k, g.clone()))
+    .collect();
+    let mut bufs = vec![Vec::new(); engines.len()];
+    for (step, &op) in ops.iter().enumerate() {
+        let results: Vec<_> = engines
+            .iter_mut()
+            .map(|e| match decode(op) {
+                Mutation::SetWeight(a, b, w) => e.set_edge_weight(a, b, w),
+                Mutation::NodeToggle(x, up) => e.set_node_up(x, up),
+            })
+            .collect();
+        // All engines accept or reject identically (a down endpoint is
+        // a consistent rejection, a no-op a consistent `Ok(false)`).
+        prop_assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "step {}: mutation outcomes diverged: {:?}",
+            step,
+            results
+        );
+        assert_full_agreement(&mut engines, &mut bufs, step)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mutation schedules over a random connected graph: full
+    /// all-pairs bitwise agreement plus connectivity consistency after
+    /// every single mutation.
+    #[test]
+    fn engines_agree_after_every_mutation(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(
+            (0u8..4, any::<u64>(), any::<u64>(), any::<u64>()),
+            1..24,
+        )
+    ) {
+        replay(seed, &ops)?;
+    }
+}
+
+/// The scripted worst case the random schedules only sometimes hit: a
+/// cut vertex goes down (graph disconnects, cross-cut queries answer
+/// `None`), then comes back (everything reconnects) — with the engines
+/// agreeing bitwise at every stage.
+#[test]
+fn disconnect_then_reconnect_round_trips() {
+    use bips_core::graph::WsGraph;
+    let mut g = WsGraph::new(7);
+    for i in 0..6 {
+        g.add_edge(i, i + 1, 5.0 + i as f64);
+    }
+    let mut engines: Vec<PathEngine> = [
+        PathEngineKind::Rebuild,
+        PathEngineKind::DynamicDense,
+        PathEngineKind::DynamicSparse,
+    ]
+    .into_iter()
+    .map(|k| PathEngine::new(k, g.clone()))
+    .collect();
+    let mut buf = Vec::new();
+
+    // Cut the line at its middle node.
+    for e in engines.iter_mut() {
+        assert_eq!(e.set_node_up(3, false), Ok(true));
+        assert!(!e.graph().is_connected());
+        assert_eq!(e.query(0, 6, &mut buf).expect("no corruption"), None);
+        assert_eq!(e.query(6, 0, &mut buf).expect("no corruption"), None);
+        // Same side of the cut still routes.
+        assert_eq!(e.query(0, 2, &mut buf).expect("no corruption"), Some(11.0));
+    }
+
+    // Reconnect: distances come back bit-identical to a fresh rebuild.
+    let full = g.precompute_all_pairs();
+    for e in engines.iter_mut() {
+        assert_eq!(e.set_node_up(3, true), Ok(true));
+        assert!(e.graph().is_connected());
+        for a in 0..7 {
+            for b in 0..7 {
+                let d = e.query(a, b, &mut buf).expect("no corruption");
+                let mut want_path = Vec::new();
+                let want = full.path_into(a, b, &mut want_path);
+                assert_eq!(
+                    d.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "{} -> {} after reconnect",
+                    a,
+                    b
+                );
+                assert_eq!(buf, want_path, "{a} -> {b} path after reconnect");
+            }
+        }
+    }
+}

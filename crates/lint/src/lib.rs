@@ -365,9 +365,12 @@ pub fn hash_iter_scope(rel: &str) -> bool {
 }
 
 /// The serving path: panic-freedom is load-bearing here (a poisoned
-/// lock would otherwise cascade across every query thread).
+/// lock would otherwise cascade across every query thread). The graph
+/// path walk is included because every `WhereIs` answer runs it.
 pub fn serve_panic_scope(rel: &str) -> bool {
-    rel == "crates/core/src/service.rs" || rel == "crates/core/src/server.rs"
+    rel == "crates/core/src/service.rs"
+        || rel == "crates/core/src/server.rs"
+        || rel == "crates/core/src/graph/walk.rs"
 }
 
 /// Where metric registrations are checked for name discipline.

@@ -1,0 +1,33 @@
+//! Fixture: panics in the graph path walk (linted as if it were
+//! `crates/core/src/graph/walk.rs`). Never compiled.
+
+pub fn walk_prev(prev: &[u32], from: u32, to: u32, out: &mut Vec<u32>) -> f64 {
+    let mut cur = to;
+    while cur != from {
+        out.push(cur);
+        cur = prev[cur as usize]; // finding: serve-panic (unchecked index)
+        if out.len() > prev.len() {
+            unreachable!("prev cycle"); // finding: serve-panic
+        }
+    }
+    *out.last().map(|c| c as *const u32).map(|_| &0.0).unwrap() // finding: serve-panic
+}
+
+pub fn walk_prev_checked(prev: &[u32], from: u32, to: u32, out: &mut Vec<u32>) -> Option<u32> {
+    // The sanctioned spellings: no findings.
+    let mut cur = to;
+    while cur != from {
+        out.push(cur);
+        cur = *prev.get(cur as usize)?;
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let prev = [0u32, 0, 1];
+        assert_eq!(prev[2], 1);
+    }
+}

@@ -110,8 +110,30 @@ fn serve_panic_fixture() {
 
 #[test]
 fn serve_panic_only_applies_to_the_serving_path() {
-    let findings = check_source("crates/core/src/graph.rs", &fixture("serve_panic.rs"));
+    let findings = check_source("crates/core/src/graph/mod.rs", &fixture("serve_panic.rs"));
     assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn serve_panic_covers_the_graph_path_walk() {
+    let f = expect_only(
+        "serve_panic_walk.rs",
+        "crates/core/src/graph/walk.rs",
+        "serve-panic",
+        3,
+    );
+    // The unchecked index, unreachable!, and unwrap — but nothing from
+    // the `.get()`-based walk or the test module.
+    assert!(
+        f.iter().all(|f| f.line < 15),
+        "sanctioned code flagged: {f:#?}"
+    );
+    // The same file outside the walk path is not in scope.
+    let clean = check_source(
+        "crates/core/src/graph/dynamic.rs",
+        &fixture("serve_panic_walk.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:#?}");
 }
 
 #[test]
@@ -142,7 +164,10 @@ fn serve_reader_lock_fixture() {
 
 #[test]
 fn serve_reader_lock_only_applies_to_the_serving_path() {
-    let findings = check_source("crates/core/src/graph.rs", &fixture("serve_reader_lock.rs"));
+    let findings = check_source(
+        "crates/core/src/graph/mod.rs",
+        &fixture("serve_reader_lock.rs"),
+    );
     assert!(findings.is_empty(), "{findings:#?}");
 }
 

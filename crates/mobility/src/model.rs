@@ -115,6 +115,9 @@ pub enum MobNotification {
 pub struct MobStats {
     /// Cell (coverage-circle) entries.
     pub cell_entries: u64,
+    /// Per-cell entry counts, indexed by room; grows on demand. The
+    /// congestion→edge-weight adapter folds these into path weights.
+    pub per_cell_entries: Vec<u64>,
     /// Cell exits.
     pub cell_exits: u64,
     /// Room arrivals (leg ends).
@@ -478,6 +481,10 @@ impl MobilityModel {
         if changed {
             let n = if enter {
                 self.stats.cell_entries += 1;
+                if room >= self.stats.per_cell_entries.len() {
+                    self.stats.per_cell_entries.resize(room + 1, 0);
+                }
+                self.stats.per_cell_entries[room] += 1;
                 self.dwell_since.insert((w, room), at);
                 MobNotification::CellEntered {
                     walker: WalkerId(w),

@@ -16,6 +16,7 @@
 //! seed 42
 //! duration 900                   # seconds
 //! batch                          # batch presence updates
+//! congestion                     # fold crossing counters into path weights
 //!
 //! # users: name room [stationary|random|loop room,room,...] [noauto]
 //! user alice lobby stationary
@@ -91,6 +92,7 @@ impl Scenario {
         let mut seed = 42u64;
         let mut duration = SimDuration::from_secs(900);
         let mut batch = false;
+        let mut congestion = false;
         let mut script_raw: Vec<(usize, SimTime, ScriptItem)> = Vec::new();
 
         enum ScriptItem {
@@ -169,6 +171,7 @@ impl Scenario {
                     duration = SimDuration::from_secs(secs);
                 }
                 "batch" => batch = true,
+                "congestion" => congestion = true,
                 "user" => {
                     if rest.len() < 2 {
                         return Err(err(ln, "usage: user <name> <room> [mode…] [noauto]"));
@@ -372,6 +375,7 @@ impl Scenario {
             sweep_interval: SimDuration::from_secs_f64(cyc),
             absence_timeout: SimDuration::from_secs_f64(2.0 * cyc),
             batch_updates: batch,
+            congestion_weights: congestion,
             ..SystemConfig::default()
         };
 

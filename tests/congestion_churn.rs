@@ -1,0 +1,77 @@
+//! Congestion-driven churn end-to-end: the mobility model's per-cell
+//! crossing counters fold into path edge weights once per sweep round
+//! (`SystemConfig::congestion_weights`), so the scenario path exercises
+//! real — not synthetic — topology churn against the dynamic engine.
+//!
+//! Determinism guards:
+//! * the whole run (crossing counters, engine epoch, every locate
+//!   answer) is bit-identical across repeated runs with one seed;
+//! * replaying the congested topology's mutation stream through the
+//!   sharded mixed workload yields one FNV checksum for every `--jobs`
+//!   value and for every engine variant, including the rebuild
+//!   reference.
+
+use bips::scenario::Scenario;
+use bips_bench::loadgen::{self, Workload};
+use bips_core::graph::PathEngineKind;
+use bips_core::protocol::LocateOutcome;
+
+const SCENARIO: &str = "\
+building department
+duty 3.84 15.4
+seed 11
+duration 600
+congestion
+user alice lobby random
+user bob office-n2 random
+user carl office-s1 random
+locate 240 alice bob
+locate 360 bob carl
+locate 480 alice carl
+";
+
+#[test]
+fn congestion_run_is_deterministic_and_actually_churns() {
+    let run = || {
+        let (engine, server) = Scenario::parse(SCENARIO).expect("parse").run();
+        let sys = engine.world();
+        let entries = sys.mobility().stats().per_cell_entries.clone();
+        let epoch = server.path_engine().epoch();
+        let outcomes: Vec<Option<LocateOutcome>> =
+            sys.queries().into_iter().map(|q| q.outcome).collect();
+        (entries, epoch, outcomes)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "congestion run diverged across replays");
+
+    let (entries, epoch, outcomes) = a;
+    // Walkers crossed cells, and those crossings reached the engine as
+    // applied weight mutations — real churn, not a static topology.
+    assert!(entries.iter().sum::<u64>() > 0, "no crossings recorded");
+    assert!(epoch > 0, "crossing counters never reached the engine");
+    assert!(!outcomes.is_empty());
+}
+
+#[test]
+fn congested_workload_is_bit_identical_across_jobs_and_engines() {
+    // The sharded mixed workload with churn folded in at tick
+    // boundaries: one checksum, regardless of worker count or engine.
+    let w = Workload::tiny();
+    let trace = loadgen::generate_trace(&w);
+    let mut sums = Vec::new();
+    for kind in [
+        PathEngineKind::Rebuild,
+        PathEngineKind::DynamicDense,
+        PathEngineKind::DynamicSparse,
+    ] {
+        for jobs in [1usize, 4, 8] {
+            let (r, _) = loadgen::run_sharded_churn(&w, &trace, jobs, kind, 77, 2);
+            sums.push(((kind, jobs), (r.checksum, r.ack_checksum, r.found)));
+        }
+    }
+    let first = sums[0].1;
+    for (label, sum) in &sums {
+        assert_eq!(*sum, first, "{label:?} diverged from {:?}", sums[0].0);
+    }
+}
