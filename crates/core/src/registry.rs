@@ -217,7 +217,10 @@ impl Registry {
 
     /// Resolves a user name.
     pub fn id_of(&self, name: &str) -> Option<UserId> {
-        self.by_name.get(name).map(|&i| self.users[i].id)
+        self.by_name
+            .get(name)
+            .and_then(|&i| self.users.get(i))
+            .map(|u| u.id)
     }
 
     /// A user's display name.
@@ -267,7 +270,7 @@ impl Registry {
         addr: BdAddr,
     ) -> Result<UserId, RegistryError> {
         let &idx = self.by_name.get(name).ok_or(RegistryError::NoSuchUser)?;
-        let rec = &self.users[idx];
+        let rec = self.users.get(idx).ok_or(RegistryError::NoSuchUser)?;
         if digest(rec.salt, password) != rec.digest {
             return Err(RegistryError::BadPassword);
         }

@@ -377,7 +377,7 @@ pub enum Served {
 /// atomic, so a read guard suffices), topology mutations and cold-tree
 /// warmups take the write side. That is a deliberate, bounded exception
 /// to the lock-free reading rule, marked at each site for the
-/// `serve-reader-lock` lint.
+/// `serve-lock-reach` lint.
 #[derive(Debug)]
 enum EnginePaths {
     /// The offline table (paper §2): no topology mutations, no locks.
@@ -713,7 +713,7 @@ impl ShardedService {
     fn read_slot_locked(shard: &Shard, hot: &HotSlot) -> (u64, u32) {
         // The selectable lock-based reference the seqlock path is
         // differentially proven against.
-        // lint:allow(serve-reader-lock): the ReadPath::Locked legacy read path
+        // lint:allow(serve-lock-reach): the ReadPath::Locked legacy read path
         let _guard = read_lock(&shard.writer);
         (
             hot.addr.load(Ordering::Relaxed),
@@ -862,14 +862,14 @@ impl ShardedService {
         let uid = self
             .addr_shards
             .get(self.addr_shard_of(addr.raw()))
-            // lint:allow(serve-reader-lock): writer-side — ingest resolves the device binding under the address mutex; the query read path never calls ingest
+            // lint:allow(serve-lock-reach): writer-side — ingest resolves the device binding under the address mutex; the query read path never calls ingest
             .and_then(|lock| lock_mutex(lock).get(&addr.raw()).copied());
         let queued = match uid {
             Some(uid) => {
                 let (shard, slot) = self.shard_of(u64::from(uid));
                 match self.pending.get(shard) {
                     Some(queue) => {
-                        // lint:allow(serve-reader-lock): writer-side — the pending queue mutex is an ingest/flush handoff, untouched by slot reads
+                        // lint:allow(serve-lock-reach): writer-side — the pending queue mutex is an ingest/flush handoff, untouched by slot reads
                         lock_mutex(queue).push(PendingNotice {
                             seq,
                             slot: slot as u32,
@@ -889,7 +889,7 @@ impl ShardedService {
         };
         if !queued {
             self.ignored.fetch_add(1, Ordering::Relaxed);
-            // lint:allow(serve-reader-lock): writer-side — dropped-seq bookkeeping for ack reassembly, only reached from the ingest path
+            // lint:allow(serve-lock-reach): writer-side — dropped-seq bookkeeping for ack reassembly, only reached from the ingest path
             lock_mutex(&self.dropped).push(seq);
         }
         seq
@@ -913,7 +913,7 @@ impl ShardedService {
                 self.flush_shard(s as usize)
             });
         let mut acks: Vec<(u64, bool)> = per_shard.into_iter().flatten().collect();
-        // lint:allow(serve-reader-lock): writer-side — drains the dropped-seq ledger while reassembling acks; slot reads never touch it
+        // lint:allow(serve-lock-reach): writer-side — drains the dropped-seq ledger while reassembling acks; slot reads never touch it
         acks.extend(lock_mutex(&self.dropped).drain(..).map(|seq| (seq, false)));
         acks.sort_unstable_by_key(|&(seq, _)| seq);
         acks.into_iter().map(|(_, changed)| changed).collect()
@@ -924,14 +924,14 @@ impl ShardedService {
         let (Some(queue_lock), Some(sh)) = (self.pending.get(shard), self.shards.get(shard)) else {
             return Vec::new();
         };
-        // lint:allow(serve-reader-lock): writer-side — takes the pending queue for this flush; the queue mutex is never reader-visible
+        // lint:allow(serve-lock-reach): writer-side — takes the pending queue for this flush; the queue mutex is never reader-visible
         let mut queue = std::mem::take(&mut *lock_mutex(queue_lock));
         if queue.is_empty() {
             return Vec::new();
         }
         let mut acks = Vec::with_capacity(queue.len());
         {
-            // lint:allow(serve-reader-lock): writer-side — flush serializes against other writers on the writer lock; seqlock readers never take it
+            // lint:allow(serve-lock-reach): writer-side — flush serializes against other writers on the writer lock; seqlock readers never take it
             let mut w = write_lock(&sh.writer);
             for n in &queue {
                 let changed = Self::apply_notice(sh, &mut w, n);
@@ -946,7 +946,7 @@ impl ShardedService {
         // Hand the drained buffer back so steady-state ingest reuses its
         // capacity instead of reallocating every tick.
         queue.clear();
-        // lint:allow(serve-reader-lock): writer-side — returns the drained buffer to the ingest path (capacity reuse), same queue mutex as above
+        // lint:allow(serve-lock-reach): writer-side — returns the drained buffer to the ingest path (capacity reuse), same queue mutex as above
         let mut pending = lock_mutex(queue_lock);
         if pending.is_empty() {
             *pending = queue;
@@ -1006,7 +1006,7 @@ impl ShardedService {
     /// slot snapshots and two immutable metadata reads — and performs
     /// **no heap allocation** once `path_out` has warmed to the longest
     /// path in the building (the property the allocation-counting test
-    /// in the bench crate pins down). The `serve-reader-lock` lint rule
+    /// in the bench crate pins down). The `serve-lock-reach` lint rule
     /// keeps this path lock-free at the source level.
     pub fn where_is(
         &self,
@@ -1172,7 +1172,7 @@ impl ShardedService {
             EnginePaths::Frozen(apsp) => apsp.try_path_into(from_cell, to_cell, path_out),
             EnginePaths::Dynamic(lock) => {
                 {
-                    // lint:allow(serve-reader-lock): dynamic-engine mode — warm-tree reads share the engine RwLock's read side; the frozen default never takes it
+                    // lint:allow(serve-lock-reach): dynamic-engine mode — warm-tree reads share the engine RwLock's read side; the frozen default never takes it
                     let eng = read_lock(lock);
                     if let WarmQuery::Ready(d) = eng.query_warm(from_cell, to_cell, path_out)? {
                         return Ok(d);
@@ -1180,7 +1180,7 @@ impl ShardedService {
                 }
                 // Cold source tree: warm it under the write lock, then
                 // answer. Hit at most once per (source, epoch).
-                // lint:allow(serve-reader-lock): dynamic-engine mode — cold-tree warmup is a bounded write-side escalation
+                // lint:allow(serve-lock-reach): dynamic-engine mode — cold-tree warmup is a bounded write-side escalation
                 let mut eng = write_lock(lock);
                 eng.warm(from_cell);
                 match eng.query_warm(from_cell, to_cell, path_out)? {
@@ -1346,7 +1346,7 @@ impl ShardedService {
             Request::SetEdgeWeight { a, b, weight } => match &self.paths {
                 EnginePaths::Frozen(_) => Served::Unsupported,
                 EnginePaths::Dynamic(lock) => {
-                    // lint:allow(serve-reader-lock): dynamic-engine mode — topology mutations are writes and serialize on the engine lock
+                    // lint:allow(serve-lock-reach): dynamic-engine mode — topology mutations are writes and serialize on the engine lock
                     let mut eng = write_lock(lock);
                     let applied = eng
                         .set_edge_weight(a as usize, b as usize, weight)
@@ -1360,7 +1360,7 @@ impl ShardedService {
             Request::SetNodeUp { node, up } => match &self.paths {
                 EnginePaths::Frozen(_) => Served::Unsupported,
                 EnginePaths::Dynamic(lock) => {
-                    // lint:allow(serve-reader-lock): dynamic-engine mode — topology mutations are writes and serialize on the engine lock
+                    // lint:allow(serve-lock-reach): dynamic-engine mode — topology mutations are writes and serialize on the engine lock
                     let mut eng = write_lock(lock);
                     let applied = eng.set_node_up(node as usize, up).unwrap_or(false);
                     let epoch = eng.epoch();

@@ -125,31 +125,34 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
     /// Reads a byte.
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        match self.take(1)? {
+            [b] => Ok(*b),
+            _ => Err(DecodeError::Truncated),
+        }
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        match <[u8; 4]>::try_from(self.take(4)?) {
+            Ok(b) => Ok(u32::from_le_bytes(b)),
+            Err(_) => Err(DecodeError::Truncated),
+        }
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        match <[u8; 8]>::try_from(self.take(8)?) {
+            Ok(b) => Ok(u64::from_le_bytes(b)),
+            Err(_) => Err(DecodeError::Truncated),
+        }
     }
 
     /// Reads a bool byte (any nonzero is `true`).

@@ -276,7 +276,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -286,7 +286,8 @@ impl<'a> Parser<'a> {
     }
 
     fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             true
         } else {
@@ -338,7 +339,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.expect_byte(b':')?;
                     let value = self.value(depth + 1)?;
                     fields.push((key, value));
                     self.skip_ws();
@@ -358,7 +359,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -410,7 +411,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so
                     // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
                     let s = std::str::from_utf8(rest)
                         .ok()
                         .and_then(|s| s.chars().next());

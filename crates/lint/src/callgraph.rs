@@ -1,0 +1,292 @@
+//! The workspace call graph: every non-test `fn` in the analyzed file
+//! set becomes a node; call sites resolve to candidate nodes with
+//! conservative name heuristics (see `docs/LINTS.md` § Call-graph
+//! model). Unresolved calls are *external* — each rule decides whether
+//! externals are opaque-safe (ignored) or opaque-unsafe (named sinks).
+//!
+//! Resolution heuristics, in order of precision:
+//! - `self.f(…)` / `Self::f(…)` → methods named `f` on the enclosing
+//!   impl type only.
+//! - `Type::f(…)` (uppercase head) → methods named `f` with that self
+//!   type.
+//! - `module::f(…)` (lowercase head) → free functions named `f`.
+//! - `recv.f(…)` → *every* impl method named `f` (receiver types are
+//!   not inferred — the over-approximation the docs call out).
+//! - `f(…)` → free functions named `f`.
+//!
+//! Within a candidate set, definitions whose parameter count matches
+//! the call-site argument count are preferred; if none match, the
+//! whole set is kept (closures in argument position can make the
+//! count unreliable, so arity is a filter, never a hard key).
+//!
+//! Construction is deterministic: nodes are numbered in (file, token)
+//! order of the input slice, candidate lists come from sorted maps,
+//! and edges are sorted and deduplicated — `dump()` is byte-identical
+//! across runs on identical input, pinned by `tests/callgraph.rs`.
+
+use std::collections::BTreeMap;
+
+use crate::parser::{CallKind, CallSite, FnDef, ParsedFile};
+use crate::FileCtx;
+
+/// Method names shadowed by std's prelude/collections/iterators. A
+/// bare `recv.name(…)` with one of these names is overwhelmingly a
+/// std call (`heap.pop()`, `opt.expect(…)`, `map.entry(…)`), so
+/// resolving it to every same-name workspace method floods the graph
+/// with false edges — e.g. an iterator `.position(…)` binding to a
+/// building's `position` accessor. These names stay *external* for
+/// bare method calls; `self.name(…)` and `Type::name(…)` calls still
+/// resolve (explicit type info beats the shadow heuristic), and the
+/// panic-relevant ones (`unwrap`/`expect`/indexing) are direct sinks
+/// anyway. The cost is a documented under-approximation: a bare
+/// cross-type call to a workspace method named like a std method is
+/// not traversed (docs/LINTS.md § Call-graph model).
+const STD_SHADOWED: &[&str] = &[
+    "abs",
+    "as_ref",
+    "clamp",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "count",
+    "drain",
+    "entry",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "find",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "position",
+    "pop",
+    "push",
+    "remove",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "split",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "zip",
+];
+
+/// One analysis unit: a file's context plus its parsed items.
+pub struct Unit<'a> {
+    pub ctx: &'a FileCtx<'a>,
+    pub parsed: &'a ParsedFile,
+}
+
+/// A call-graph node: one non-test function definition.
+pub struct Node<'a> {
+    /// Index into the `Unit` slice the graph was built from.
+    pub unit: usize,
+    pub def: &'a FnDef,
+}
+
+impl Node<'_> {
+    pub fn display(&self) -> String {
+        self.def.display()
+    }
+}
+
+pub struct CallGraph<'a> {
+    pub nodes: Vec<Node<'a>>,
+    /// Resolved callees per node, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Builds the graph over every function defined outside test
+    /// regions/test files. Call sites inside test regions of live
+    /// functions still resolve (they sit in the same body range) —
+    /// sink scanning re-checks line regions, so this only widens
+    /// reachability, never narrows it.
+    pub fn build(units: &'a [Unit<'a>]) -> Self {
+        let mut nodes = Vec::new();
+        for (ui, u) in units.iter().enumerate() {
+            for def in &u.parsed.fns {
+                if u.ctx.in_test(def.line) {
+                    continue;
+                }
+                nodes.push(Node { unit: ui, def });
+            }
+        }
+
+        // Name indices. BTreeMap + ascending node ids ⇒ deterministic.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.def.self_ty {
+                Some(ty) => {
+                    methods.entry(&n.def.name).or_default().push(i);
+                    typed.entry((ty, &n.def.name)).or_default().push(i);
+                }
+                None => free.entry(&n.def.name).or_default().push(i),
+            }
+        }
+
+        let resolve = |call: &CallSite, caller_ty: Option<&str>| -> Vec<usize> {
+            let set: &[usize] = match &call.kind {
+                CallKind::Macro => &[],
+                CallKind::SelfMethod => caller_ty
+                    .and_then(|ty| typed.get(&(ty, call.name.as_str())))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+                CallKind::Qualified(q) if q == "Self" => caller_ty
+                    .and_then(|ty| typed.get(&(ty, call.name.as_str())))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+                CallKind::Qualified(q) if q.starts_with(|c: char| c.is_ascii_uppercase()) => typed
+                    .get(&(q.as_str(), call.name.as_str()))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+                CallKind::Qualified(_) | CallKind::Free => free
+                    .get(call.name.as_str())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+                CallKind::Method if STD_SHADOWED.contains(&call.name.as_str()) => &[],
+                CallKind::Method => methods
+                    .get(call.name.as_str())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+            };
+            let by_arity: Vec<usize> = set
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].def.arity == call.arity)
+                .collect();
+            if by_arity.is_empty() {
+                set.to_vec()
+            } else {
+                by_arity
+            }
+        };
+
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+        for n in &nodes {
+            let mut out: Vec<usize> = n
+                .def
+                .calls
+                .iter()
+                .flat_map(|c| resolve(c, n.def.self_ty.as_deref()))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Node indices whose function matches `pred`.
+    pub fn find(&self, mut pred: impl FnMut(&Node<'a>) -> bool) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| pred(&self.nodes[i]))
+            .collect()
+    }
+
+    /// A stable textual dump (one `caller -> callee, callee` line per
+    /// node) for the determinism test.
+    pub fn dump(&self, units: &[Unit<'_>]) -> String {
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            out.push_str(&format!(
+                "{}:{} {}",
+                units[n.unit].ctx.path,
+                n.def.line,
+                n.display()
+            ));
+            out.push_str(" ->");
+            for &e in &self.edges[i] {
+                out.push_str(&format!(" {}", self.nodes[e].display()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_ctx, parser};
+
+    fn graph_fixture(src: &str) -> (Vec<String>, Vec<Vec<String>>) {
+        let ctx = make_ctx("crates/core/src/service.rs", src);
+        let parsed = parser::parse(&ctx.lexed);
+        let units = [Unit {
+            ctx: &ctx,
+            parsed: &parsed,
+        }];
+        let g = CallGraph::build(&units);
+        let names: Vec<String> = g.nodes.iter().map(|n| n.display()).collect();
+        let edges: Vec<Vec<String>> = g
+            .edges
+            .iter()
+            .map(|es| es.iter().map(|&e| g.nodes[e].display()).collect())
+            .collect();
+        (names, edges)
+    }
+
+    #[test]
+    fn self_calls_resolve_within_the_impl_type_only() {
+        let src = "
+            struct A; struct B;
+            impl A { fn go(&self) { self.step(); } fn step(&self) {} }
+            impl B { fn step(&self) {} }
+        ";
+        let (names, edges) = graph_fixture(src);
+        let go = names.iter().position(|n| n == "A::go").unwrap();
+        assert_eq!(edges[go], vec!["A::step".to_string()]);
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_all_candidates_filtered_by_arity() {
+        let src = "
+            struct A; struct B; struct C;
+            impl A { fn run(&self, x: &B) { x.poke(1); } }
+            impl B { fn poke(&self, n: u32) {} }
+            impl C { fn poke(&self, n: u32) {} fn poke2(&self) {} }
+            impl A { fn wide(&self, x: &B) { x.nudge(1); } }
+            impl B { fn nudge(&self, n: u32) {} }
+            impl C { fn nudge(&self) {} }
+        ";
+        let (names, edges) = graph_fixture(src);
+        // Same name + same arity in two impls: both are candidates.
+        let run = names.iter().position(|n| n == "A::run").unwrap();
+        assert_eq!(
+            edges[run],
+            vec!["B::poke".to_string(), "C::poke".to_string()]
+        );
+        // Arity filter keeps only the matching overload.
+        let wide = names.iter().position(|n| n == "A::wide").unwrap();
+        assert_eq!(edges[wide], vec!["B::nudge".to_string()]);
+    }
+
+    #[test]
+    fn unresolved_calls_are_external() {
+        let src = "fn f() { std::process::exit(1); g.unknown_method(); vec![1]; }";
+        let (_, edges) = graph_fixture(src);
+        assert!(edges[0].is_empty());
+    }
+}

@@ -221,9 +221,14 @@ impl Scanner<'_> {
     fn char_or_lifetime(&mut self) {
         let line = self.line;
         self.bump(); // '\''
-                     // Lifetime: '\'' ident-start, not closed by another '\'' right
-                     // after one char ('a' is a char literal, 'a.cmp(..) a lifetime).
-        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+                     // Lifetime: '\'' then an ident run NOT closed by another
+                     // '\'' ('a' is a char literal, 'a.cmp(..) a lifetime; the
+                     // run-length check also covers multi-byte chars like '…').
+        let mut run = 0;
+        while is_ident_continue(self.peek(run)) {
+            run += 1;
+        }
+        if is_ident_start(self.peek(0)) && run > 0 && self.peek(run) != b'\'' {
             let start = self.pos;
             while is_ident_continue(self.peek(0)) {
                 self.bump();

@@ -15,7 +15,10 @@
 //! `syn`, no registry access, same hermeticity bar as the rest of the
 //! workspace.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
 
 use std::collections::BTreeMap;
@@ -111,29 +114,53 @@ struct Suppression {
     used: bool,
 }
 
-/// Lints one file's source. `rel_path` decides rule scoping (see
-/// `docs/LINTS.md`); it need not exist on disk, which is what the
-/// golden-fixture tests rely on. Cross-file rules (`metric-doc`,
-/// `stale-baseline`) are not run here — see [`check_workspace`].
-pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
+/// Builds a file's analysis context. `rel_path` decides rule scoping
+/// (see `docs/LINTS.md`); it need not exist on disk, which is what the
+/// golden-fixture tests rely on.
+pub fn make_ctx<'a>(rel_path: &'a str, source: &'a str) -> FileCtx<'a> {
     let lexed = lexer::lex(source);
-    let ctx = FileCtx {
+    let test_regions = test_regions(&lexed.toks);
+    FileCtx {
         path: rel_path,
         source,
         lexed,
         lines: source.lines().collect(),
-        test_regions: Vec::new(),
+        test_regions,
         is_test_file: is_test_path(rel_path),
-    };
-    let ctx = FileCtx {
-        test_regions: test_regions(&ctx.lexed.toks),
-        ..ctx
-    };
+    }
+}
 
-    let mut findings = rules::run_all(&ctx);
-    apply_suppressions(&ctx, &mut findings);
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+/// Lints a set of sources as one analysis universe: per-file rules on
+/// each file, the interprocedural reachability rules ([`reach`]) over
+/// the call graph of the whole set, then each file's inline
+/// suppressions applied to the findings that landed in it. Cross-file
+/// doc-drift rules (`metric-doc`, `trace-doc`) and the baseline are
+/// not run here — see [`check_workspace`] / [`apply_baseline`].
+pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let ctxs: Vec<FileCtx<'_>> = files.iter().map(|(p, s)| make_ctx(p, s)).collect();
+    let mut findings = Vec::new();
+    for ctx in &ctxs {
+        findings.extend(rules::run_all(ctx));
+    }
+    let parsed: Vec<parser::ParsedFile> = ctxs.iter().map(|c| parser::parse(&c.lexed)).collect();
+    let units: Vec<callgraph::Unit<'_>> = ctxs
+        .iter()
+        .zip(&parsed)
+        .map(|(ctx, parsed)| callgraph::Unit { ctx, parsed })
+        .collect();
+    findings.extend(reach::run(&units));
+    for ctx in &ctxs {
+        apply_suppressions(ctx, &mut findings);
+    }
     findings
+        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+    findings
+}
+
+/// Lints one file's source in a single-file universe (the reach rules
+/// see only this file's call graph — exactly what fixtures want).
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    check_sources(&[(rel_path.to_string(), source.to_string())])
 }
 
 /// Parses suppressions from comments, drops suppressed findings, and
@@ -164,7 +191,7 @@ fn apply_suppressions(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             let tail = &after[close + 1..];
             // Reason: a `:` followed by non-empty text.
             let reason_ok = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
-            let known_rule = rules::RULES.iter().any(|(id, _)| *id == rule);
+            let known_rule = rules::RULES.iter().any(|r| r.id == rule);
             sups.push(Suppression {
                 rule,
                 line,
@@ -177,8 +204,12 @@ fn apply_suppressions(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 
     // A suppression covers its own line (trailing comment) and the
-    // next line (comment above the statement).
+    // next line (comment above the statement) — for findings that
+    // landed in this file (reach rules place findings across files).
     findings.retain(|f| {
+        if f.path != ctx.path {
+            return true;
+        }
         for s in &mut sups {
             if s.known_rule
                 && s.reason_ok
@@ -387,26 +418,20 @@ pub fn metric_scope(rel: &str) -> bool {
 /// `docs/OBSERVABILITY.md`. Baseline application is the caller's job
 /// ([`apply_baseline`]).
 pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    walk(root, root, &mut files)?;
-    files.sort();
-
-    let mut findings = Vec::new();
+    let sources = workspace_sources(root)?;
+    let mut findings = check_sources(&sources);
     let mut registrations: Vec<(String, String, u32)> = Vec::new(); // (name, path, line)
     let mut trace_kinds: Vec<(String, u32)> = Vec::new();
-    for path in &files {
-        let rel = rel_path(root, path);
-        let source = fs::read_to_string(path)?;
-        findings.extend(check_source(&rel, &source));
-        if metric_scope(&rel) {
+    for (rel, source) in &sources {
+        if metric_scope(rel) {
             registrations.extend(
-                collect_metric_registrations(&rel, &source)
+                collect_metric_registrations(rel, source)
                     .into_iter()
                     .map(|(name, line)| (name, rel.clone(), line)),
             );
         }
         if rel == TRACE_KIND_FILE {
-            trace_kinds = collect_trace_kinds(&source);
+            trace_kinds = collect_trace_kinds(source);
         }
     }
 
@@ -419,6 +444,21 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     findings
         .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
     Ok(findings)
+}
+
+/// Every analyzable `.rs` source under `root` — the same walk and
+/// ordering [`check_workspace`] uses — as (workspace-relative path,
+/// contents) pairs. Public so the self-parse test can cover exactly
+/// the file set the analyzer sees.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in &files {
+        out.push((rel_path(root, path), fs::read_to_string(path)?));
+    }
+    Ok(out)
 }
 
 fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

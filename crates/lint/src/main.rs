@@ -3,33 +3,50 @@
 //! ```console
 //! $ cargo run -p bips-lint -- --check
 //! $ cargo run -p bips-lint -- --check --format json
+//! $ cargo run -p bips-lint -- --check --format sarif
+//! $ cargo run -p bips-lint -- --check --sarif-out report.sarif
 //! $ cargo run -p bips-lint -- --list-rules
+//! $ cargo run -p bips-lint -- --explain serve-panic-reach
 //! ```
 //!
 //! `--check` lints the workspace against the committed baseline and
 //! exits 1 if any finding survives — the CI `lint` job gate.
+//! `--sarif-out FILE` writes a SARIF 2.1.0 report alongside the
+//! primary format in the same scan (CI uploads it as an artifact).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bips_lint::{apply_baseline, check_workspace, rules, Finding};
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    sarif_out: Option<PathBuf>,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 const USAGE: &str = "usage: bips-lint --check [--root DIR] [--baseline FILE] \
-                     [--format text|json] | --list-rules";
+                     [--format text|json|sarif] [--sarif-out FILE] \
+                     | --list-rules | --explain RULE";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         root: PathBuf::from("."),
         baseline: None,
-        json: false,
+        format: Format::Text,
+        sarif_out: None,
         list_rules: false,
+        explain: None,
     };
     let mut saw_check = false;
     let mut argv = std::env::args().skip(1);
@@ -37,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--check" => saw_check = true,
             "--list-rules" => out.list_rules = true,
+            "--explain" => {
+                out.explain = Some(argv.next().ok_or("--explain needs a rule id")?);
+            }
             "--root" => {
                 out.root = PathBuf::from(argv.next().ok_or("--root needs a directory")?);
             }
@@ -44,14 +64,20 @@ fn parse_args() -> Result<Args, String> {
                 out.baseline = Some(PathBuf::from(argv.next().ok_or("--baseline needs a file")?));
             }
             "--format" => match argv.next().as_deref() {
-                Some("text") => out.json = false,
-                Some("json") => out.json = true,
-                _ => return Err("--format needs `text` or `json`".to_string()),
+                Some("text") => out.format = Format::Text,
+                Some("json") => out.format = Format::Json,
+                Some("sarif") => out.format = Format::Sarif,
+                _ => return Err("--format needs `text`, `json`, or `sarif`".to_string()),
             },
+            "--sarif-out" => {
+                out.sarif_out = Some(PathBuf::from(
+                    argv.next().ok_or("--sarif-out needs a file")?,
+                ));
+            }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
-    if !saw_check && !out.list_rules {
+    if !saw_check && !out.list_rules && out.explain.is_none() {
         return Err(USAGE.to_string());
     }
     Ok(out)
@@ -67,8 +93,23 @@ fn main() -> ExitCode {
     };
 
     if args.list_rules {
-        for (id, desc) in rules::RULES {
-            println!("{id:16} {desc}");
+        for r in rules::RULES {
+            println!("{:18} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(rule) = &args.explain {
+        let Some(r) = rules::RULES.iter().find(|r| r.id == *rule) else {
+            eprintln!("bips-lint: unknown rule `{rule}` (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        println!("{}\n  {}\n", r.id, r.summary);
+        println!("rationale:\n  {}\n", reflow(r.rationale));
+        if r.roots.is_empty() {
+            println!("roots:\n  (lexical per-file rule — no call-graph roots)");
+        } else {
+            println!("roots:\n  {}", reflow(r.roots));
         }
         return ExitCode::SUCCESS;
     }
@@ -99,16 +140,28 @@ fn main() -> ExitCode {
     };
     let findings = apply_baseline(findings, &baseline);
 
-    if args.json {
-        println!("{}", to_json(&findings));
-    } else {
-        for f in &findings {
-            println!("{f}");
+    if let Some(path) = &args.sarif_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
         }
-        if findings.is_empty() {
-            println!("bips-lint: clean ({} rules)", rules::RULES.len());
-        } else {
-            println!("bips-lint: {} finding(s)", findings.len());
+        if let Err(e) = std::fs::write(path, to_sarif(&findings)) {
+            eprintln!("bips-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match args.format {
+        Format::Json => println!("{}", to_json(&findings)),
+        Format::Sarif => println!("{}", to_sarif(&findings)),
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("bips-lint: clean ({} rules)", rules::RULES.len());
+            } else {
+                println!("bips-lint: {} finding(s)", findings.len());
+            }
         }
     }
 
@@ -117,6 +170,12 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Collapses the multi-line continuation whitespace of the rule-table
+/// string literals for terminal output.
+fn reflow(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 fn to_json(findings: &[Finding]) -> String {
@@ -135,6 +194,52 @@ fn to_json(findings: &[Finding]) -> String {
         ));
     }
     out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+/// SARIF 2.1.0, hand-rolled with the same escaping discipline as
+/// [`to_json`]: one run, one rule descriptor per catalog entry, one
+/// result per finding.
+fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \
+         \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"runs\": [{\n    \"tool\": {\"driver\": {\n      \"name\": \"bips-lint\",\n      \
+         \"informationUri\": \"docs/LINTS.md\",\n      \"rules\": [",
+    );
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(r.id),
+            json_str(r.summary)
+        ));
+    }
+    out.push_str("\n      ]\n    }},\n    \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"ruleId\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\
+             \"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"snippet\": {{\"text\": {}}}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.snippet)
+        ));
+    }
+    out.push_str(if findings.is_empty() {
+        "]\n  }]\n}"
+    } else {
+        "\n    ]\n  }]\n}"
+    });
     out
 }
 

@@ -1,0 +1,469 @@
+//! Item-level parsing on top of the token stream ([`crate::lexer`]):
+//! `fn` definitions with their enclosing `impl` type, brace-matched
+//! bodies, and the call sites inside each body. This is the input the
+//! workspace call graph ([`crate::callgraph`]) is built from.
+//!
+//! The parser is deliberately *not* a Rust grammar. It recognizes the
+//! handful of shapes the reachability rules need — `impl [Trait for]
+//! Type { … }`, `fn name(params) [-> ret] [where …] { body }`, and the
+//! four call spellings (`self.f(…)`, `recv.f(…)`, `Qual::f(…)`,
+//! `f(…)`) plus macro invocations — and records an anomaly instead of
+//! failing when a file's nesting never closes. The self-parse test in
+//! `tests/callgraph.rs` pins that the anomaly list stays empty for
+//! every file in the workspace.
+
+use std::ops::Range;
+
+use crate::lexer::{is_ident, is_punct, Lexed, Tok, TokKind};
+
+/// How a call site spells its callee (decides name resolution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `self.name(…)` — resolves only within the enclosing impl type.
+    SelfMethod,
+    /// `recv.name(…)` — resolves to every impl method of that name.
+    Method,
+    /// `Qual::name(…)` — `Self`, a type name, or a module path head.
+    Qualified(String),
+    /// `name(…)` — resolves to free functions of that name.
+    Free,
+    /// `name!(…)` / `name![…]` / `name!{…}` — always external.
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    pub kind: CallKind,
+    pub line: u32,
+    /// Comma-counted argument count (excluding any receiver).
+    pub arity: usize,
+}
+
+/// One `fn` item: name, enclosing impl type, body token range.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Last path segment of the enclosing `impl` block's self type
+    /// (`impl fmt::Display for Foo` → `Foo`), `None` for free fns.
+    pub self_ty: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body: index of `{` .. index of matching `}`
+    /// (exclusive end, so the range covers the body's interior plus
+    /// the opening brace).
+    pub body: Range<usize>,
+    /// Parameter count excluding a leading `self` receiver.
+    pub arity: usize,
+    pub calls: Vec<CallSite>,
+}
+
+impl FnDef {
+    /// `Type::name` or `name`, for call-path rendering.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A parsed file: its functions plus any structural anomalies
+/// (unterminated bodies). Anomalies are a parser bug or a truncated
+/// file — the self-parse test keeps the list empty workspace-wide.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnDef>,
+    pub anomalies: Vec<String>,
+}
+
+/// Keywords that read like `name(` / `name {` but are control flow,
+/// never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "in", "return", "loop", "move", "as", "else", "break",
+    "continue", "unsafe", "let", "ref", "mut", "pub", "fn", "impl", "where", "dyn", "box", "await",
+];
+
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let toks = &lexed.toks;
+    let mut out = ParsedFile::default();
+
+    // Pass 1: impl blocks → (self type, body token range).
+    let impls = collect_impls(toks, &mut out.anomalies);
+
+    // Pass 2: fn items.
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue; // `impl Fn(…)` bounds, `fn` in a type position
+        };
+        // Parameter list: the first `(` after the name (generic
+        // parameter lists contain no parentheses).
+        let Some(open) = (i + 2..toks.len()).find(|&j| is_punct(&toks[j], '(')) else {
+            continue;
+        };
+        let Some(close) = matching_delim(toks, open, '(', ')') else {
+            out.anomalies
+                .push(format!("fn {}: unterminated parameter list", name_tok.text));
+            continue;
+        };
+        let arity = def_arity(toks, open, close);
+        // Body: the first `{` after the signature (return types and
+        // `where` clauses contain no braces); a `;` first means a
+        // bodiless declaration (trait method), which defines nothing.
+        let mut j = close + 1;
+        let mut body_open = None;
+        while let Some(t) = toks.get(j) {
+            if is_punct(t, ';') {
+                break;
+            }
+            if is_punct(t, '{') {
+                body_open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(body_open) = body_open else { continue };
+        let Some(body_end) = matching_delim(toks, body_open, '{', '}') else {
+            out.anomalies
+                .push(format!("fn {}: unterminated body", name_tok.text));
+            continue;
+        };
+        let self_ty = impls
+            .iter()
+            .filter(|(_, r)| r.contains(&i))
+            .min_by_key(|(_, r)| r.end - r.start)
+            .map(|(ty, _)| ty.clone());
+        let body = body_open..body_end;
+        let calls = collect_calls(toks, body.clone());
+        out.fns.push(FnDef {
+            name: name_tok.text.clone(),
+            self_ty,
+            line: t.line,
+            body,
+            arity,
+            calls,
+        });
+    }
+    out
+}
+
+/// `impl [<…>] [Trait for] Type [<…>] [where …] { … }` blocks.
+fn collect_impls(toks: &[Tok], anomalies: &mut Vec<String>) -> Vec<(String, Range<usize>)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "impl") {
+            continue;
+        }
+        let mut j = i + 1;
+        // Generic parameters on the impl itself.
+        if toks.get(j).is_some_and(|t| is_punct(t, '<')) {
+            j = skip_angles(toks, j);
+        }
+        // Scan to the body `{`, tracking the last top-level type name.
+        // `for` restarts the capture (the self type follows it);
+        // `where` ends it (bound names are not the self type).
+        let mut name: Option<String> = None;
+        let mut capturing = true;
+        while let Some(t) = toks.get(j) {
+            if is_punct(t, '{') {
+                break;
+            }
+            if is_punct(t, ';') {
+                // `impl Trait for Type;`-style (not real Rust today) —
+                // bail without a body.
+                name = None;
+                break;
+            }
+            if is_punct(t, '<') {
+                j = skip_angles(toks, j);
+                continue;
+            }
+            if is_ident(t, "for") {
+                name = None;
+            } else if is_ident(t, "where") {
+                capturing = false;
+            } else if capturing && t.kind == TokKind::Ident {
+                name = Some(t.text.clone());
+            }
+            j += 1;
+        }
+        let (Some(name), Some(open)) = (name, toks.get(j).filter(|t| is_punct(t, '{')).map(|_| j))
+        else {
+            continue;
+        };
+        match matching_delim(toks, open, '{', '}') {
+            Some(end) => out.push((name, open..end)),
+            None => anomalies.push(format!("impl {name}: unterminated block")),
+        }
+    }
+    out
+}
+
+/// Call sites inside `body`. Nested `fn` items are collected as their
+/// own [`FnDef`]s too, so their calls are attributed to both the inner
+/// and outer function — a documented over-approximation.
+fn collect_calls(toks: &[Tok], body: Range<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for j in body {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if j > 0 && is_ident(&toks[j - 1], "fn") {
+            continue; // a nested fn's own name
+        }
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        if toks.get(j + 1).is_some_and(|n| is_punct(n, '!'))
+            && toks
+                .get(j + 2)
+                .is_some_and(|d| is_punct(d, '(') || is_punct(d, '[') || is_punct(d, '{'))
+        {
+            out.push(CallSite {
+                name: t.text.clone(),
+                kind: CallKind::Macro,
+                line: t.line,
+                arity: 0,
+            });
+            continue;
+        }
+        // A call is `name (` or the turbofish `name :: < … > (`.
+        let call_open = if toks.get(j + 1).is_some_and(|n| is_punct(n, '(')) {
+            Some(j + 1)
+        } else if toks.get(j + 1).is_some_and(|n| is_punct(n, ':'))
+            && toks.get(j + 2).is_some_and(|n| is_punct(n, ':'))
+            && toks.get(j + 3).is_some_and(|n| is_punct(n, '<'))
+        {
+            let after = skip_angles(toks, j + 3);
+            toks.get(after).filter(|t| is_punct(t, '(')).map(|_| after)
+        } else {
+            None
+        };
+        let Some(call_open) = call_open else { continue };
+        let arity = call_arity(toks, call_open);
+        let kind = if j > 0 && is_punct(&toks[j - 1], '.') {
+            if j > 1 && is_ident(&toks[j - 2], "self") {
+                CallKind::SelfMethod
+            } else {
+                CallKind::Method
+            }
+        } else if j > 1 && is_punct(&toks[j - 1], ':') && is_punct(&toks[j - 2], ':') {
+            match toks.get(j.wrapping_sub(3)) {
+                Some(q) if q.kind == TokKind::Ident => CallKind::Qualified(q.text.clone()),
+                // `Vec::<u8>::new(…)` and other turbofished path heads:
+                // treat the qualifier as unknown (resolves external).
+                _ => CallKind::Qualified(String::new()),
+            }
+        } else {
+            CallKind::Free
+        };
+        out.push(CallSite {
+            name: t.text.clone(),
+            kind,
+            line: t.line,
+            arity,
+        });
+    }
+    out
+}
+
+/// Index of the token after the `>` matching the `<` at `open`.
+/// `->` arrows inside `Fn(…) -> T` bounds do not close an angle.
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') && !(k > 0 && is_punct(&toks[k - 1], '-')) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Index of the closing delimiter matching the opener at `open`, or
+/// `None` if the file ends first.
+pub fn matching_delim(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if is_punct(t, open_c) {
+            depth += 1;
+        } else if is_punct(t, close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Argument count of the call whose `(` sits at `open`: top-level
+/// commas plus one, zero for `()`. Closure parameter commas nest one
+/// paren level deeper only when parenthesized, so multi-parameter
+/// closure literals can over-count — resolution treats arity as a
+/// filter with a fall-back, never a hard key.
+fn call_arity(toks: &[Tok], open: usize) -> usize {
+    let Some(close) = matching_delim(toks, open, '(', ')') else {
+        return 0;
+    };
+    if close == open + 1 {
+        return 0;
+    }
+    let mut commas = 0usize;
+    let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+    for t in &toks[open..close] {
+        match () {
+            _ if is_punct(t, '(') => p += 1,
+            _ if is_punct(t, ')') => p -= 1,
+            _ if is_punct(t, '[') => b += 1,
+            _ if is_punct(t, ']') => b -= 1,
+            _ if is_punct(t, '{') => c += 1,
+            _ if is_punct(t, '}') => c -= 1,
+            _ if is_punct(t, ',') && p == 1 && b == 0 && c == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    // Trailing comma does not add an argument.
+    if is_punct(&toks[close - 1], ',') {
+        commas = commas.saturating_sub(1);
+    }
+    commas + 1
+}
+
+/// Parameter count of the definition whose `(` is at `open`, with a
+/// leading `self` receiver (`self`, `&self`, `&'a mut self`, `mut
+/// self`) excluded.
+fn def_arity(toks: &[Tok], open: usize, close: usize) -> usize {
+    if close == open + 1 {
+        return 0;
+    }
+    let mut n = call_arity(toks, open);
+    let mut k = open + 1;
+    while k < close
+        && (is_punct(&toks[k], '&')
+            || toks[k].kind == TokKind::Lifetime
+            || is_ident(&toks[k], "mut"))
+    {
+        k += 1;
+    }
+    if k < close && is_ident(&toks[k], "self") {
+        n = n.saturating_sub(1);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fns_get_their_impl_type_and_arity() {
+        let src = "
+            fn free(a: u32, b: &str) -> u32 { a }
+            struct Foo;
+            impl Foo {
+                fn method(&self, x: u32) -> u32 { x }
+                fn assoc() -> Foo { Foo }
+            }
+            impl fmt::Display for Foo {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+            }
+            impl<T: Clone> Wrapper<T> where T: Send {
+                fn get_inner(&self) -> &T { &self.0 }
+            }
+        ";
+        let p = parse_src(src);
+        assert!(p.anomalies.is_empty(), "{:?}", p.anomalies);
+        let sigs: Vec<(String, Option<String>, usize)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_ty.clone(), f.arity))
+            .collect();
+        assert_eq!(
+            sigs,
+            vec![
+                ("free".into(), None, 2),
+                ("method".into(), Some("Foo".into()), 1),
+                ("assoc".into(), Some("Foo".into()), 0),
+                ("fmt".into(), Some("Foo".into()), 1),
+                ("get_inner".into(), Some("Wrapper".into()), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let src = "
+            fn caller(&self) {
+                self.own_method(1);
+                other.method_call(a, b);
+                Type::assoc_call();
+                module::free_in_module(x);
+                free_call(x, y, z);
+                format!(\"{x}\");
+                items.collect::<Vec<_>>();
+                if cond(x) { return (a, b); }
+            }
+        ";
+        let p = parse_src(src);
+        let f = &p.fns[0];
+        let got: Vec<(String, CallKind, usize)> = f
+            .calls
+            .iter()
+            .map(|c| (c.name.clone(), c.kind.clone(), c.arity))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("own_method".into(), CallKind::SelfMethod, 1),
+                ("method_call".into(), CallKind::Method, 2),
+                ("assoc_call".into(), CallKind::Qualified("Type".into()), 0),
+                (
+                    "free_in_module".into(),
+                    CallKind::Qualified("module".into()),
+                    1
+                ),
+                ("free_call".into(), CallKind::Free, 3),
+                ("format".into(), CallKind::Macro, 0),
+                ("collect".into(), CallKind::Method, 0),
+                ("cond".into(), CallKind::Free, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_declarations_define_nothing() {
+        let p = parse_src("trait T { fn required(&self) -> u32; fn with_default(&self) { } }");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn unterminated_body_is_an_anomaly_not_a_panic() {
+        let p = parse_src("fn broken() { let x = 1;");
+        assert_eq!(p.fns.len(), 0);
+        assert_eq!(p.anomalies.len(), 1);
+        assert!(p.anomalies[0].contains("broken"));
+    }
+
+    #[test]
+    fn ne_operator_is_not_a_macro() {
+        let p = parse_src("fn f() { if a != (b) { g(); } }");
+        let names: Vec<&str> = p.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["g"]);
+    }
+}

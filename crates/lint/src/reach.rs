@@ -1,0 +1,583 @@
+//! The reachability engine and the four interprocedural rules:
+//! `serve-panic-reach`, `serve-lock-reach`, `serve-alloc-reach`, and
+//! `seqlock-ordering` (the last is per-function, no graph). Facts
+//! propagate from declared roots over the workspace call graph
+//! ([`crate::callgraph`]); every finding carries the full call path
+//! (`entry → f → g`) that makes the sink reachable, and lands on the
+//! sink's own line so `// lint:allow(rule): reason` stays at the sink.
+//!
+//! Two root flavors:
+//! - **transitive** roots (the serve entry points) — reachability is
+//!   closed over resolved calls, so a panic two helpers below
+//!   `serve_payload` is found wherever the helper lives;
+//! - **scan-only** roots (every fn in the legacy serve-path file
+//!   scope) — only the function's own body is scanned, which is
+//!   exactly the old file-scoped `serve-panic` coverage. This keeps
+//!   the legacy guarantees intact without claiming that every admin
+//!   helper in `service.rs` (e.g. `export_metrics`) is on the hot
+//!   serve path.
+
+use std::collections::VecDeque;
+
+use crate::callgraph::{CallGraph, Node, Unit};
+use crate::lexer::{is_ident, is_punct, Tok, TokKind};
+use crate::parser::CallKind;
+use crate::Finding;
+
+/// The workspace's poison-recovering lock-helper functions. Calls to
+/// them are leaf acquisitions: flagged where they appear, bodies never
+/// traversed — the helpers themselves need no suppressions.
+const LOCK_HELPERS: &[&str] = &["read_lock", "write_lock", "lock_mutex"];
+
+/// Methods that acquire a std `RwLock`/`Mutex` directly.
+const LOCK_METHODS: &[&str] = &["read", "write", "lock"];
+
+/// Runs every interprocedural rule over the analyzed file set.
+pub fn run(units: &[Unit<'_>]) -> Vec<Finding> {
+    let graph = CallGraph::build(units);
+    let mut out = Vec::new();
+    serve_panic_reach(units, &graph, &mut out);
+    serve_lock_reach(units, &graph, &mut out);
+    serve_alloc_reach(units, &graph, &mut out);
+    seqlock_ordering(units, &mut out);
+    // A nested fn's body is contained in its enclosing fn's body, so a
+    // sink there can be scanned under two call paths. One finding per
+    // (rule, site) is enough — a suppression is per-line anyway.
+    out.sort_by(|a, b| {
+        (a.path.clone(), a.line, a.rule, a.message.clone()).cmp(&(
+            b.path.clone(),
+            b.line,
+            b.rule,
+            b.message.clone(),
+        ))
+    });
+    out.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    out
+}
+
+/// BFS over resolved call edges from `roots`, skipping nodes matched
+/// by `barrier` (their bodies are opaque to this rule). Returns, per
+/// node, `Some(parent)` when reached (`parent = None` for roots).
+fn bfs(
+    graph: &CallGraph<'_>,
+    roots: &[usize],
+    barrier: impl Fn(&Node<'_>) -> bool,
+) -> Vec<Option<Option<usize>>> {
+    let mut pred: Vec<Option<Option<usize>>> = vec![None; graph.nodes.len()];
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        if pred[r].is_none() {
+            pred[r] = Some(None);
+            queue.push_back(r);
+        }
+    }
+    while let Some(at) = queue.pop_front() {
+        for &e in &graph.edges[at] {
+            if pred[e].is_some() || barrier(&graph.nodes[e]) {
+                continue;
+            }
+            pred[e] = Some(Some(at));
+            queue.push_back(e);
+        }
+    }
+    pred
+}
+
+/// `entry → f → g` call path for a reached node.
+fn path_to(graph: &CallGraph<'_>, pred: &[Option<Option<usize>>], mut at: usize) -> String {
+    let mut names = vec![graph.nodes[at].display()];
+    while let Some(Some(p)) = pred[at] {
+        at = p;
+        names.push(graph.nodes[at].display());
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+/// The transitive serve entry points: the socket request dispatcher,
+/// the seqlock read path, and the seed server's request handler.
+fn is_serve_root(n: &Node<'_>) -> bool {
+    n.def.name == "serve_payload"
+        || n.def.name.starts_with("where_is")
+        || (n.def.name == "handle" && n.def.self_ty.as_deref() == Some("BipsServer"))
+}
+
+/// The seqlock read path's roots (no `BipsServer::handle`: the seed
+/// server is a single-owner `&mut self` path with no locks to guard).
+fn is_read_path_root(n: &Node<'_>) -> bool {
+    n.def.name == "serve_payload" || n.def.name.starts_with("where_is")
+}
+
+// ---------------------------------------------------------------------
+// serve-panic-reach
+// ---------------------------------------------------------------------
+
+/// No panic spelling reachable from a serve entry point: one panic
+/// poisons shard locks and cascades into every later query. Subsumes
+/// the legacy file-scoped `serve-panic` rule via scan-only file roots.
+fn serve_panic_reach(units: &[Unit<'_>], graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let roots = graph.find(is_serve_root);
+    let pred = bfs(graph, &roots, |_| false);
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let ctx = units[n.unit].ctx;
+        let label = if pred[i].is_some() {
+            path_to(graph, &pred, i)
+        } else if crate::serve_panic_scope(ctx.path) {
+            format!("`{}` (serve-path file scope)", n.display())
+        } else {
+            continue;
+        };
+        panic_sinks(ctx, n.def.body.clone(), &label, out);
+    }
+}
+
+fn panic_sinks(
+    ctx: &crate::FileCtx<'_>,
+    body: std::ops::Range<usize>,
+    label: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &ctx.lexed.toks;
+    for j in body {
+        let t = &toks[j];
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // .unwrap() / .expect(…)
+        if (is_ident(t, "unwrap") || is_ident(t, "expect"))
+            && j > 0
+            && is_punct(&toks[j - 1], '.')
+            && toks.get(j + 1).is_some_and(|p| is_punct(p, '('))
+        {
+            out.push(reach_finding(
+                ctx,
+                "serve-panic-reach",
+                t.line,
+                format!(
+                    "`.{}()` reachable on the serve path: {label} — a panic here poisons \
+                     shard locks; handle the None/Err arm explicitly",
+                    t.text
+                ),
+            ));
+        }
+        // panic!/unreachable!/todo!/unimplemented!
+        if ["panic", "unreachable", "todo", "unimplemented"]
+            .iter()
+            .any(|m| is_ident(t, m))
+            && toks.get(j + 1).is_some_and(|b| is_punct(b, '!'))
+        {
+            out.push(reach_finding(
+                ctx,
+                "serve-panic-reach",
+                t.line,
+                format!(
+                    "`{}!` reachable on the serve path: {label} — return a typed outcome \
+                     instead",
+                    t.text
+                ),
+            ));
+        }
+        // Unchecked indexing: `expr[` where expr ends in an identifier,
+        // `)`, or `]`. Attributes (`#[…]`) and types (`&[u8]`) don't
+        // match because their `[` follows `#`, `&`, `<`, `(`, …; a
+        // keyword before `[` (`for c in [a, b]`, `return [x]`) starts
+        // an array literal, not an index.
+        const KEYWORDS: &[&str] = &[
+            "in", "return", "break", "continue", "else", "match", "if", "while", "loop", "move",
+            "mut", "ref", "let", "const", "static",
+        ];
+        if is_punct(t, '[')
+            && j > 0
+            && ((toks[j - 1].kind == TokKind::Ident
+                && !KEYWORDS.contains(&toks[j - 1].text.as_str()))
+                || is_punct(&toks[j - 1], ')')
+                || is_punct(&toks[j - 1], ']'))
+        {
+            out.push(reach_finding(
+                ctx,
+                "serve-panic-reach",
+                t.line,
+                format!(
+                    "unchecked indexing reachable on the serve path: {label} — use \
+                     .get()/.get_mut() and handle the miss"
+                ),
+            ));
+        }
+        // `/` and `%` with a non-literal, non-constant divisor: the
+        // one arithmetic class that panics on ordinary release builds.
+        // (Overflow on +/- is a known under-approximation; see
+        // docs/LINTS.md.)
+        if (is_punct(t, '/') || is_punct(t, '%'))
+            && j > 0
+            && (toks[j - 1].kind == TokKind::Ident
+                || toks[j - 1].kind == TokKind::Num
+                || is_punct(&toks[j - 1], ')')
+                || is_punct(&toks[j - 1], ']'))
+        {
+            // `/=` and `%=`: the divisor starts one token later.
+            let mut d = j + 1;
+            if toks.get(d).is_some_and(|n| is_punct(n, '=')) {
+                d += 1;
+            }
+            // Unary minus on a literal is still a literal.
+            if toks.get(d).is_some_and(|n| is_punct(n, '-'))
+                && toks.get(d + 1).is_some_and(|n| n.kind == TokKind::Num)
+            {
+                d += 1;
+            }
+            let literal = toks.get(d).is_some_and(|n| n.kind == TokKind::Num);
+            let const_divisor = toks.get(d).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && n.text.chars().any(|c| c.is_ascii_uppercase())
+                    && !n.text.chars().any(|c| c.is_ascii_lowercase())
+            });
+            if !literal && !const_divisor {
+                out.push(reach_finding(
+                    ctx,
+                    "serve-panic-reach",
+                    t.line,
+                    format!(
+                        "`{}` with a non-literal divisor reachable on the serve path: \
+                         {label} — a zero divisor panics; guard it or use \
+                         checked_div/checked_rem",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// serve-lock-reach
+// ---------------------------------------------------------------------
+
+/// The seqlock read path's contract is *no reader-visible lock
+/// acquisition*: `where_is*`/`serve_payload` must never block behind a
+/// flush. Generalizes PR 8's single-file `serve-reader-lock` to the
+/// whole workspace: reachability is closed over resolved calls, lock
+/// helpers and `.read()`/`.write()`/`.lock()` acquisitions are leaf
+/// sinks (never traversed). Writer-side arms reached via
+/// `serve_payload` suppress with a documented reason at the sink.
+fn serve_lock_reach(units: &[Unit<'_>], graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let roots = graph.find(is_read_path_root);
+    let barrier = |n: &Node<'_>| {
+        LOCK_HELPERS.contains(&n.def.name.as_str()) || LOCK_METHODS.contains(&n.def.name.as_str())
+    };
+    let pred = bfs(graph, &roots, barrier);
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if pred[i].is_none() {
+            continue;
+        }
+        let ctx = units[n.unit].ctx;
+        let label = path_to(graph, &pred, i);
+        let toks = &ctx.lexed.toks;
+        for j in n.def.body.clone() {
+            let t = &toks[j];
+            if ctx.in_test(t.line) {
+                continue;
+            }
+            // read_lock(…) / write_lock(…) / lock_mutex(…)
+            if t.kind == TokKind::Ident
+                && LOCK_HELPERS.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|p| is_punct(p, '('))
+                && !(j > 0 && is_ident(&toks[j - 1], "fn"))
+            {
+                out.push(reach_finding(
+                    ctx,
+                    "serve-lock-reach",
+                    t.line,
+                    format!(
+                        "`{}` reachable from the read path: {label} — readers must stay \
+                         wait-free; move the acquisition to a writer-side helper or \
+                         suppress with a documented reason",
+                        t.text
+                    ),
+                ));
+            }
+            // .read() / .write() / .lock()
+            if is_punct(t, '.')
+                && toks.get(j + 1).is_some_and(|m| {
+                    m.kind == TokKind::Ident && LOCK_METHODS.contains(&m.text.as_str())
+                })
+                && toks.get(j + 2).is_some_and(|p| is_punct(p, '('))
+            {
+                out.push(reach_finding(
+                    ctx,
+                    "serve-lock-reach",
+                    toks[j + 1].line,
+                    format!(
+                        "direct `.{}()` lock acquisition reachable from the read path: \
+                         {label} — readers must stay wait-free",
+                        toks[j + 1].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// serve-alloc-reach
+// ---------------------------------------------------------------------
+
+/// The static twin of the `query_alloc` runtime pin: no allocation
+/// spelling reachable from the `where_is*` query path. Sinks are
+/// opaque-unsafe external names — `Box::new`, `vec!`, `format!`,
+/// `.to_string()`, `.collect()`, `String::from`.
+fn serve_alloc_reach(units: &[Unit<'_>], graph: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    let roots = graph.find(|n| n.def.name.starts_with("where_is"));
+    let pred = bfs(graph, &roots, |_| false);
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if pred[i].is_none() {
+            continue;
+        }
+        let ctx = units[n.unit].ctx;
+        let label = path_to(graph, &pred, i);
+        for call in &n.def.calls {
+            if ctx.in_test(call.line) {
+                continue;
+            }
+            let sink = match (&call.kind, call.name.as_str()) {
+                (CallKind::Macro, "vec") | (CallKind::Macro, "format") => {
+                    Some(format!("`{}!`", call.name))
+                }
+                (CallKind::Method, "to_string") | (CallKind::Method, "collect") => {
+                    Some(format!("`.{}()`", call.name))
+                }
+                (CallKind::Qualified(q), "from") if q == "String" => {
+                    Some("`String::from`".to_string())
+                }
+                (CallKind::Qualified(q), "new") if q == "Box" => Some("`Box::new`".to_string()),
+                _ => None,
+            };
+            if let Some(sink) = sink {
+                out.push(reach_finding(
+                    ctx,
+                    "serve-alloc-reach",
+                    call.line,
+                    format!(
+                        "{sink} allocates on the query path: {label} — the WhereIs read \
+                         path is pinned zero-alloc (query_alloc); reuse a scratch buffer \
+                         or move the allocation to the writer side"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// seqlock-ordering
+// ---------------------------------------------------------------------
+
+#[derive(PartialEq)]
+enum SeqOpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+struct SeqOp {
+    kind: SeqOpKind,
+    ord: Option<String>,
+    tok: usize,
+    line: u32,
+}
+
+/// Memory-ordering shape of every function touching a `seq` atomic
+/// (the seqlock sequence-word naming convention; `next_seq` and other
+/// prefixed counters do not match). Encodes DESIGN.md §7: readers
+/// enter with `Acquire` and may only re-check `Relaxed` behind an
+/// `Acquire` fence; writers bracket payload stores between a
+/// fence-protected odd store and a `Release` even store. RMW-only
+/// functions (sequence-number allocators) are out of scope.
+fn seqlock_ordering(units: &[Unit<'_>], out: &mut Vec<Finding>) {
+    const RMW: &[&str] = &[
+        "fetch_add",
+        "fetch_sub",
+        "fetch_or",
+        "fetch_and",
+        "fetch_xor",
+        "fetch_update",
+        "swap",
+        "compare_exchange",
+        "compare_exchange_weak",
+    ];
+    let acquire =
+        |o: &Option<String>| matches!(o.as_deref(), Some("Acquire" | "SeqCst" | "AcqRel"));
+    let release =
+        |o: &Option<String>| matches!(o.as_deref(), Some("Release" | "SeqCst" | "AcqRel"));
+    for u in units {
+        let ctx = u.ctx;
+        let toks = &ctx.lexed.toks;
+        for def in &u.parsed.fns {
+            if ctx.in_test(def.line) {
+                continue;
+            }
+            let mut ops: Vec<SeqOp> = Vec::new();
+            let mut fences: Vec<(usize, Option<String>)> = Vec::new();
+            let mut payload_stores: Vec<usize> = Vec::new();
+            for j in def.body.clone() {
+                let t = &toks[j];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                // fence(Ordering::X)
+                if t.text == "fence" && toks.get(j + 1).is_some_and(|p| is_punct(p, '(')) {
+                    fences.push((j, call_ordering(toks, j + 1)));
+                    continue;
+                }
+                // recv.op(…): j is the receiver, j+2 the op.
+                let Some(op) = toks
+                    .get(j + 1)
+                    .filter(|d| is_punct(d, '.'))
+                    .and_then(|_| toks.get(j + 2))
+                    .filter(|o| o.kind == TokKind::Ident)
+                else {
+                    continue;
+                };
+                if !toks.get(j + 3).is_some_and(|p| is_punct(p, '(')) {
+                    continue;
+                }
+                let kind = match op.text.as_str() {
+                    "load" => SeqOpKind::Load,
+                    "store" => SeqOpKind::Store,
+                    o if RMW.contains(&o) => SeqOpKind::Rmw,
+                    _ => continue,
+                };
+                if t.text == "seq" {
+                    ops.push(SeqOp {
+                        kind,
+                        ord: call_ordering(toks, j + 3),
+                        tok: j,
+                        line: op.line,
+                    });
+                } else if kind == SeqOpKind::Store {
+                    payload_stores.push(j);
+                }
+            }
+            let loads: Vec<&SeqOp> = ops.iter().filter(|o| o.kind == SeqOpKind::Load).collect();
+            let stores: Vec<&SeqOp> = ops.iter().filter(|o| o.kind == SeqOpKind::Store).collect();
+
+            if !stores.is_empty() {
+                // Writer shape: seq+1 → fence(Release) → payload → seq+2.
+                let first = stores[0];
+                let last = stores[stores.len() - 1];
+                if stores.len() == 1 {
+                    out.push(reach_finding(
+                        ctx,
+                        "seqlock-ordering",
+                        first.line,
+                        format!(
+                            "seqlock writer `{}`: a single unpaired `seq.store` cannot \
+                             express the seq+1/fence/payload/seq+2 publish shape \
+                             (DESIGN.md §7)",
+                            def.display()
+                        ),
+                    ));
+                } else {
+                    if !release(&last.ord) {
+                        out.push(reach_finding(
+                            ctx,
+                            "seqlock-ordering",
+                            last.line,
+                            format!(
+                                "seqlock writer `{}`: the final `seq.store` must be \
+                                 `Ordering::Release` — it publishes the payload \
+                                 (DESIGN.md §7); got {}",
+                                def.display(),
+                                last.ord.as_deref().unwrap_or("an unparsed ordering")
+                            ),
+                        ));
+                    }
+                    let has_payload_between = payload_stores
+                        .iter()
+                        .any(|&p| p > first.tok && p < last.tok);
+                    let fence_between = fences
+                        .iter()
+                        .any(|(f, o)| *f > first.tok && *f < last.tok && release(o));
+                    if !release(&first.ord) && has_payload_between && !fence_between {
+                        out.push(reach_finding(
+                            ctx,
+                            "seqlock-ordering",
+                            first.line,
+                            format!(
+                                "seqlock writer `{}`: the odd `seq.store(…, Relaxed)` \
+                                 needs an `atomic::fence(Release)` before the payload \
+                                 stores (DESIGN.md §7)",
+                                def.display()
+                            ),
+                        ));
+                    }
+                }
+            } else if let Some(first) = loads.first() {
+                // Reader shape: Acquire entry, fence-protected re-check.
+                if !acquire(&first.ord) {
+                    out.push(reach_finding(
+                        ctx,
+                        "seqlock-ordering",
+                        first.line,
+                        format!(
+                            "seqlock reader `{}`: the read-validate entry `seq.load` \
+                             must be `Ordering::Acquire` (DESIGN.md §7); got {}",
+                            def.display(),
+                            first.ord.as_deref().unwrap_or("an unparsed ordering")
+                        ),
+                    ));
+                }
+                for later in loads.iter().skip(1) {
+                    if matches!(later.ord.as_deref(), Some("Relaxed"))
+                        && !fences
+                            .iter()
+                            .any(|(f, o)| *f > first.tok && *f < later.tok && acquire(o))
+                    {
+                        out.push(reach_finding(
+                            ctx,
+                            "seqlock-ordering",
+                            later.line,
+                            format!(
+                                "seqlock reader `{}`: the re-check `seq.load(Relaxed)` \
+                                 needs an `atomic::fence(Acquire)` between the payload \
+                                 reads and the re-check (DESIGN.md §7)",
+                                def.display()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The last `Ordering::X` path inside the call whose `(` is at `open`.
+fn call_ordering(toks: &[Tok], open: usize) -> Option<String> {
+    let close = crate::parser::matching_delim(toks, open, '(', ')')?;
+    let mut ord = None;
+    for j in open..close {
+        if is_ident(&toks[j], "Ordering")
+            && toks.get(j + 1).is_some_and(|t| is_punct(t, ':'))
+            && toks.get(j + 2).is_some_and(|t| is_punct(t, ':'))
+        {
+            if let Some(x) = toks.get(j + 3).filter(|t| t.kind == TokKind::Ident) {
+                ord = Some(x.text.clone());
+            }
+        }
+    }
+    ord
+}
+
+fn reach_finding(
+    ctx: &crate::FileCtx<'_>,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: ctx.path.to_string(),
+        line,
+        message,
+        snippet: ctx.snippet(line),
+    }
+}

@@ -5,57 +5,140 @@
 use crate::lexer::{is_ident, is_punct, Tok, TokKind};
 use crate::{FileCtx, Finding};
 
-/// Every rule id with a one-line description (`--list-rules`, and the
-/// validity check for `lint:allow(<rule>)`).
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "wall-clock",
-        "no Instant::now/SystemTime outside desim::probe and bench/operator binaries",
-    ),
-    (
-        "hash-iter",
-        "no HashMap/HashSet iteration in simulation crates (hash order is per-process random)",
-    ),
-    (
-        "entropy",
-        "no thread_rng/from_entropy/OsRng — all randomness flows from the run seed",
-    ),
-    (
-        "nan-cmp",
-        "no partial_cmp().unwrap() or sort_by(partial_cmp) on floats — use total_cmp",
-    ),
-    (
-        "serve-panic",
-        "no unwrap/expect/panic!/indexing on the serving path (core service/server)",
-    ),
-    (
-        "serve-reader-lock",
-        "no RwLock/Mutex acquisition reachable from the where_is*/serve_payload read path",
-    ),
-    (
-        "unsafe-safety",
-        "every `unsafe` needs a `// SAFETY:` comment on or just above it",
-    ),
-    (
-        "metric-name",
-        "metric names follow `crate.section.name` (2–4 lowercase dotted segments)",
-    ),
-    (
-        "metric-doc",
-        "metric registrations and docs/OBSERVABILITY.md's catalog must agree",
-    ),
-    (
-        "trace-doc",
-        "TraceKind variants and docs/OBSERVABILITY.md's trace event catalog must agree",
-    ),
-    (
-        "bad-suppression",
-        "lint:allow must name a real rule, give a reason, and suppress something",
-    ),
-    (
-        "stale-baseline",
-        "baseline entries must still match a finding — delete fixed ones",
-    ),
+/// One rule's catalog entry: id and one-line summary (`--list-rules`,
+/// and the validity check for `lint:allow(<rule>)`), plus the longer
+/// rationale and root declaration that `--explain <rule>` prints — a
+/// single table so docs and code can't drift.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub rationale: &'static str,
+    /// Call-graph roots for interprocedural rules; empty for lexical
+    /// per-file rules.
+    pub roots: &'static str,
+}
+
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        summary: "no Instant::now/SystemTime outside desim::probe and bench/operator binaries",
+        rationale: "Simulated runs replay from a seed; any host-time observation makes two \
+                    replications diverge. Virtual time comes from the engine clock \
+                    (desim::SimTime); host time is quarantined in desim::probe and the \
+                    bench/operator binaries.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "hash-iter",
+        summary: "no HashMap/HashSet iteration in simulation crates (hash order is per-process random)",
+        rationale: "std's hasher is seeded per process, so HashMap/HashSet iteration order \
+                    differs across runs. Lookups are fine; iteration must go through \
+                    BTreeMap/BTreeSet or an explicit sort.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "entropy",
+        summary: "no thread_rng/from_entropy/OsRng — all randomness flows from the run seed",
+        rationale: "Every random draw must derive from the run seed (desim::SeedDeriver) or \
+                    replications stop being reproducible.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "nan-cmp",
+        summary: "no partial_cmp().unwrap() or sort_by(partial_cmp) on floats — use total_cmp",
+        rationale: "partial_cmp is None on NaN, and NaN reaches a comparator exactly when an \
+                    upstream invariant broke — the worst time to panic (or, since Rust 1.81, \
+                    to hand sort an inconsistent order). f64::total_cmp is total and free.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "serve-panic-reach",
+        summary: "no unwrap/expect/panic!/indexing/unchecked div reachable from a serve entry point",
+        rationale: "One panic poisons shard locks and cascades into every later query, so the \
+                    serve path must be total across the whole call chain, not just within a \
+                    file list. Sinks: .unwrap()/.expect(), panic!/unreachable!/todo!/\
+                    unimplemented!, slice indexing without .get(), and / or % with a \
+                    non-literal non-constant divisor. Externals are opaque-safe (an \
+                    unresolved call is not a finding). Subsumes the legacy file-scoped \
+                    serve-panic rule via scan-only file roots.",
+        roots: "transitive: serve_payload, where_is*, BipsServer::handle; scan-only (body \
+                scanned, calls not followed): every fn in crates/core/src/service.rs, \
+                crates/core/src/server.rs, crates/core/src/graph/walk.rs",
+    },
+    RuleInfo {
+        id: "serve-lock-reach",
+        summary: "no RwLock/Mutex acquisition reachable from the where_is*/serve_payload read path",
+        rationale: "The seqlock read path is wait-free by contract: a reader blocking behind \
+                    a flush is a tail-latency cliff. Lock helpers \
+                    (read_lock/write_lock/lock_mutex) and direct .read()/.write()/.lock() \
+                    acquisitions are opaque-unsafe leaf sinks — flagged where they appear, \
+                    bodies never traversed. Writer-side arms reached via serve_payload \
+                    suppress at the sink with a documented reason. Generalizes the legacy \
+                    single-file serve-reader-lock rule to the whole workspace.",
+        roots: "transitive: serve_payload, where_is*",
+    },
+    RuleInfo {
+        id: "serve-alloc-reach",
+        summary: "no Box::new/vec!/format!/to_string/collect/String::from reachable from the query path",
+        rationale: "The WhereIs query path is pinned zero-alloc at runtime (query_alloc \
+                    counter); this is its static twin, catching an allocation before a \
+                    runtime test happens to hit it. Allocating names are opaque-unsafe \
+                    sinks; everything else external is opaque-safe.",
+        roots: "transitive: where_is*",
+    },
+    RuleInfo {
+        id: "seqlock-ordering",
+        summary: "seqlock seq words: Acquire read-validate, fenced re-check, seq+1/fence/payload/seq+2 publish",
+        rationale: "DESIGN.md §7 fixes the seqlock shape: readers enter with a seq.load(\
+                    Acquire) and may only re-check with Relaxed behind an atomic::fence(\
+                    Acquire); writers bracket payload stores between an odd store (fenced \
+                    with Release if the store itself is Relaxed) and a final \
+                    seq.store(Release). Any fn touching a `seq` atomic is checked; \
+                    RMW-only fns (sequence allocators) are out of scope.",
+        roots: "every non-test fn with a `seq.load/seq.store` atomic access (no call-graph \
+                traversal — the shape check is per-fn)",
+    },
+    RuleInfo {
+        id: "unsafe-safety",
+        summary: "every `unsafe` needs a `// SAFETY:` comment on or just above it",
+        rationale: "An unsafe block is a proof obligation; the comment states the invariant \
+                    that discharges it, where the next editor will see it.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "metric-name",
+        summary: "metric names follow `crate.section.name` (2–4 lowercase dotted segments)",
+        rationale: "Keeps the catalog in docs/OBSERVABILITY.md greppable and the per-crate \
+                    prefixes unambiguous.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "metric-doc",
+        summary: "metric registrations and docs/OBSERVABILITY.md's catalog must agree",
+        rationale: "The observability doc is the operator contract; a metric that exists in \
+                    code but not the doc (or vice versa) is a silent drift.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "trace-doc",
+        summary: "TraceKind variants and docs/OBSERVABILITY.md's trace event catalog must agree",
+        rationale: "Same drift guard as metric-doc, for the trace event taxonomy.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "bad-suppression",
+        summary: "lint:allow must name a real rule, give a reason, and suppress something",
+        rationale: "A suppression that names no real rule, carries no reason, or suppresses \
+                    nothing is debt pretending to be documentation.",
+        roots: "",
+    },
+    RuleInfo {
+        id: "stale-baseline",
+        summary: "baseline entries must still match a finding — delete fixed ones",
+        rationale: "The baseline is a ratchet: once a finding is fixed its entry must go, or \
+                    the entry will silently excuse a future regression at the same site.",
+        roots: "",
+    },
 ];
 
 /// Methods on `desim::metrics::MetricSet` that register a metric name.
@@ -76,8 +159,6 @@ pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
     hash_iter(ctx, &mut out);
     entropy(ctx, &mut out);
     nan_cmp(ctx, &mut out);
-    serve_panic(ctx, &mut out);
-    serve_reader_lock(ctx, &mut out);
     unsafe_safety(ctx, &mut out);
     metric_name(ctx, &mut out);
     out
@@ -357,253 +438,6 @@ fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
         }
     }
     None
-}
-
-// ---------------------------------------------------------------------
-// Serving-path panic freedom
-// ---------------------------------------------------------------------
-
-/// The sharded service answers queries from many threads over shared
-/// `RwLock`s: one panic poisons a lock and cascades into every later
-/// query. The serving path must therefore be total — no unwrap/expect,
-/// no panicking macros, no unchecked indexing.
-fn serve_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !crate::serve_panic_scope(ctx.path) {
-        return;
-    }
-    let toks = &ctx.lexed.toks;
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test(t.line) {
-            continue;
-        }
-        // .unwrap() / .expect(…)
-        if (is_ident(t, "unwrap") || is_ident(t, "expect"))
-            && i > 0
-            && is_punct(&toks[i - 1], '.')
-            && toks.get(i + 1).is_some_and(|p| is_punct(p, '('))
-        {
-            out.push(finding(
-                ctx,
-                "serve-panic",
-                t.line,
-                format!(
-                    "`.{}()` on the serving path — a panic here poisons shard locks; \
-                     handle the None/Err arm explicitly",
-                    t.text
-                ),
-            ));
-        }
-        // panic!/unreachable!/todo!/unimplemented!
-        if ["panic", "unreachable", "todo", "unimplemented"]
-            .iter()
-            .any(|m| is_ident(t, m))
-            && toks.get(i + 1).is_some_and(|b| is_punct(b, '!'))
-        {
-            out.push(finding(
-                ctx,
-                "serve-panic",
-                t.line,
-                format!(
-                    "`{}!` on the serving path — return a typed outcome instead",
-                    t.text
-                ),
-            ));
-        }
-        // Unchecked indexing: `expr[` where expr ends in an identifier,
-        // `)`, or `]`. Attributes (`#[…]`) and types (`&[u8]`) don't
-        // match because their `[` follows `#`, `&`, `<`, `(`, …; a
-        // keyword before `[` (`for c in [a, b]`, `return [x]`) starts
-        // an array literal, not an index.
-        const KEYWORDS: &[&str] = &[
-            "in", "return", "break", "continue", "else", "match", "if", "while", "loop", "move",
-            "mut", "ref", "let", "const", "static",
-        ];
-        if is_punct(t, '[')
-            && i > 0
-            && ((toks[i - 1].kind == TokKind::Ident
-                && !KEYWORDS.contains(&toks[i - 1].text.as_str()))
-                || is_punct(&toks[i - 1], ')')
-                || is_punct(&toks[i - 1], ']'))
-        {
-            out.push(finding(
-                ctx,
-                "serve-panic",
-                t.line,
-                "unchecked indexing on the serving path — use .get()/.get_mut() and \
-                 handle the miss"
-                    .to_string(),
-            ));
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Serving-path wait-freedom
-// ---------------------------------------------------------------------
-
-/// The workspace's poison-recovering lock-helper functions. Calls to
-/// them are treated as leaf acquisitions: flagged directly where they
-/// appear, and their bodies never traversed — so the helpers themselves
-/// need no suppressions and any future read-path misuse is caught at
-/// the callsite.
-const LOCK_HELPERS: &[&str] = &["read_lock", "write_lock", "lock_mutex"];
-
-/// Methods that acquire a std `RwLock`/`Mutex` directly.
-const LOCK_METHODS: &[&str] = &["read", "write", "lock"];
-
-/// One function item: name plus its body's token range (exclusive end).
-struct FnItem {
-    name: String,
-    body: std::ops::Range<usize>,
-}
-
-/// Function items of the file (non-test), with brace-matched bodies.
-fn collect_fns(ctx: &FileCtx<'_>) -> Vec<FnItem> {
-    let toks = &ctx.lexed.toks;
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if !is_ident(t, "fn") || ctx.in_test(t.line) {
-            continue;
-        }
-        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
-            continue;
-        };
-        // Parameter list: the first `(` after the name (generic
-        // parameters contain no parentheses in this workspace).
-        let Some(open) = (i + 2..toks.len()).find(|&j| is_punct(&toks[j], '(')) else {
-            continue;
-        };
-        let Some(close) = matching_paren(toks, open) else {
-            continue;
-        };
-        // Body: the first `{` after the signature (return types and
-        // `where` clauses contain no braces); a `;` first means a
-        // bodiless declaration.
-        let mut j = close + 1;
-        let mut body_open = None;
-        while let Some(t) = toks.get(j) {
-            if is_punct(t, ';') {
-                break;
-            }
-            if is_punct(t, '{') {
-                body_open = Some(j);
-                break;
-            }
-            j += 1;
-        }
-        let Some(body_open) = body_open else { continue };
-        let mut depth = 0usize;
-        let mut body_end = toks.len();
-        for (k, t) in toks.iter().enumerate().skip(body_open) {
-            if is_punct(t, '{') {
-                depth += 1;
-            } else if is_punct(t, '}') {
-                depth -= 1;
-                if depth == 0 {
-                    body_end = k;
-                    break;
-                }
-            }
-        }
-        out.push(FnItem {
-            name: name_tok.text.clone(),
-            body: body_open..body_end,
-        });
-    }
-    out
-}
-
-/// The seqlock read path's contract is *no reader-visible lock
-/// acquisition*: `where_is`/`where_is_inner`/`serve_payload` must never
-/// block behind a flush. This rule enforces it structurally — a
-/// one-level-call-edge reachability walk from every `where_is*` /
-/// `serve_payload` function, flagging lock-helper calls
-/// (`read_lock`/`write_lock`/`lock_mutex`) and direct
-/// `.read()`/`.write()`/`.lock()` acquisitions in reachable bodies.
-/// Writer-side helpers reached via `serve_payload`'s ingest/flush arms
-/// are expected to suppress with a documented
-/// `lint:allow(serve-reader-lock)`.
-fn serve_reader_lock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !crate::serve_panic_scope(ctx.path) {
-        return;
-    }
-    let toks = &ctx.lexed.toks;
-    let fns = collect_fns(ctx);
-
-    // Reachability from the read-path roots, one call level at a time.
-    // Lock helpers are leaves: never traversed (see LOCK_HELPERS).
-    let mut reachable: Vec<bool> = fns
-        .iter()
-        .map(|f| f.name.starts_with("where_is") || f.name == "serve_payload")
-        .collect();
-    let mut queue: Vec<usize> = (0..fns.len()).filter(|&i| reachable[i]).collect();
-    while let Some(at) = queue.pop() {
-        let body = fns[at].body.clone();
-        for j in body {
-            let t = &toks[j];
-            if t.kind != TokKind::Ident
-                || !toks.get(j + 1).is_some_and(|p| is_punct(p, '('))
-                || (j > 0 && is_ident(&toks[j - 1], "fn"))
-                || LOCK_HELPERS.contains(&t.text.as_str())
-            {
-                continue;
-            }
-            for (k, f) in fns.iter().enumerate() {
-                if !reachable[k] && f.name == t.text {
-                    reachable[k] = true;
-                    queue.push(k);
-                }
-            }
-        }
-    }
-
-    for (i, f) in fns.iter().enumerate() {
-        if !reachable[i] {
-            continue;
-        }
-        for j in f.body.clone() {
-            let t = &toks[j];
-            if ctx.in_test(t.line) {
-                continue;
-            }
-            // read_lock(…) / write_lock(…) / lock_mutex(…)
-            if t.kind == TokKind::Ident
-                && LOCK_HELPERS.contains(&t.text.as_str())
-                && toks.get(j + 1).is_some_and(|p| is_punct(p, '('))
-            {
-                out.push(finding(
-                    ctx,
-                    "serve-reader-lock",
-                    t.line,
-                    format!(
-                        "`{}` in `{}`, reachable from the where_is*/serve_payload read \
-                         path — readers must stay wait-free; move the acquisition to a \
-                         writer-side helper or suppress with a documented reason",
-                        t.text, f.name
-                    ),
-                ));
-            }
-            // .read() / .write() / .lock()
-            if is_punct(t, '.')
-                && toks.get(j + 1).is_some_and(|m| {
-                    m.kind == TokKind::Ident && LOCK_METHODS.contains(&m.text.as_str())
-                })
-                && toks.get(j + 2).is_some_and(|p| is_punct(p, '('))
-            {
-                out.push(finding(
-                    ctx,
-                    "serve-reader-lock",
-                    toks[j + 1].line,
-                    format!(
-                        "direct `.{}()` lock acquisition in `{}`, reachable from the \
-                         where_is*/serve_payload read path — readers must stay wait-free",
-                        toks[j + 1].text,
-                        f.name
-                    ),
-                ));
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------

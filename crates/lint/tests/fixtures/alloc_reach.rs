@@ -1,0 +1,30 @@
+//! Fixture: allocation spellings reachable from the `where_is*` query
+//! path (linted as if it were `crates/lan/src/rpc.rs`). Never
+//! compiled. Kept panic- and lock-clean so every finding is
+//! serve-alloc-reach.
+
+pub struct Registry {
+    names: Vec<u32>,
+}
+
+/// Transitive root by name: the query path.
+pub fn where_is(reg: &Registry, cell: u32) -> Option<u32> {
+    lookup_name(reg, cell)
+}
+
+fn lookup_name(reg: &Registry, cell: u32) -> Option<u32> {
+    // finding: serve-alloc-reach (where_is → lookup_name)
+    let label = format!("cell-{cell}");
+    // lint:allow(serve-alloc-reach): startup-interned tag, measured zero-alloc steady-state
+    let tag = cell.to_string();
+    let _ = (label, tag);
+    reg.names.get(cell as usize).copied()
+}
+
+/// Writer-side rebuild: allocation is fine off the query path — no
+/// root reaches this, so the `vec!` is not a finding.
+pub fn rebuild_names(count: usize) -> Vec<u32> {
+    let mut out = vec![0; count];
+    out.truncate(count);
+    out
+}

@@ -1,0 +1,29 @@
+//! Fixture: a panic two calls below a serve root is caught by
+//! transitive reachability with the full call path, while the same
+//! panic in a helper no root reaches is not (linted as if it were
+//! `crates/lan/src/rpc.rs` — a path with no scan-only file scope).
+//! Never compiled.
+
+pub struct Frame {
+    cells: Vec<u32>,
+}
+
+/// Transitive root by name: the serve entry point.
+pub fn serve_payload(frame: &Frame, idx: usize) -> u32 {
+    helper_a(frame, idx)
+}
+
+fn helper_a(frame: &Frame, idx: usize) -> u32 {
+    helper_b(frame, idx)
+}
+
+fn helper_b(frame: &Frame, idx: usize) -> u32 {
+    // finding: serve-panic-reach (serve_payload → helper_a → helper_b)
+    frame.cells.get(idx).copied().unwrap()
+}
+
+/// The identical sink, but nothing on the serve path calls this:
+/// offline rebuild tooling may panic. No finding.
+pub fn offline_rebuild(frame: &Frame, idx: usize) -> u32 {
+    frame.cells.get(idx).copied().unwrap()
+}

@@ -1,0 +1,91 @@
+//! Fixture: seqlock sequence-word memory-ordering shapes (linted as
+//! if it were `crates/desim/src/hot.rs`). Never compiled. The
+//! sanctioned reader/writer shapes from DESIGN.md §7 must stay clean;
+//! each broken shape trips exactly its own check.
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+
+pub struct Slot {
+    seq: AtomicU32,
+    val: AtomicU64,
+}
+
+impl Slot {
+    /// The sanctioned reader shape: Acquire entry, Relaxed payload,
+    /// Acquire fence, Relaxed re-check. Clean.
+    pub fn snapshot(&self) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let v = self.val.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 {
+            return None;
+        }
+        Some(v)
+    }
+
+    /// The sanctioned writer shape: odd store, Release fence, payload,
+    /// Release even store. Clean.
+    pub fn publish(&self, v: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.val.store(v, Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Relaxed entry load. finding: seqlock-ordering (R1)
+    pub fn racy_snapshot(&self) -> u64 {
+        let s1 = self.seq.load(Ordering::Relaxed);
+        let v = self.val.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 {
+            return 0;
+        }
+        v
+    }
+
+    /// No fence before the Relaxed re-check. finding: seqlock-ordering (R2)
+    pub fn unfenced_snapshot(&self) -> u64 {
+        let s1 = self.seq.load(Ordering::Acquire);
+        let v = self.val.load(Ordering::Relaxed);
+        if self.seq.load(Ordering::Relaxed) != s1 {
+            return 0;
+        }
+        v
+    }
+
+    /// Relaxed publish store and an unfenced odd store.
+    /// findings: seqlock-ordering (W1 on the last store, W2 on the first)
+    pub fn torn_publish(&self, v: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s + 1, Ordering::Relaxed);
+        self.val.store(v, Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Relaxed);
+    }
+
+    /// One bare store cannot express the publish shape.
+    /// finding: seqlock-ordering (W3)
+    pub fn bump(&self) {
+        self.seq.store(7, Ordering::Release);
+    }
+
+    /// A justified exception suppresses at the sink. Clean.
+    pub fn debug_peek(&self) -> u32 {
+        // lint:allow(seqlock-ordering): diagnostic peek, tearing acceptable
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+pub struct SeqAlloc {
+    seq: AtomicU64,
+}
+
+impl SeqAlloc {
+    /// RMW-only sequence allocator: out of the rule's scope. Clean.
+    pub fn next(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+}

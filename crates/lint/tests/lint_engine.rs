@@ -94,10 +94,13 @@ fn nan_cmp_fixture() {
 
 #[test]
 fn serve_panic_fixture() {
+    // The legacy file-scoped coverage, now expressed as scan-only
+    // roots of serve-panic-reach: every fn in a serve-path file has
+    // its own body scanned.
     let f = expect_only(
         "serve_panic.rs",
         "crates/core/src/service.rs",
-        "serve-panic",
+        "serve-panic-reach",
         4,
     );
     // unwrap, expect, panic!, and the unchecked index — but nothing
@@ -110,6 +113,8 @@ fn serve_panic_fixture() {
 
 #[test]
 fn serve_panic_only_applies_to_the_serving_path() {
+    // No scan-only file scope at this path and no fn named like a
+    // serve entry point: nothing to root the rule at.
     let findings = check_source("crates/core/src/graph/mod.rs", &fixture("serve_panic.rs"));
     assert!(findings.is_empty(), "{findings:#?}");
 }
@@ -119,7 +124,7 @@ fn serve_panic_covers_the_graph_path_walk() {
     let f = expect_only(
         "serve_panic_walk.rs",
         "crates/core/src/graph/walk.rs",
-        "serve-panic",
+        "serve-panic-reach",
         3,
     );
     // The unchecked index, unreachable!, and unwrap — but nothing from
@@ -137,38 +142,123 @@ fn serve_panic_covers_the_graph_path_walk() {
 }
 
 #[test]
-fn serve_reader_lock_fixture() {
+fn serve_lock_reach_fixture() {
     let f = expect_only(
         "serve_reader_lock.rs",
         "crates/core/src/service.rs",
-        "serve-reader-lock",
+        "serve-lock-reach",
         2,
     );
     assert_eq!(f.len(), 2, "{f:#?}");
     // The helper call inside the root itself …
     assert!(
         f.iter()
-            .any(|f| f.message.contains("`read_lock`") && f.message.contains("`where_is`")),
+            .any(|f| f.message.contains("`read_lock`") && f.message.contains("where_is")),
         "{f:#?}"
     );
     // … and the direct acquisition one call level down from
-    // `serve_payload`. The writer-only `apply_pending` (write_lock,
-    // lock_mutex), the helper bodies (leaf acquisitions, never
-    // traversed) and the test module must all stay unflagged.
+    // `serve_payload`, reported with the full call path. The
+    // writer-only `apply_pending` (write_lock, lock_mutex), the helper
+    // bodies (leaf acquisitions, never traversed) and the test module
+    // must all stay unflagged.
     assert!(
-        f.iter()
-            .any(|f| f.message.contains("`.read()`") && f.message.contains("`snapshot_slot`")),
+        f.iter().any(|f| f.message.contains("`.read()`")
+            && f.message
+                .contains("Engine::serve_payload → Engine::snapshot_slot")),
         "{f:#?}"
     );
 }
 
 #[test]
-fn serve_reader_lock_only_applies_to_the_serving_path() {
+fn serve_lock_reach_roots_are_name_based_not_path_based() {
+    // The legacy rule was confined to service.rs; the reachability
+    // rule roots at *any* fn named where_is*/serve_payload, so the
+    // same fixture now trips at any live path — that widening is the
+    // point of the rule.
     let findings = check_source(
         "crates/core/src/graph/mod.rs",
         &fixture("serve_reader_lock.rs"),
     );
-    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(
+        findings.iter().all(|f| f.rule == "serve-lock-reach"),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn panic_two_calls_below_a_serve_root_is_caught_with_the_call_path() {
+    // crates/lan/src/rpc.rs is NOT in any scan-only file scope: every
+    // finding here comes from transitive reachability alone.
+    let f = expect_only(
+        "panic_two_deep.rs",
+        "crates/lan/src/rpc.rs",
+        "serve-panic-reach",
+        1,
+    );
+    assert_eq!(f.len(), 1, "only the reachable sink: {f:#?}");
+    assert!(
+        f[0].message.contains("serve_payload → helper_a → helper_b"),
+        "full call path missing: {f:#?}"
+    );
+    // The identical sink in `offline_rebuild` (no root reaches it)
+    // stays unflagged — that is what `len() == 1` proves.
+}
+
+#[test]
+fn alloc_reach_fixture() {
+    let f = expect_only(
+        "alloc_reach.rs",
+        "crates/lan/src/rpc.rs",
+        "serve-alloc-reach",
+        1,
+    );
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(
+        f[0].message.contains("`format!`") && f[0].message.contains("where_is → lookup_name"),
+        "{f:#?}"
+    );
+    // The suppressed `.to_string()` sink and the writer-side `vec!`
+    // in `rebuild_names` (unreachable from any root) are both absent.
+}
+
+#[test]
+fn seqlock_ordering_fixture() {
+    let f = expect_only(
+        "seqlock_ordering.rs",
+        "crates/desim/src/hot.rs",
+        "seqlock-ordering",
+        5,
+    );
+    assert_eq!(f.len(), 5, "{f:#?}");
+    // R1: Relaxed entry load.
+    assert!(
+        f.iter()
+            .any(|f| f.message.contains("racy_snapshot") && f.message.contains("Acquire")),
+        "{f:#?}"
+    );
+    // R2: missing fence before the Relaxed re-check.
+    assert!(
+        f.iter()
+            .any(|f| f.message.contains("unfenced_snapshot") && f.message.contains("fence")),
+        "{f:#?}"
+    );
+    // W1 + W2 on the torn writer.
+    assert_eq!(
+        f.iter()
+            .filter(|f| f.message.contains("torn_publish"))
+            .count(),
+        2,
+        "{f:#?}"
+    );
+    // W3: the single bare store.
+    assert!(
+        f.iter()
+            .any(|f| f.message.contains("bump") && f.message.contains("single unpaired")),
+        "{f:#?}"
+    );
+    // The sanctioned `snapshot`/`publish` shapes, the RMW-only
+    // allocator, and the suppressed diagnostic peek are all clean.
 }
 
 #[test]

@@ -192,12 +192,9 @@ impl Building {
     }
 
     /// Weighted adjacency of `r`: `(neighbor, walking distance)` pairs.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an invalid id.
+    /// An invalid id has no adjacency.
     pub fn edges(&self, r: RoomId) -> &[(RoomId, f64)] {
-        &self.rooms[r.0].neighbors
+        self.rooms.get(r.0).map_or(&[], |room| &room.neighbors)
     }
 
     /// Walking distance of the direct connection `a – b`, if connected.
